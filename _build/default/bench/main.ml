@@ -1,0 +1,618 @@
+(* The experiment harness: regenerates every table/figure of the
+   reproduction (see DESIGN.md §4 and EXPERIMENTS.md).
+
+   The paper (DSN 2001) is conceptual and contains no quantitative
+   evaluation; its "results" are Figure 1, Theorems 1-10 and
+   Corollary 11, plus informal claims about the wrapper (recovers the
+   §4 deadlock; the timeout delta trades repeated requests for
+   recovery latency; one wrapper serves every implementation).  Each
+   table below operationalizes one of those, and T7 adds Bechamel
+   microbenchmarks of the infrastructure.
+
+   Usage:  dune exec bench/main.exe            (all tables)
+           dune exec bench/main.exe t3 t4      (a subset)            *)
+
+open Stdext
+
+let seeds = [ 101; 202; 303 ]
+
+let ra = Option.get (Tme.Scenarios.find_protocol "ra")
+let lamport = Option.get (Tme.Scenarios.find_protocol "lamport")
+let unmod = Option.get (Tme.Scenarios.find_protocol "lamport-unmod")
+let central = Option.get (Tme.Scenarios.find_protocol "central")
+
+let mean_opt xs =
+  (* mean over the Some values; "-" if none *)
+  match List.filter_map Fun.id xs with
+  | [] -> None
+  | ys -> Some (Stats.mean_int ys)
+
+let cell_opt_float = function
+  | None -> "-"
+  | Some m -> Tabular.cell_float ~decimals:0 m
+
+let cell_mean_opt xs = cell_opt_float (mean_opt xs)
+
+(* ------------------------------------------------------------------ *)
+(* T1: Figure 1 and Theorem 1, model-checked                           *)
+
+let t1 () =
+  let open Kernel in
+  let table = Tabular.create [ "claim"; "checked"; "expected" ] in
+  let row claim value expected =
+    Tabular.add_row table [ claim; Tabular.cell_bool value; expected ]
+  in
+  row "[C => A]init" (Tsys.implements_from_init Fig1.c Fig1.a) "yes";
+  row "[C => A] (everywhere)" (Tsys.everywhere_implements Fig1.c Fig1.a) "no";
+  row "A stabilizing to A" (Tsys.is_stabilizing_to Fig1.a Fig1.a) "yes";
+  row "C stabilizing to A" (Tsys.is_stabilizing_to Fig1.c Fig1.a) "no";
+  row "Theorem 1 hypotheses"
+    (Theorem1.hypotheses_hold ~c:Theorem1.c ~a:Theorem1.a ~w:Theorem1.w
+       ~w':Theorem1.w')
+    "yes";
+  row "C box W' stabilizing to A"
+    (Tsys.is_stabilizing_to (Tsys.box Theorem1.c Theorem1.w') Theorem1.a)
+    "yes";
+  (match Tsys.stabilization_counterexample Fig1.c Fig1.a with
+   | Some w ->
+     Tabular.add_row table
+       [ "witness (no legit suffix)";
+         String.concat "->" (List.map (Tsys.name Fig1.c) w);
+         "s*" ]
+   | None -> Tabular.add_row table [ "witness"; "none"; "s*" ]);
+  Tabular.print ~title:"T1: Figure 1 counterexample + Theorem 1 (exact)" table
+
+(* ------------------------------------------------------------------ *)
+(* T2: fault-coverage matrix (Theorem 8, Corollary 11)                 *)
+
+let fault_classes =
+  [ ("drop-requests (deadlock)",
+     fun at -> [ Tme.Scenarios.Drop_requests_window { from_t = at; until_t = at + 60 } ]);
+    ("message loss", fun at -> [ Tme.Scenarios.Drop_any { at; per_chan = 5 } ]);
+    ("duplication", fun at -> [ Tme.Scenarios.Duplicate { at; per_chan = 3 } ]);
+    ("message corruption",
+     fun at -> [ Tme.Scenarios.Corrupt_messages { at; per_chan = 3 } ]);
+    ("reordering", fun at -> [ Tme.Scenarios.Reorder { at; per_chan = 3 } ]);
+    ("channel flush", fun at -> [ Tme.Scenarios.Flush { at } ]);
+    ("state corruption",
+     fun at -> [ Tme.Scenarios.Corrupt_state { at; procs = Sim.Faults.Any_proc } ]);
+    ("improper init",
+     fun at -> [ Tme.Scenarios.Reset_state { at; procs = Sim.Faults.Proc 1 } ]);
+    ("partition",
+     fun at -> [ Tme.Scenarios.Partition { pid = 1; from_t = at; until_t = at + 80 } ]);
+    ("burst", fun at -> Tme.Scenarios.burst ~at) ]
+
+let coverage proto ~wrapper faults =
+  let outcomes =
+    List.map
+      (fun seed ->
+        let r =
+          Tme.Scenarios.run proto ~n:4 ~seed ~steps:9000 ~wrapper
+            ~faults:(faults 800)
+        in
+        (r.analysis.recovered, r.recovery_latency))
+      seeds
+  in
+  let recovered = List.for_all fst outcomes in
+  let latency = mean_opt (List.map snd outcomes) in
+  (recovered, latency)
+
+let t2 () =
+  let configs =
+    [ ("ra", ra, Graybox.Harness.Off);
+      ("ra+W", ra, Tme.Scenarios.wrapped ~delta:4 ());
+      ("lamport", lamport, Graybox.Harness.Off);
+      ("lamport+W", lamport, Tme.Scenarios.wrapped ~delta:4 ());
+      ("unmod+W", unmod, Tme.Scenarios.wrapped ~delta:4 ()) ]
+  in
+  let table =
+    Tabular.create
+      ("fault class" :: List.map (fun (name, _, _) -> name) configs)
+  in
+  List.iter
+    (fun (fname, faults) ->
+      let cells =
+        List.map
+          (fun (_, proto, wrapper) ->
+            let recovered, latency = coverage proto ~wrapper faults in
+            if recovered then
+              Printf.sprintf "ok(%s)" (cell_opt_float latency)
+            else "STUCK")
+          configs
+      in
+      Tabular.add_row table (fname :: cells))
+    fault_classes;
+  Tabular.print
+    ~title:
+      "T2: recovery per fault class (3 seeds each; ok(latency in steps) or \
+       STUCK)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T3: stabilization scalability in n                                  *)
+
+let t3 () =
+  let table =
+    Tabular.create
+      [ "n"; "ra+W recovery"; "ra+W svc p50"; "ra+W svc p95";
+        "ra+W wrapper msgs"; "lamport+W recovery"; "lamport+W svc p50";
+        "lamport+W svc p95"; "lamport+W wrapper msgs" ]
+  in
+  List.iter
+    (fun n ->
+      let steps = 6000 + (1500 * n) in
+      let measure proto =
+        let runs =
+          List.map
+            (fun seed ->
+              Tme.Scenarios.run proto ~n ~seed ~steps
+                ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+                ~faults:(Tme.Scenarios.burst ~at:1000))
+            seeds
+        in
+        let latency =
+          mean_opt (List.map (fun r -> r.Tme.Scenarios.recovery_latency) runs)
+        in
+        let wmsgs =
+          Stats.mean_int (List.map (fun r -> r.Tme.Scenarios.wrapper_sends) runs)
+        in
+        (* post-fault per-request service latencies, pooled over seeds *)
+        let services =
+          List.concat_map
+            (fun r ->
+              let after =
+                Option.value ~default:0
+                  r.Tme.Scenarios.analysis.Graybox.Stabilize.last_fault_index
+              in
+              List.map float_of_int
+                (Graybox.Stabilize.service_times ~after r.Tme.Scenarios.vtrace))
+            runs
+        in
+        (latency, Stats.percentile 50. services, Stats.percentile 95. services, wmsgs)
+      in
+      let ra_lat, ra_p50, ra_p95, ra_w = measure ra in
+      let lam_lat, lam_p50, lam_p95, lam_w = measure lamport in
+      Tabular.add_row table
+        [ string_of_int n;
+          cell_opt_float ra_lat;
+          Tabular.cell_float ~decimals:0 ra_p50;
+          Tabular.cell_float ~decimals:0 ra_p95;
+          Tabular.cell_float ~decimals:0 ra_w;
+          cell_opt_float lam_lat;
+          Tabular.cell_float ~decimals:0 lam_p50;
+          Tabular.cell_float ~decimals:0 lam_p95;
+          Tabular.cell_float ~decimals:0 lam_w ])
+    [ 2; 3; 5; 8; 12 ];
+  Tabular.print
+    ~title:
+      "T3: recovery latency, post-fault service-latency percentiles, and \
+       wrapper traffic vs n (burst fault, 3 seeds pooled)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T4: W'(delta) timeout tuning + refined/unrefined ablation           *)
+
+let t4 () =
+  let faults at =
+    [ Tme.Scenarios.Drop_requests_window { from_t = at; until_t = at + 60 } ]
+  in
+  let table =
+    Tabular.create
+      [ "wrapper"; "msgs/1k steps (fault-free)"; "msgs/1k steps (faulty)";
+        "recovered"; "recovery latency" ]
+  in
+  let measure variant delta =
+    let clean =
+      List.map
+        (fun seed ->
+          (Tme.Scenarios.run ra ~n:4 ~seed ~steps:6000
+             ~wrapper:(Tme.Scenarios.wrapped ~variant ~delta ()))
+            .wrapper_sends)
+        seeds
+    in
+    let faulty =
+      List.map
+        (fun seed ->
+          Tme.Scenarios.run ra ~n:4 ~seed ~steps:9000
+            ~wrapper:(Tme.Scenarios.wrapped ~variant ~delta ())
+            ~faults:(faults 800))
+        seeds
+    in
+    let per_1k sends steps = Stats.mean_int sends *. 1000. /. float_of_int steps in
+    ( per_1k clean 6000,
+      per_1k (List.map (fun r -> r.Tme.Scenarios.wrapper_sends) faulty) 9000,
+      List.for_all (fun r -> r.Tme.Scenarios.analysis.recovered) faulty,
+      mean_opt (List.map (fun r -> r.Tme.Scenarios.recovery_latency) faulty) )
+  in
+  List.iter
+    (fun delta ->
+      let clean, faulty, recovered, latency =
+        measure Graybox.Wrapper.Refined delta
+      in
+      Tabular.add_row table
+        [ (if delta = 0 then "W (refined)" else Printf.sprintf "W'(%d)" delta);
+          Tabular.cell_float clean;
+          Tabular.cell_float faulty;
+          Tabular.cell_bool recovered;
+          cell_opt_float latency ])
+    [ 0; 1; 2; 4; 8; 16; 32; 64 ];
+  Tabular.add_sep table;
+  let clean, faulty, recovered, latency =
+    measure Graybox.Wrapper.Unrefined 4
+  in
+  Tabular.add_row table
+    [ "W'(4) unrefined (ablation)";
+      Tabular.cell_float clean;
+      Tabular.cell_float faulty;
+      Tabular.cell_bool recovered;
+      cell_opt_float latency ];
+  Tabular.print
+    ~title:
+      "T4: the timeout wrapper W'(delta) on Ricart-Agrawala (deadlock fault, \
+       3 seeds)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T5: message complexity per CS entry                                 *)
+
+let t5 () =
+  let table =
+    Tabular.create
+      [ "n"; "ra"; "2(n-1)"; "lamport"; "3(n-1)"; "central"; "wrapper W'(16)" ]
+  in
+  List.iter
+    (fun n ->
+      let per_entry proto ~wrapper =
+        let runs =
+          List.map
+            (fun seed ->
+              Tme.Scenarios.run proto ~n ~seed ~steps:9000 ~wrapper)
+            seeds
+        in
+        let protocol =
+          Stats.mean
+            (List.map
+               (fun r ->
+                 float_of_int r.Tme.Scenarios.protocol_sends
+                 /. float_of_int (max 1 r.Tme.Scenarios.total_entries))
+               runs)
+        in
+        let wrapper_per_entry =
+          Stats.mean
+            (List.map
+               (fun r ->
+                 float_of_int r.Tme.Scenarios.wrapper_sends
+                 /. float_of_int (max 1 r.Tme.Scenarios.total_entries))
+               runs)
+        in
+        (protocol, wrapper_per_entry)
+      in
+      let ra_m, _ = per_entry ra ~wrapper:Graybox.Harness.Off in
+      let lam_m, _ = per_entry lamport ~wrapper:Graybox.Harness.Off in
+      let cen_m, _ = per_entry central ~wrapper:Graybox.Harness.Off in
+      let _, wrap_m =
+        per_entry ra ~wrapper:(Tme.Scenarios.wrapped ~delta:16 ())
+      in
+      Tabular.add_row table
+        [ string_of_int n;
+          Tabular.cell_float ra_m;
+          Tabular.cell_int (2 * (n - 1));
+          Tabular.cell_float lam_m;
+          Tabular.cell_int (3 * (n - 1));
+          Tabular.cell_float cen_m;
+          Tabular.cell_float wrap_m ])
+    [ 3; 5; 8 ];
+  Tabular.print
+    ~title:
+      "T5: protocol messages per CS entry, fault-free (3 seeds); wrapper \
+       column = extra W'(16) messages per entry"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T6: specification-monitor conformance (Theorem 5)                   *)
+
+let t6 () =
+  let table =
+    Tabular.create
+      [ "protocol"; "Lspec safety"; "Lspec liveness"; "ME1"; "ME2"; "ME3" ]
+  in
+  let verdict_cell r v =
+    match v with
+    | Unityspec.Temporal.Violated _ -> "VIOLATED"
+    | v ->
+      if
+        Unityspec.Temporal.ok_with_tail
+          ~trace_len:(List.length r.Tme.Scenarios.vtrace) ~margin:150 v
+      then "ok"
+      else "pending"
+  in
+  List.iter
+    (fun (name, proto) ->
+      let r = Tme.Scenarios.run proto ~n:4 ~seed:11 ~steps:6000 in
+      let lspec = Tme.Scenarios.lspec_report r in
+      let safety_ok = Unityspec.Report.safe lspec in
+      let liveness_ok =
+        List.for_all
+          (fun (e : Unityspec.Report.entry) ->
+            Unityspec.Temporal.ok_with_tail
+              ~trace_len:(List.length r.vtrace) ~margin:150 e.verdict)
+          lspec
+      in
+      Tabular.add_row table
+        [ name;
+          (if safety_ok then "ok" else "VIOLATED");
+          (if liveness_ok then "ok" else "pending");
+          verdict_cell r (Graybox.Tme_spec.me1 r.vtrace);
+          verdict_cell r (Graybox.Tme_spec.me2 ~n:4 r.vtrace);
+          verdict_cell r (Graybox.Tme_spec.me3 r.entry_log) ])
+    [ ("ra", ra);
+      ("ra-gcl", Option.get (Tme.Scenarios.find_protocol "ra-gcl"));
+      ("lamport", lamport);
+      ("lamport-unmod", unmod) ];
+  Tabular.print
+    ~title:
+      "T6: Lspec and TME_Spec monitors on fault-free runs (Theorem 5); \
+       'central' omitted (not an Lspec implementation)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T7: Bechamel microbenchmarks                                        *)
+
+let bench_targets : (string * (unit -> unit)) list =
+  let sim_throughput proto ~wrapper () =
+    ignore
+      (Tme.Scenarios.run proto ~n:4 ~seed:1 ~steps:1000 ~record:false ~wrapper)
+  in
+  [ ("sim-1k-steps/ra", sim_throughput ra ~wrapper:Graybox.Harness.Off);
+    ("sim-1k-steps/ra+W",
+     sim_throughput ra ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()));
+    ("sim-1k-steps/lamport", sim_throughput lamport ~wrapper:Graybox.Harness.Off);
+    ("sim-1k-steps/lamport+W",
+     sim_throughput lamport ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()));
+    ("sim-1k-steps/central", sim_throughput central ~wrapper:Graybox.Harness.Off);
+    ("record+analyse-1k-steps/ra",
+     fun () ->
+       let r = Tme.Scenarios.run ra ~n:4 ~seed:1 ~steps:1000 in
+       ignore r.Tme.Scenarios.analysis);
+    ("lspec-monitors-1k-steps/ra",
+     let r = Tme.Scenarios.run ra ~n:4 ~seed:1 ~steps:1000 in
+     fun () -> ignore (Tme.Scenarios.lspec_report r));
+    ("kernel/fig1-checks",
+     fun () ->
+       ignore (Kernel.Tsys.is_stabilizing_to Kernel.Fig1.c Kernel.Fig1.a);
+       ignore (Kernel.Tsys.is_stabilizing_to Kernel.Fig1.a Kernel.Fig1.a));
+    ("rvc-1k-steps",
+     fun () ->
+       ignore
+         (Rvc.System.run
+            { Rvc.System.n = 4; bound = 60; wrapper = true }
+            ~seed:1 ~steps:1000)) ]
+
+let t7 () =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage f))
+      bench_targets
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let table = Tabular.create [ "microbenchmark"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ ns ] ->
+              if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            | _ -> "?"
+          in
+          Tabular.add_row table [ name; cell ])
+        analysis)
+    tests;
+  Tabular.print ~title:"T7: microbenchmarks (Bechamel, monotonic clock)" table
+
+(* ------------------------------------------------------------------ *)
+(* T8: RVC extension                                                   *)
+
+let t8 () =
+  let table =
+    Tabular.create
+      [ "configuration"; "recovered"; "recovery steps"; "resets";
+        "ill-formed at end" ]
+  in
+  let run ~wrapper ~corrupt label =
+    let outcomes =
+      List.map
+        (fun seed ->
+          Rvc.System.run
+            ?corrupt_at:(if corrupt then Some 500 else None)
+            { Rvc.System.n = 4; bound = 60; wrapper }
+            ~seed ~steps:5000)
+        seeds
+    in
+    Tabular.add_row table
+      [ label;
+        Tabular.cell_bool
+          (List.for_all (fun o -> o.Rvc.System.recovered) outcomes);
+        cell_mean_opt (List.map (fun o -> o.Rvc.System.recovery_steps) outcomes);
+        Tabular.cell_float ~decimals:0
+          (Stats.mean_int (List.map (fun o -> o.Rvc.System.resets) outcomes));
+        Tabular.cell_float ~decimals:1
+          (Stats.mean_int (List.map (fun o -> o.Rvc.System.ill_at_end) outcomes)) ]
+  in
+  run ~wrapper:true ~corrupt:false "wrapped, fault-free (overflow recycling)";
+  run ~wrapper:true ~corrupt:true "wrapped, all clocks corrupted at t=500";
+  run ~wrapper:false ~corrupt:true "unwrapped, all clocks corrupted at t=500";
+  Tabular.print
+    ~title:"T8: resettable vector clocks (level-1 reset wrapper; 3 seeds)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T9: Lamport modification ablation                                   *)
+
+let t9 () =
+  let variants =
+    [ ("m0 (original)", unmod);
+      ("m1 (dedup insert)", Option.get (Tme.Scenarios.find_protocol "lamport-m1"));
+      ("m1+2 (<= head)", Option.get (Tme.Scenarios.find_protocol "lamport-m12"));
+      ("m1+2+3 (release echo)", lamport) ]
+  in
+  let table =
+    Tabular.create
+      ("fault class (all with W'(4))" :: List.map fst variants)
+  in
+  List.iter
+    (fun (fname, faults) ->
+      let cells =
+        List.map
+          (fun (_, proto) ->
+            let recovered, latency =
+              coverage proto ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()) faults
+            in
+            if recovered then Printf.sprintf "ok(%s)" (cell_opt_float latency)
+            else "STUCK")
+          variants
+      in
+      Tabular.add_row table (fname :: cells))
+    fault_classes;
+  Tabular.print
+    ~title:
+      "T9: which of the paper's Lamport modifications rescues which fault \
+       class (wrapped, 3 seeds)"
+    table;
+  (* the release echo (modification 3) matters exactly when some
+     process never requests: nothing else ever purges a phantom queue
+     entry naming it *)
+  let passive_seeds = List.init 12 (fun i -> i + 1) in
+  let table2 =
+    Tabular.create [ "variant"; "recovered (state corruption, passive peer)" ]
+  in
+  List.iter
+    (fun (label, proto) ->
+      let ok =
+        List.length
+          (List.filter
+             (fun seed ->
+               (Tme.Scenarios.run proto ~n:4 ~seed ~steps:9000 ~passive:[ 3 ]
+                  ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+                  ~faults:
+                    [ Tme.Scenarios.Corrupt_state
+                        { at = 800; procs = Sim.Faults.Any_proc } ])
+                 .analysis.recovered)
+             passive_seeds)
+      in
+      Tabular.add_row table2
+        [ label; Printf.sprintf "%d/%d" ok (List.length passive_seeds) ])
+    [ ("m1+2 (no release echo)",
+       Option.get (Tme.Scenarios.find_protocol "lamport-m12"));
+      ("m1+2+3 (release echo)", lamport) ];
+  Tabular.print
+    ~title:
+      "T9b: the release echo is needed when a peer never requests \
+       (process 3 passive, 12 corruption draws)"
+    table2
+
+(* ------------------------------------------------------------------ *)
+(* T10: whitebox contrast (Dijkstra's K-state ring)                    *)
+
+let t10 () =
+  let table =
+    Tabular.create
+      [ "system"; "stabilization designed..."; "recovered"; "recovery steps" ]
+  in
+  let kstate_recoveries =
+    List.map
+      (fun seed ->
+        (Kstate.run ~corrupt_at:500 ~n:5 ~k:6 ~seed ~steps:4000 ())
+          .Kstate.recovery_steps)
+      seeds
+  in
+  Tabular.add_row table
+    [ "Dijkstra K-state ring (n=5)"; "into the implementation (whitebox)";
+      Tabular.cell_bool (List.for_all Option.is_some kstate_recoveries);
+      cell_mean_opt kstate_recoveries ];
+  let tme_recoveries =
+    List.map
+      (fun seed ->
+        (Tme.Scenarios.run ra ~n:5 ~seed ~steps:10000
+           ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+           ~faults:(Tme.Scenarios.burst ~at:500))
+          .Tme.Scenarios.recovery_latency)
+      seeds
+  in
+  Tabular.add_row table
+    [ "RA + graybox wrapper (n=5)"; "by a spec-derived wrapper (graybox)";
+      Tabular.cell_bool (List.for_all Option.is_some tme_recoveries);
+      cell_mean_opt tme_recoveries ];
+  Tabular.print
+    ~title:
+      "T10: whitebox vs graybox stabilization, side by side (state \
+       corruption of every process, 3 seeds)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* T11: exhaustive safety within bounds (model checker)                *)
+
+let t11 () =
+  let table =
+    Tabular.create
+      [ "protocol"; "n"; "depth"; "states explored"; "ME1 verdict" ]
+  in
+  let row name proto n depth =
+    match Mcheck.check_me1 proto ~n ~max_depth:depth () with
+    | Mcheck.Ok stats ->
+      Tabular.add_row table
+        [ name; string_of_int n; string_of_int depth;
+          string_of_int stats.Mcheck.explored; "safe (exhaustive)" ]
+    | Mcheck.Violation { trace; stats; _ } ->
+      Tabular.add_row table
+        [ name; string_of_int n; string_of_int depth;
+          string_of_int stats.Mcheck.explored;
+          Printf.sprintf "VIOLATED in %d steps" (List.length trace) ]
+  in
+  row "ra" (module Tme.Ra_me : Graybox.Protocol.S) 2 30;
+  row "ra" (module Tme.Ra_me) 3 14;
+  row "ra-gcl" (module Gcl.Ra_gcl) 2 24;
+  row "lamport" (module Tme.Lamport_me) 2 24;
+  row "lamport" (module Tme.Lamport_me) 3 12;
+  Tabular.add_sep table;
+  row "ra-mutant (reply while eating)" (module Tme.Ra_mutant) 2 20;
+  Tabular.print
+    ~title:
+      "T11: mutual exclusion under ALL schedules (bounded exhaustive \
+       exploration; the mutant row validates the checker)"
+    table
+
+(* ------------------------------------------------------------------ *)
+
+let all_tables =
+  [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
+    ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_tables
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) all_tables with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown table %s (known: %s)\n" name
+          (String.concat ", " (List.map fst all_tables));
+        exit 2)
+    requested

@@ -1,0 +1,363 @@
+(* Command-line driver for the graybox stabilization library.
+
+     graybox-cli run   --protocol ra --n 4 --wrapper 8 --fault burst:1000
+     graybox-cli check --protocol lamport
+     graybox-cli fig1
+     graybox-cli rvc   --corrupt-at 500
+
+   `run` simulates a scenario and prints the stabilization analysis;
+   `check` runs fault-free and prints the Lspec / TME_Spec monitor
+   reports; `fig1` model-checks the paper's counterexample; `rvc`
+   exercises the resettable-vector-clock case study. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Fault-spec parsing: KIND:ARGS, e.g. burst:1000, drop-requests:500-560 *)
+
+let parse_fault s =
+  let fail msg = Error (`Msg msg) in
+  match String.split_on_char ':' s with
+  | [ "burst"; at ] ->
+    (match int_of_string_opt at with
+     | Some at -> Ok (Tme.Scenarios.burst ~at)
+     | None -> fail "burst: expected burst:TIME")
+  | [ "drop-requests"; range ] ->
+    (match String.split_on_char '-' range with
+     | [ a; b ] ->
+       (match int_of_string_opt a, int_of_string_opt b with
+        | Some from_t, Some until_t ->
+          Ok [ Tme.Scenarios.Drop_requests_window { from_t; until_t } ]
+        | _ -> fail "drop-requests: expected drop-requests:FROM-TO")
+     | _ -> fail "drop-requests: expected drop-requests:FROM-TO")
+  | [ kind; at ] ->
+    (match int_of_string_opt at with
+     | None -> fail (kind ^ ": expected " ^ kind ^ ":TIME")
+     | Some at ->
+       (match kind with
+        | "drop" -> Ok [ Tme.Scenarios.Drop_any { at; per_chan = 3 } ]
+        | "duplicate" -> Ok [ Tme.Scenarios.Duplicate { at; per_chan = 3 } ]
+        | "corrupt-msgs" ->
+          Ok [ Tme.Scenarios.Corrupt_messages { at; per_chan = 3 } ]
+        | "reorder" -> Ok [ Tme.Scenarios.Reorder { at; per_chan = 3 } ]
+        | "flush" -> Ok [ Tme.Scenarios.Flush { at } ]
+        | "corrupt-state" ->
+          Ok [ Tme.Scenarios.Corrupt_state { at; procs = Sim.Faults.Any_proc } ]
+        | "reset" ->
+          Ok [ Tme.Scenarios.Reset_state { at; procs = Sim.Faults.Any_proc } ]
+        | _ -> fail ("unknown fault kind: " ^ kind)))
+  | _ ->
+    fail
+      "expected KIND:TIME (burst, drop, duplicate, corrupt-msgs, reorder, \
+       flush, corrupt-state, reset) or drop-requests:FROM-TO"
+
+let fault_conv =
+  Arg.conv
+    ( parse_fault,
+      fun ppf _ -> Format.pp_print_string ppf "<fault>" )
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let protocol_arg =
+  let doc =
+    "Protocol: ra, ra-gcl, lamport, lamport-unmod, lamport-m1, lamport-m12, \
+     or central."
+  in
+  Arg.(value & opt string "ra" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (equal seeds replay identical executions)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let steps_arg =
+  let doc = "Scheduler steps to simulate." in
+  Arg.(value & opt int 8000 & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let wrapper_arg =
+  let doc =
+    "Wrapper timeout delta; 0 is the paper's W, omit the flag to run \
+     unwrapped."
+  in
+  Arg.(value & opt (some int) None & info [ "w"; "wrapper" ] ~docv:"DELTA" ~doc)
+
+let unrefined_arg =
+  let doc = "Use the unrefined wrapper (send to all peers)." in
+  Arg.(value & flag & info [ "unrefined" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Fault to inject (repeatable), e.g. burst:1000, drop-requests:500-560, \
+     corrupt-state:700."
+  in
+  Arg.(value & opt_all fault_conv [] & info [ "f"; "fault" ] ~docv:"SPEC" ~doc)
+
+let resolve_protocol name =
+  match Tme.Scenarios.find_protocol name with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (try: %s)" name
+         (String.concat ", " (List.map fst Tme.Scenarios.protocols)))
+
+let wrapper_mode delta unrefined =
+  match delta with
+  | None -> Graybox.Harness.Off
+  | Some delta ->
+    let variant =
+      if unrefined then Graybox.Wrapper.Unrefined else Graybox.Wrapper.Refined
+    in
+    Tme.Scenarios.wrapped ~variant ~delta ()
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let action protocol n seed steps delta unrefined faults =
+    match resolve_protocol protocol with
+    | Error e -> `Error (false, e)
+    | Ok proto ->
+      let r =
+        Tme.Scenarios.run proto ~n ~seed ~steps
+          ~wrapper:(wrapper_mode delta unrefined)
+          ~faults:(List.concat faults)
+      in
+      Printf.printf "protocol          : %s\n" r.protocol;
+      Format.printf "%a@." Graybox.Stabilize.pp r.analysis;
+      Printf.printf "CS entries        : %d\n" r.total_entries;
+      Printf.printf "messages sent     : %d (wrapper: %d)\n" r.sent_total
+        r.wrapper_sends;
+      (match r.recovery_latency with
+       | Some l -> Printf.printf "service round     : %d steps\n" l
+       | None -> print_endline "service round     : incomplete");
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ n_arg $ seed_arg $ steps_arg
+       $ wrapper_arg $ unrefined_arg $ faults_arg))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a scenario and report stabilization")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let action protocol n seed steps =
+    match resolve_protocol protocol with
+    | Error e -> `Error (false, e)
+    | Ok proto ->
+      let r = Tme.Scenarios.run proto ~n ~seed ~steps in
+      print_endline "-- Lspec clause monitors (fault-free run) --";
+      print_endline (Unityspec.Report.to_string (Tme.Scenarios.lspec_report r));
+      print_endline "";
+      print_endline "-- TME_Spec monitors --";
+      print_endline (Unityspec.Report.to_string (Tme.Scenarios.tme_report r));
+      print_endline "";
+      Printf.printf
+        "(liveness clauses may be 'pending' at the trace tail: the run \
+         simply ended mid-obligation)\n";
+      `Ok ()
+  in
+  let term =
+    Term.(ret (const action $ protocol_arg $ n_arg $ seed_arg $ steps_arg))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run fault-free and print specification-monitor reports")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* fig1                                                                *)
+
+let fig1_cmd =
+  let action () =
+    let open Kernel in
+    let yn b = if b then "yes" else "NO" in
+    Printf.printf "[C => A]init            : %s\n"
+      (yn (Tsys.implements_from_init Fig1.c Fig1.a));
+    Printf.printf "[C => A]                : %s\n"
+      (yn (Tsys.everywhere_implements Fig1.c Fig1.a));
+    Printf.printf "A stabilizing to A      : %s\n"
+      (yn (Tsys.is_stabilizing_to Fig1.a Fig1.a));
+    Printf.printf "C stabilizing to A      : %s\n"
+      (yn (Tsys.is_stabilizing_to Fig1.c Fig1.a));
+    Printf.printf "Theorem 1 instance      : %s\n"
+      (yn
+         (Theorem1.check ~c:Theorem1.c ~a:Theorem1.a ~w:Theorem1.w
+            ~w':Theorem1.w'));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Model-check the paper's Figure 1 counterexample")
+    Term.(ret (const action $ const ()))
+
+(* ------------------------------------------------------------------ *)
+(* rvc                                                                 *)
+
+let rvc_cmd =
+  let corrupt_at_arg =
+    Arg.(
+      value
+      & opt (some int) (Some 500)
+      & info [ "corrupt-at" ] ~docv:"TIME"
+          ~doc:"Corrupt every clock at this time (omit value for none).")
+  in
+  let bound_arg =
+    Arg.(value & opt int 60 & info [ "bound" ] ~docv:"B" ~doc:"Component bound.")
+  in
+  let no_wrapper_arg =
+    Arg.(value & flag & info [ "no-wrapper" ] ~doc:"Disable the reset wrapper.")
+  in
+  let action n seed steps corrupt_at bound no_wrapper =
+    let o =
+      Rvc.System.run ?corrupt_at
+        { Rvc.System.n; bound; wrapper = not no_wrapper }
+        ~seed ~steps
+    in
+    Printf.printf "recovered       : %b\n" o.Rvc.System.recovered;
+    (match o.Rvc.System.recovery_steps with
+     | Some s -> Printf.printf "recovery steps  : %d\n" s
+     | None -> print_endline "recovery steps  : -");
+    Printf.printf "wrapper resets  : %d\n" o.Rvc.System.resets;
+    Printf.printf "ill-formed at end: %d\n" o.Rvc.System.ill_at_end;
+    Printf.printf "final epoch     : %d\n" o.Rvc.System.final_epoch;
+    Printf.printf "hb sound        : %b\n" o.Rvc.System.hb_sound;
+    `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ n_arg $ seed_arg $ steps_arg $ corrupt_at_arg
+       $ bound_arg $ no_wrapper_arg))
+  in
+  Cmd.v
+    (Cmd.info "rvc" ~doc:"Run the resettable-vector-clock case study")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* kstate                                                              *)
+
+let kstate_cmd =
+  let k_arg =
+    Arg.(value & opt int 6 & info [ "k" ] ~docv:"K" ~doc:"Counter domain size.")
+  in
+  let corrupt_at_arg =
+    Arg.(
+      value
+      & opt (some int) (Some 500)
+      & info [ "corrupt-at" ] ~docv:"TIME" ~doc:"Scramble all counters here.")
+  in
+  let action n seed steps k corrupt_at =
+    if k < n + 1 then `Error (false, "need k >= n + 1")
+    else begin
+      let o = Kstate.run ?corrupt_at ~n ~k ~seed ~steps () in
+      Printf.printf "stabilized        : %b
+" (o.Kstate.stabilized_at <> None);
+      (match o.Kstate.recovery_steps with
+       | Some s -> Printf.printf "recovery steps    : %d
+" s
+       | None -> print_endline "recovery steps    : -");
+      Printf.printf "privileges at end : %d
+" o.Kstate.privileges_at_end;
+      Printf.printf "privilege passes  : %d
+" o.Kstate.moves;
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret (const action $ n_arg $ seed_arg $ steps_arg $ k_arg $ corrupt_at_arg))
+  in
+  Cmd.v
+    (Cmd.info "kstate"
+       ~doc:"Run Dijkstra's K-state ring (the whitebox contrast)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                               *)
+
+let synth_cmd =
+  let action () =
+    let open Kernel in
+    let spec =
+      Tsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
+        ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] ()
+    in
+    let sys =
+      Actsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
+        ~actions:[ ("prog", [ (0, 1); (1, 0) ]); ("idle", [ (2, 2) ]) ]
+        ~init:[ 0 ] ()
+    in
+    (match Synthesis.synthesize sys ~spec with
+     | None -> print_endline "no wrapper exists"
+     | Some w ->
+       List.iter
+         (fun (u, v) ->
+           Printf.printf "correction: %s -> %s
+" (Tsys.name spec u)
+             (Tsys.name spec v))
+         (Actsys.transitions w "correct");
+       Printf.printf "verified: system box wrapper fairly stabilizes: %b
+"
+         (Actsys.is_fairly_stabilizing_to (Actsys.box sys w) spec));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize and verify a wrapper for the demo kernel system")
+    Term.(ret (const action $ const ()))
+
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+
+let mc_cmd =
+  let depth_arg =
+    Arg.(value & opt int 20 & info [ "depth" ] ~docv:"D" ~doc:"BFS depth bound.")
+  in
+  let mc_n_arg =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N"
+           ~doc:"Number of processes (keep small: exhaustive search).")
+  in
+  let action protocol n depth =
+    let proto =
+      if protocol = "ra-mutant" then
+        Result.Ok (module Tme.Ra_mutant : Graybox.Protocol.S)
+      else resolve_protocol protocol
+    in
+    match proto with
+    | Error e -> `Error (false, e)
+    | Result.Ok proto ->
+      (match Mcheck.check_me1 proto ~n ~max_depth:depth () with
+       | Mcheck.Ok stats ->
+         Printf.printf
+           "safe: no ME1 violation under any schedule within depth %d\n            states explored : %d (truncated: %b)\n"
+           depth stats.Mcheck.explored stats.Mcheck.truncated
+       | Mcheck.Violation { trace; stats; _ } ->
+         Printf.printf "VIOLATION after exploring %d states:\n  %s\n"
+           stats.Mcheck.explored
+           (String.concat "\n  " trace));
+      `Ok ()
+  in
+  let term = Term.(ret (const action $ protocol_arg $ mc_n_arg $ depth_arg)) in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Exhaustively model-check mutual exclusion under every schedule \
+          (try --protocol ra-mutant)")
+    term
+
+let () =
+  let doc = "graybox stabilization wrappers for distributed mutual exclusion" in
+  let info = Cmd.info "graybox-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd; mc_cmd ]))

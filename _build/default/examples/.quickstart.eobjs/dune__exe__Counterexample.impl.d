@@ -1,0 +1,1 @@
+examples/counterexample.ml: Fig1 Format Kernel List Option Printf String Theorem1 Tme Tsys

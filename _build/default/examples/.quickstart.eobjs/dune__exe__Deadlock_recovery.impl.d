@@ -1,0 +1,1 @@
+examples/deadlock_recovery.ml: Array Format Graybox List Option Printf Sim String Tme View

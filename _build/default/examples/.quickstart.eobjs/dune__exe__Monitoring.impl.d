@@ -1,0 +1,1 @@
+examples/monitoring.ml: Array Format Graybox Printf Sim Tme Unityspec

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Graybox List Option Printf String Tme

@@ -1,0 +1,1 @@
+examples/reusability.ml: List Option Printf Stdext Tabular Tme

@@ -1,0 +1,1 @@
+examples/rvc_reset.ml: List Rvc Stdext Tabular

@@ -1,0 +1,1 @@
+examples/rvc_reset.mli:

@@ -1,0 +1,1 @@
+examples/synthesis_demo.ml: Actsys Format Kernel List Printf Product String Synthesis Tsys

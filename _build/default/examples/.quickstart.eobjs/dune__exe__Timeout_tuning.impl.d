@@ -1,0 +1,1 @@
+examples/timeout_tuning.ml: List Option Stdext Tabular Tme

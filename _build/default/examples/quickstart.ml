@@ -1,0 +1,56 @@
+(* Quickstart: wrap Ricart-Agrawala mutual exclusion with the graybox
+   wrapper, knock the system over with the paper's §4 fault (all
+   request messages lost), and watch it stabilize.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "== Graybox stabilization quickstart ==";
+  print_endline "";
+  print_endline
+    "Protocol: Ricart-Agrawala distributed mutual exclusion, 4 processes.";
+  print_endline
+    "Wrapper : W'(8) - while hungry, every 8 scheduling opportunities,";
+  print_endline
+    "          resend REQ_j to every k whose copy j.REQ_k is stale.";
+  print_endline
+    "Fault   : every request message in flight during steps 500-560 is lost.";
+  print_endline "";
+
+  (* 1. pick the implementation (the wrapper does not care which) *)
+  let protocol = Option.get (Tme.Scenarios.find_protocol "ra") in
+
+  (* 2. describe the scenario *)
+  let faults =
+    [ Tme.Scenarios.Drop_requests_window { from_t = 500; until_t = 560 } ]
+  in
+
+  (* 3. run it, wrapped *)
+  let result =
+    Tme.Scenarios.run protocol ~n:4 ~seed:42 ~steps:8000 ~faults
+      ~wrapper:(Tme.Scenarios.wrapped ~delta:8 ())
+  in
+
+  (* 4. inspect the stabilization analysis *)
+  Format.printf "%a@." Graybox.Stabilize.pp result.analysis;
+  Printf.printf "CS entries served : %d\n" result.total_entries;
+  Printf.printf "wrapper messages  : %d of %d total\n" result.wrapper_sends
+    result.sent_total;
+  (match result.recovery_latency with
+   | Some l ->
+     Printf.printf
+       "full service round: every process ate within %d steps of the fault\n" l
+   | None -> print_endline "full service round: never (still broken!)");
+  print_endline "";
+
+  (* 5. the same scenario without the wrapper, for contrast *)
+  let bare = Tme.Scenarios.run protocol ~n:4 ~seed:42 ~steps:8000 ~faults in
+  Printf.printf
+    "Without the wrapper: recovered=%b, starving processes=[%s]\n"
+    bare.analysis.recovered
+    (String.concat ";" (List.map string_of_int bare.analysis.starving));
+  print_endline "";
+  print_endline
+    (if result.analysis.recovered && not bare.analysis.recovered then
+       "The wrapper turned a permanent deadlock into a transient glitch."
+     else "Unexpected outcome - inspect the traces!")

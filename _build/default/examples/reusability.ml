@@ -1,0 +1,50 @@
+(* Reusability (paper §5, Corollary 11): ONE wrapper value, defined
+   against Lspec alone, stabilizes every everywhere-implementation of
+   Lspec — here Ricart-Agrawala and the modified Lamport program —
+   and fails exactly where the theory says it must: on the unmodified
+   Lamport program, which only implements Lspec from initial states.
+
+   Run with:  dune exec examples/reusability.exe *)
+
+let wrapper = Tme.Scenarios.wrapped ~delta:4 ()
+(* ^ this single value is the entire protocol-specific configuration:
+   there is none.  The wrapper reads only the spec-level view. *)
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let attempt proto_name =
+  let proto = Option.get (Tme.Scenarios.find_protocol proto_name) in
+  let recovered_runs =
+    List.filter
+      (fun seed ->
+        (Tme.Scenarios.run proto ~n:4 ~seed ~steps:8000 ~wrapper
+           ~faults:(Tme.Scenarios.burst ~at:1000))
+          .analysis.recovered)
+      seeds
+  in
+  (proto_name, List.length recovered_runs, List.length seeds)
+
+let () =
+  print_endline "== One wrapper, three implementations ==";
+  print_endline "";
+  print_endline
+    "Fault: burst at t=1000 (state corruption of every process + message";
+  print_endline "corruption + message loss), five different corruption draws.";
+  print_endline "";
+  let open Stdext in
+  let table = Tabular.create [ "implementation"; "recovered"; "expected" ] in
+  List.iter
+    (fun (name, expected) ->
+      let name, ok, total = attempt name in
+      Tabular.add_row table
+        [ name; Printf.sprintf "%d/%d" ok total; expected ])
+    [ ("ra", "all: everywhere implements Lspec");
+      ("ra-gcl", "all: the paper's program text, transliterated");
+      ("lamport", "all: everywhere implements Lspec");
+      ("lamport-unmod", "some fail: implements Lspec only from Init") ];
+  Tabular.print table;
+  print_endline "";
+  print_endline
+    "The wrapper was designed from the specification; it never saw any";
+  print_endline
+    "of these implementations.  That is graybox stabilization."

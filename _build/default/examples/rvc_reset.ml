@@ -1,0 +1,49 @@
+(* The second graybox case study: resettable vector clocks (the
+   paper's references [1,4], and the §2.2 design method's level-1
+   wrapper with exception notification).
+
+   Vector clocks with components bounded by B.  Overflow or transient
+   corruption makes a clock ill-formed; the level-1 wrapper resets it
+   and bumps an epoch (the "exception"); receivers adopt newer epochs
+   (the level-2 reconciliation).
+
+   Run with:  dune exec examples/rvc_reset.exe *)
+
+open Stdext
+
+let () =
+  print_endline "== Resettable vector clocks under corruption ==";
+  print_endline "";
+  let table =
+    Tabular.create
+      [ "wrapper"; "recovered"; "recovery steps"; "resets";
+        "ill-formed at end"; "hb sound" ]
+  in
+  List.iter
+    (fun wrapper ->
+      let o =
+        Rvc.System.run ~corrupt_at:500
+          { Rvc.System.n = 4; bound = 60; wrapper }
+          ~seed:3 ~steps:5000
+      in
+      Tabular.add_row table
+        [ (if wrapper then "level-1 reset" else "none");
+          Tabular.cell_bool o.Rvc.System.recovered;
+          (match o.Rvc.System.recovery_steps with
+           | Some s -> string_of_int s
+           | None -> "-");
+          string_of_int o.Rvc.System.resets;
+          string_of_int o.Rvc.System.ill_at_end;
+          Tabular.cell_bool o.Rvc.System.hb_sound ])
+    [ false; true ];
+  Tabular.print ~title:"Corrupt every clock at t=500" table;
+  print_endline "";
+  print_endline
+    "Without the wrapper a corrupted component spreads through merges";
+  print_endline
+    "and the system never returns to well-formed states.  The level-1";
+  print_endline
+    "wrapper restores internal consistency locally; the epoch carried";
+  print_endline
+    "on every stamp notifies the other processes, exactly the";
+  print_endline "\"exception\" mechanism of the paper's design method (2.2)."

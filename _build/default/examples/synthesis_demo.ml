@@ -1,0 +1,66 @@
+(* Automatic synthesis of graybox wrappers (the paper's closing
+   research direction, §6), demonstrated end to end:
+
+   1. a local specification (a two-state legitimate cycle) and a local
+      system with an idling fault state;
+   2. the synthesizer computes the minimal correction action from the
+      specification alone;
+   3. per-process wrappers compose: the product of two such systems is
+      stabilized by the product of the two synthesized local wrappers
+      (Theorem 4, machine-checked under weak fairness).
+
+   Run with:  dune exec examples/synthesis_demo.exe *)
+
+open Kernel
+
+let g0 = 0
+let g1 = 1
+let b = 2
+
+let local_spec =
+  Tsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
+    ~edges:[ (g0, g1); (g1, g0) ]
+    ~init:[ g0 ] ()
+
+let local_sys =
+  Actsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
+    ~actions:[ ("prog", [ (g0, g1); (g1, g0) ]); ("idle", [ (b, b) ]) ]
+    ~init:[ g0 ] ()
+
+let () =
+  print_endline "== Synthesizing a stabilization wrapper ==";
+  print_endline "";
+  Format.printf "Local specification (legitimate behaviour):@.%a@.@." Tsys.pp
+    local_spec;
+  Printf.printf "States needing correction: [%s]\n"
+    (String.concat ";"
+       (List.map (Tsys.name local_spec)
+          (Synthesis.needs_correction local_sys ~spec:local_spec)));
+  match Synthesis.synthesize local_sys ~spec:local_spec with
+  | None -> print_endline "synthesis failed (no legitimate target)"
+  | Some w ->
+    List.iter
+      (fun (u, v) ->
+        Printf.printf "Synthesized correction: %s -> %s\n"
+          (Tsys.name local_spec u) (Tsys.name local_spec v))
+      (Actsys.transitions w "correct");
+    Printf.printf "Minimal: %b\n"
+      (Synthesis.is_minimal local_sys ~spec:local_spec ~wrapper:w);
+    Printf.printf "Local system + wrapper fairly stabilizes: %b\n"
+      (Actsys.is_fairly_stabilizing_to (Actsys.box local_sys w) local_spec);
+    print_endline "";
+    print_endline "== Theorem 4: local wrappers compose ==";
+    let global_sys = Product.compose_act [ local_sys; local_sys ] in
+    let global_spec = Product.compose [ local_spec; local_spec ] in
+    let global_wrapper = Product.compose_act [ w; w ] in
+    Printf.printf "product alone stabilizes          : %b (expected false)\n"
+      (Actsys.is_fairly_stabilizing_to global_sys global_spec);
+    Printf.printf "product + composed local wrappers : %b (expected true)\n"
+      (Actsys.is_fairly_stabilizing_to
+         (Actsys.box global_sys global_wrapper)
+         global_spec);
+    print_endline "";
+    print_endline
+      "The wrappers were synthesized from the local specifications only -";
+    print_endline
+      "never from the composed system: graybox design, automated."

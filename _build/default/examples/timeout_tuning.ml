@@ -1,0 +1,50 @@
+(* W'(delta): the timeout refinement of the wrapper (paper §4,
+   "Implementation of W").
+
+   "The timeout mechanism is just an optimization ... it can be
+   employed to tune the wrapper to decrease the unnecessary
+   repetitions of the request messages when the system is in the
+   consistent states."
+
+   This example sweeps delta and prints the trade-off: wrapper traffic
+   falls roughly as 1/delta while recovery latency grows.
+
+   Run with:  dune exec examples/timeout_tuning.exe *)
+
+open Stdext
+
+let faults =
+  [ Tme.Scenarios.Drop_requests_window { from_t = 500; until_t = 560 } ]
+
+let () =
+  let protocol = Option.get (Tme.Scenarios.find_protocol "ra") in
+  let table =
+    Tabular.create
+      [ "delta"; "wrapper msgs (no faults)"; "wrapper msgs (faulty)";
+        "recovered"; "recovery steps" ]
+  in
+  List.iter
+    (fun delta ->
+      let wrapper = Tme.Scenarios.wrapped ~delta () in
+      let clean =
+        Tme.Scenarios.run protocol ~n:4 ~seed:5 ~steps:6000 ~wrapper
+      in
+      let faulty =
+        Tme.Scenarios.run protocol ~n:4 ~seed:5 ~steps:6000 ~wrapper ~faults
+      in
+      Tabular.add_row table
+        [ string_of_int delta;
+          string_of_int clean.wrapper_sends;
+          string_of_int faulty.wrapper_sends;
+          Tabular.cell_bool faulty.analysis.recovered;
+          (match faulty.recovery_latency with
+           | Some l -> string_of_int l
+           | None -> "-") ])
+    [ 0; 1; 2; 4; 8; 16; 32; 64 ];
+  Tabular.print ~title:"W'(delta): overhead vs recovery latency" table;
+  print_endline "";
+  print_endline
+    "delta = 0 is the paper's W (resend at every opportunity); all";
+  print_endline
+    "values of delta stabilize - W'(delta) everywhere implements W, so";
+  print_endline "Theorem 4 applies to every row of this table."

@@ -1,0 +1,1 @@
+lib/clocks/logical_clock.mli: Format Timestamp

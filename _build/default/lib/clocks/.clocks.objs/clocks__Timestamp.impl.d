@@ -1,0 +1,1 @@
+lib/clocks/timestamp.ml: Format Int Printf

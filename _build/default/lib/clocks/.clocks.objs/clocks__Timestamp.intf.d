@@ -1,0 +1,1 @@
+lib/clocks/timestamp.mli: Format

@@ -1,0 +1,21 @@
+type t = { clock : int; pid : int }
+
+let make ~clock ~pid = { clock; pid }
+
+let zero ~pid = { clock = 0; pid }
+
+let compare a b =
+  match Int.compare a.clock b.clock with
+  | 0 -> Int.compare a.pid b.pid
+  | c -> c
+
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let equal a b = compare a b = 0
+
+let max a b = if lt a b then b else a
+let min a b = if lt a b then a else b
+
+let pp ppf t = Format.fprintf ppf "%d.%d" t.clock t.pid
+
+let to_string t = Printf.sprintf "%d.%d" t.clock t.pid

@@ -1,0 +1,36 @@
+(** Lamport timestamps with the paper's total order [lt].
+
+    The Environment Spec (Timestamp Spec) requires timestamps drawn
+    from a totally ordered domain such that [e hb f ⇒ ts e < ts f].
+    Logical clocks realise this with pairs [(clock, pid)] ordered
+    lexicographically — the paper's
+    [lc.e lt lc.f ≡ lc.e < lc.f ∨ (lc.e = lc.f ∧ j < k)]. *)
+
+type t = { clock : int; pid : int }
+
+val make : clock:int -> pid:int -> t
+
+val zero : pid:int -> t
+(** [zero ~pid] is the timestamp [(0, pid)], the paper's initial
+    [REQ_j = 0]. *)
+
+val lt : t -> t -> bool
+(** [lt a b] is the paper's total order: clock first, process id as
+    tiebreaker. *)
+
+val leq : t -> t -> bool
+(** [leq a b ≡ lt a b ∨ a = b]. *)
+
+val compare : t -> t -> int
+(** [compare] is consistent with {!lt} and usable with [Map]/[Set]. *)
+
+val equal : t -> t -> bool
+
+val max : t -> t -> t
+(** [max a b] is the later of the two under {!lt}. *)
+
+val min : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

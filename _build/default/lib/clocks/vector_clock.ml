@@ -1,0 +1,56 @@
+type t = int array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Vector_clock.create: need n > 0";
+  Array.make n 0
+
+let dim = Array.length
+
+let check v i =
+  if i < 0 || i >= Array.length v then
+    invalid_arg "Vector_clock: component out of range"
+
+let get v i =
+  check v i;
+  v.(i)
+
+let tick v i =
+  check v i;
+  let v' = Array.copy v in
+  v'.(i) <- v'.(i) + 1;
+  v'
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.merge: dimension mismatch";
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let leq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let set v i x =
+  check v i;
+  let v' = Array.copy v in
+  v'.(i) <- x;
+  v'
+
+let to_list = Array.to_list
+
+let of_list = Array.of_list
+
+let pp ppf v =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (to_list v)

@@ -1,0 +1,47 @@
+(** Vector clocks: exact happened-before tracking.
+
+    Used by the test oracles — Lamport timestamps only need to
+    {e respect} happened-before ([e hb f ⇒ ts e < ts f]); vector
+    clocks {e characterise} it, so recording a vector clock alongside
+    every simulated event lets the Timestamp Spec monitor check the
+    implication precisely.  Also the substrate for the resettable
+    vector clock extension (paper refs [1, 4]). *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is the zero vector for [n] processes. *)
+
+val dim : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** [tick v i] increments component [i] (a local event at process
+    [i]). *)
+
+val merge : t -> t -> t
+(** [merge a b] is the componentwise maximum (the receive rule,
+    before ticking the receiver). *)
+
+val leq : t -> t -> bool
+(** [leq a b] is the componentwise order; [leq a b && a <> b]
+    witnesses [a hb b] when [a], [b] stamp distinct events. *)
+
+val lt : t -> t -> bool
+(** [lt a b ≡ leq a b ∧ a ≠ b]: the happened-before order on
+    vector-clock stamps. *)
+
+val concurrent : t -> t -> bool
+(** [concurrent a b] holds when neither [leq a b] nor [leq b a]. *)
+
+val equal : t -> t -> bool
+
+val set : t -> int -> int -> t
+(** [set v i x] replaces component [i] — fault injection only. *)
+
+val to_list : t -> int list
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

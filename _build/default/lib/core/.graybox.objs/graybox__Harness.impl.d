@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Clocks List Msg Protocol Rng Sim Stdext Timestamp Vector_clock View Wrapper

@@ -1,0 +1,1 @@
+lib/core/harness.mli: Clocks Msg Protocol Sim Stdext View Wrapper

@@ -1,0 +1,1 @@
+lib/core/lspec.ml: Array Clocks List Msg Printf Report Sim Temporal Timestamp Unityspec View

@@ -1,0 +1,1 @@
+lib/core/lspec.mli: Msg Sim Unityspec View

@@ -1,0 +1,1 @@
+lib/core/msg.ml: Clocks Format Int Rng Stdext Timestamp

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Format Msg Sim Stdext View

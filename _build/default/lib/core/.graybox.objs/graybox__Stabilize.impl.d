@@ -1,0 +1,1 @@
+lib/core/stabilize.ml: Array Clocks Format List Msg Sim View

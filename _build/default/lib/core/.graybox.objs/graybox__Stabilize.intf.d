@@ -1,0 +1,1 @@
+lib/core/stabilize.mli: Format Msg Sim View

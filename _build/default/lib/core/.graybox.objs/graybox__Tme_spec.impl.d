@@ -1,0 +1,1 @@
+lib/core/tme_spec.ml: Array Clocks Harness List Msg Printf Report Sim Temporal Unityspec Vector_clock View

@@ -1,0 +1,1 @@
+lib/core/tme_spec.mli: Harness Msg Sim Unityspec View

@@ -1,0 +1,1 @@
+lib/core/view.ml: Clocks Format List Sim Timestamp

@@ -1,0 +1,1 @@
+lib/core/wrapper.ml: List Msg Sim View

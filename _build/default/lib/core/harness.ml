@@ -1,0 +1,257 @@
+(** Composition of implementation □ wrapper □ client into a runnable
+    node, plus the oracle layer the test monitors need.
+
+    The box operator of the paper composes systems by unioning their
+    actions; here that union is literal: a node's enabled actions are
+    the protocol's client-driven actions, the client's think/eat
+    ticks, and — when enabled — the wrapper's correction action, and
+    the scheduler interleaves them.  The wrapper action reads only
+    [P.view], never [P.state]: grep this file and {!Wrapper} for the
+    graybox boundary.
+
+    The oracle layer (vector clocks piggybacked on message envelopes
+    and entry/request bookkeeping) exists solely for the monitors —
+    it is invisible to protocol and wrapper and is never corrupted by
+    fault injection, because it represents ground-truth causality
+    rather than system state. *)
+
+open Stdext
+open Clocks
+
+type wrapper_mode =
+  | Off
+  | On of { variant : Wrapper.variant; delta : int }
+      (** [delta = 0] is the paper's [W]; [delta > 0] is [W'(δ)]. *)
+
+type params = {
+  n : int;
+  wrapper : wrapper_mode;
+  think_min : int;
+  think_max : int;  (** thinking lasts a uniform number of client ticks *)
+  eat_min : int;
+  eat_max : int;  (** CS occupancy in client ticks (CS Spec: finite) *)
+  passive : Sim.Pid.t list;
+      (** processes whose client never requests the critical section;
+          they still participate in the protocol (receive, reply).
+          TME permits this — and it is the situation in which
+          Lamport's program needs the release echo (see
+          {!Tme.Lamport_core}) *)
+}
+
+let params ?(wrapper = Off) ?(think_min = 2) ?(think_max = 8) ?(eat_min = 1)
+    ?(eat_max = 3) ?(passive = []) ~n () =
+  if n <= 1 then invalid_arg "Harness.params: need at least two processes";
+  if think_min < 0 || think_max < think_min || eat_min < 0 || eat_max < eat_min
+  then invalid_arg "Harness.params: bad client ranges";
+  if List.exists (fun p -> p < 0 || p >= n) passive then
+    invalid_arg "Harness.params: passive pid out of range";
+  { n; wrapper; think_min; think_max; eat_min; eat_max; passive }
+
+(** One CS entry, as recorded by the oracle for the FCFS monitor. *)
+type entry_record = {
+  entry_time : int;  (** engine time (filled in by trace analysis) *)
+  entry_pid : Sim.Pid.t;
+  entry_req : Timestamp.t;  (** the request this entry served *)
+  entry_req_vc : Vector_clock.t;  (** causal stamp of that request *)
+}
+
+module Make (P : Protocol.S) = struct
+  type envelope = { payload : Msg.t; ovc : Vector_clock.t }
+
+  type node = {
+    params : params;
+    self : Sim.Pid.t;
+    proto : P.state;
+    timer : int;  (** wrapper timeout counter, domain [0 .. δ] *)
+    think_left : int;
+    eat_left : int;
+    client_rng : Rng.t;
+    ovc : Vector_clock.t;  (** oracle vector clock *)
+    req_vc : Vector_clock.t;  (** oracle stamp of the current request *)
+    entries : int;  (** oracle CS-entry counter *)
+  }
+
+  let view node = P.view node.proto
+
+  let draw_think p rng = Rng.int_in rng p.think_min p.think_max
+  let draw_eat p rng = Rng.int_in rng p.eat_min p.eat_max
+
+  let init params ~client_seed self =
+    let client_rng = Rng.create (client_seed + (7919 * (self + 1))) in
+    { params;
+      self;
+      proto = P.init ~n:params.n self;
+      timer = 0;
+      think_left = draw_think params client_rng;
+      eat_left = 0;
+      client_rng;
+      ovc = Vector_clock.create ~n:params.n;
+      req_vc = Vector_clock.create ~n:params.n;
+      entries = 0 }
+
+  let tick_ovc node = { node with ovc = Vector_clock.tick node.ovc node.self }
+
+  let wrap_sends node sends =
+    List.map (fun (dst, m) -> (dst, { payload = m; ovc = node.ovc })) sends
+
+  module Node = struct
+    type state = node
+    type msg = envelope
+
+    let receive ~self:_ ~from { payload; ovc } node =
+      let node = { node with ovc = Vector_clock.merge node.ovc ovc } in
+      let node = tick_ovc node in
+      let proto, sends = P.on_message ~from payload node.proto in
+      let node = { node with proto } in
+      (node, wrap_sends node sends)
+
+    let client_actions node =
+      match (view node).View.mode with
+      | View.Thinking when List.mem node.self node.params.passive -> []
+      | View.Thinking when node.think_left > 0 ->
+        [ ("think",
+           fun node ->
+             ({ node with think_left = node.think_left - 1 }, [])) ]
+      | View.Thinking ->
+        [ ("request-cs",
+           fun node ->
+             let node = tick_ovc node in
+             let proto, sends = P.request_cs node.proto in
+             let node = { node with proto; req_vc = node.ovc } in
+             (node, wrap_sends node sends)) ]
+      | View.Hungry ->
+        (match P.try_enter node.proto with
+         | None -> []
+         | Some _ ->
+           [ ("enter-cs",
+              fun node ->
+                match P.try_enter node.proto with
+                | None -> (node, [])  (* guard raced with nothing: keep state *)
+                | Some (proto, sends) ->
+                  let node = tick_ovc node in
+                  let node =
+                    { node with
+                      proto;
+                      entries = node.entries + 1;
+                      eat_left = draw_eat node.params node.client_rng }
+                  in
+                  (node, wrap_sends node sends)) ])
+      | View.Eating when node.eat_left > 0 ->
+        [ ("eat", fun node -> ({ node with eat_left = node.eat_left - 1 }, [])) ]
+      | View.Eating ->
+        [ ("release-cs",
+           fun node ->
+             let node = tick_ovc node in
+             let proto, sends = P.release_cs node.proto in
+             let node =
+               { node with
+                 proto;
+                 think_left = draw_think node.params node.client_rng }
+             in
+             (node, wrap_sends node sends)) ]
+
+    let wrapper_actions node =
+      match node.params.wrapper with
+      | Off -> []
+      | On { variant; delta } ->
+        let v = view node in
+        if not (View.hungry v) then []
+        else if node.timer > 0 then
+          [ ("wrapper-tick",
+             fun node -> ({ node with timer = node.timer - 1 }, [])) ]
+        else
+          let sends = Wrapper.fire variant v ~n:node.params.n in
+          if sends = [] && delta = 0 then []
+          else
+            [ (Wrapper.action_label,
+               fun node ->
+                 let v = view node in
+                 let sends = Wrapper.fire variant v ~n:node.params.n in
+                 let node = { node with timer = delta } in
+                 (node, wrap_sends node sends)) ]
+
+    let actions ~self:_ node = client_actions node @ wrapper_actions node
+  end
+
+  module Run = Sim.Engine.Make (Node)
+
+  let make_engine ?(record = true) ?deliver_weight params ~seed =
+    let cfg = Run.config ?deliver_weight ~record ~n:params.n ~seed () in
+    Run.create cfg ~init:(init params ~client_seed:(seed * 31 + 17))
+
+  let view_trace engine =
+    Run.trace engine
+    |> Sim.Trace.map_states view
+    |> Sim.Trace.map_msgs (fun e -> e.payload)
+
+  let views engine = Array.map view (Run.states engine)
+
+  (** Entry records in trace order, for the FCFS (ME3) oracle. *)
+  let entry_log engine =
+    let snaps = Run.trace engine in
+    let rec go acc = function
+      | prev :: (next :: _ as rest) ->
+        let acc =
+          match next.Sim.Trace.event with
+          | Sim.Trace.Internal { pid; label = "enter-cs" } ->
+            let before = prev.Sim.Trace.states.(pid) in
+            { entry_time = next.Sim.Trace.time;
+              entry_pid = pid;
+              entry_req = (view before).View.req;
+              entry_req_vc = before.req_vc }
+            :: acc
+          | _ -> acc
+        in
+        go acc rest
+      | [] | [ _ ] -> List.rev acc
+    in
+    go [] snaps
+
+  let total_entries engine =
+    Array.fold_left (fun acc node -> acc + node.entries) 0 (Run.states engine)
+
+  (** {2 Protocol-aware fault constructors} *)
+
+  let corrupt_node rng node =
+    let proto = P.corrupt rng node.proto in
+    let timer =
+      match node.params.wrapper with
+      | Off -> node.timer
+      | On { delta; _ } -> Rng.int rng (delta + 1)
+    in
+    { node with proto; timer }
+
+  let fault_corrupt_process proc : (node, envelope) Sim.Faults.kind =
+    Mutate_state { proc; f = corrupt_node }
+
+  let fault_reset_process params proc : (node, envelope) Sim.Faults.kind =
+    Reset_state
+      { proc;
+        f =
+          (fun p ->
+            let node = init params ~client_seed:(p + 101) p in
+            { node with proto = P.reset ~n:params.n p }) }
+
+  let fault_drop_requests chan ~count : (node, envelope) Sim.Faults.kind =
+    Drop { chan; count; only = Some (fun e -> Msg.is_request e.payload) }
+
+  let fault_drop_any chan ~count : (node, envelope) Sim.Faults.kind =
+    Drop { chan; count; only = None }
+
+  let fault_corrupt_messages params chan ~count :
+      (node, envelope) Sim.Faults.kind =
+    Corrupt_messages
+      { chan;
+        count;
+        f =
+          (fun rng e ->
+            { e with payload = Msg.corrupt ~n:params.n rng e.payload }) }
+
+  let fault_duplicate chan ~count : (node, envelope) Sim.Faults.kind =
+    Duplicate { chan; count }
+
+  let fault_reorder chan ~count : (node, envelope) Sim.Faults.kind =
+    Reorder { chan; count }
+
+  let fault_flush chan : (node, envelope) Sim.Faults.kind = Flush chan
+end

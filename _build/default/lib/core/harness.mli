@@ -1,0 +1,130 @@
+(** Composition of implementation □ wrapper □ client into a runnable
+    node, plus the oracle layer the test monitors need.
+
+    The box operator of the paper composes systems by unioning their
+    actions; here that union is literal: a node's enabled actions are
+    the protocol's client-driven actions, the client's think/eat
+    ticks, and — when enabled — the wrapper's correction action, and
+    the scheduler interleaves them.  The wrapper action reads only
+    [P.view], never [P.state]: this module and {!Wrapper} are the
+    graybox boundary.
+
+    The oracle layer (vector clocks piggybacked on message envelopes,
+    request stamps, entry counters) exists solely for the monitors —
+    it is invisible to protocol and wrapper and is never corrupted by
+    fault injection, because it represents ground-truth causality
+    rather than system state. *)
+
+type wrapper_mode =
+  | Off
+  | On of { variant : Wrapper.variant; delta : int }
+      (** [delta = 0] is the paper's [W]; [delta > 0] is [W'(δ)]. *)
+
+type params = {
+  n : int;
+  wrapper : wrapper_mode;
+  think_min : int;
+  think_max : int;  (** thinking lasts a uniform number of client ticks *)
+  eat_min : int;
+  eat_max : int;  (** CS occupancy in client ticks (CS Spec: finite) *)
+  passive : Sim.Pid.t list;
+      (** processes whose client never requests the critical section;
+          they still participate in the protocol (receive, reply).
+          TME permits this — and it is the situation in which
+          Lamport's program needs the release echo (see
+          [Tme.Lamport_core]) *)
+}
+
+val params :
+  ?wrapper:wrapper_mode -> ?think_min:int -> ?think_max:int -> ?eat_min:int ->
+  ?eat_max:int -> ?passive:Sim.Pid.t list -> n:int -> unit -> params
+(** [params ~n ()] with defaults: no wrapper, think 2–8 ticks, eat 1–3
+    ticks, no passive processes.
+    @raise Invalid_argument on nonsensical ranges, [n < 2], or passive
+    pids out of range. *)
+
+(** One CS entry, as recorded by the oracle for the FCFS monitor. *)
+type entry_record = {
+  entry_time : int;  (** engine time of the entry step *)
+  entry_pid : Sim.Pid.t;
+  entry_req : Clocks.Timestamp.t;  (** the request this entry served *)
+  entry_req_vc : Clocks.Vector_clock.t;  (** causal stamp of that request *)
+}
+
+module Make (P : Protocol.S) : sig
+  (** Message envelope: the protocol payload plus the oracle's vector
+      clock (never read by protocol or wrapper). *)
+  type envelope = { payload : Msg.t; ovc : Clocks.Vector_clock.t }
+
+  (** A full node: protocol state composed with wrapper timer, client
+      counters, and the oracle. *)
+  type node = {
+    params : params;
+    self : Sim.Pid.t;
+    proto : P.state;
+    timer : int;  (** wrapper timeout counter, domain [0 .. δ] *)
+    think_left : int;
+    eat_left : int;
+    client_rng : Stdext.Rng.t;
+    ovc : Clocks.Vector_clock.t;  (** oracle vector clock *)
+    req_vc : Clocks.Vector_clock.t;  (** oracle stamp of current request *)
+    entries : int;  (** oracle CS-entry counter *)
+  }
+
+  val view : node -> View.t
+  (** The graybox projection of a composed node (= [P.view] of its
+      protocol state). *)
+
+  val init : params -> client_seed:int -> Sim.Pid.t -> node
+
+  module Node : Sim.Engine.NODE with type state = node and type msg = envelope
+
+  module Run : module type of Sim.Engine.Make (Node)
+
+  val make_engine : ?record:bool -> ?deliver_weight:int -> params ->
+    seed:int -> Run.t
+
+  val view_trace : Run.t -> (View.t, Msg.t) Sim.Trace.t
+  (** The recorded trace projected to spec level: views and bare
+      messages. *)
+
+  val views : Run.t -> View.t array
+  (** Current views of all processes. *)
+
+  val entry_log : Run.t -> entry_record list
+  (** Oracle CS-entry records in trace order (for {!Tme_spec.me3}). *)
+
+  val total_entries : Run.t -> int
+
+  (** {2 Protocol-aware fault constructors}
+
+      These lower the generic fault kinds onto this protocol's
+      representation (its [corrupt]/[reset] hooks, request-payload
+      recognition), plus wrapper-timer corruption where relevant. *)
+
+  val corrupt_node : Stdext.Rng.t -> node -> node
+
+  val fault_corrupt_process :
+    Sim.Faults.proc_selector -> (node, envelope) Sim.Faults.kind
+
+  val fault_reset_process :
+    params -> Sim.Faults.proc_selector -> (node, envelope) Sim.Faults.kind
+
+  val fault_drop_requests :
+    Sim.Faults.chan_selector -> count:int -> (node, envelope) Sim.Faults.kind
+
+  val fault_drop_any :
+    Sim.Faults.chan_selector -> count:int -> (node, envelope) Sim.Faults.kind
+
+  val fault_corrupt_messages :
+    params -> Sim.Faults.chan_selector -> count:int ->
+    (node, envelope) Sim.Faults.kind
+
+  val fault_duplicate :
+    Sim.Faults.chan_selector -> count:int -> (node, envelope) Sim.Faults.kind
+
+  val fault_reorder :
+    Sim.Faults.chan_selector -> count:int -> (node, envelope) Sim.Faults.kind
+
+  val fault_flush : Sim.Faults.chan_selector -> (node, envelope) Sim.Faults.kind
+end

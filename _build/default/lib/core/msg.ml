@@ -1,0 +1,42 @@
+open Clocks
+
+type t =
+  | Request of Timestamp.t
+  | Reply of Timestamp.t
+  | Release of Timestamp.t
+
+let timestamp = function Request ts | Reply ts | Release ts -> ts
+
+let is_request = function Request _ -> true | Reply _ | Release _ -> false
+let is_reply = function Reply _ -> true | Request _ | Release _ -> false
+let is_release = function Release _ -> true | Request _ | Reply _ -> false
+
+let kind_rank = function Request _ -> 0 | Reply _ -> 1 | Release _ -> 2
+
+let compare a b =
+  match Int.compare (kind_rank a) (kind_rank b) with
+  | 0 -> Timestamp.compare (timestamp a) (timestamp b)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let corrupt ~n rng m =
+  let open Stdext in
+  let ts = timestamp m in
+  let clock =
+    if Rng.bool rng then Rng.int rng (max 1 ((2 * ts.Timestamp.clock) + 10))
+    else ts.Timestamp.clock
+  in
+  let pid = if Rng.bool rng then Rng.int rng n else ts.Timestamp.pid in
+  let ts = Timestamp.make ~clock ~pid in
+  match Rng.int rng 3 with
+  | 0 -> Request ts
+  | 1 -> Reply ts
+  | _ -> Release ts
+
+let pp ppf = function
+  | Request ts -> Format.fprintf ppf "req(%a)" Timestamp.pp ts
+  | Reply ts -> Format.fprintf ppf "rep(%a)" Timestamp.pp ts
+  | Release ts -> Format.fprintf ppf "rel(%a)" Timestamp.pp ts
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,32 @@
+(** The TME wire vocabulary.
+
+    The message kinds are part of the {e specification}, not of any
+    implementation: Request Spec and Reply Spec speak of request and
+    reply messages carrying request timestamps, and Lamport's program
+    additionally uses release messages (which the paper classifies
+    under Reply Spec's "send").  Defining the type here is what lets
+    the wrapper {!Wrapper} be written against the specification alone
+    and reused across implementations. *)
+
+type t =
+  | Request of Clocks.Timestamp.t  (** [send(REQ_j, j, k)] of Request Spec *)
+  | Reply of Clocks.Timestamp.t    (** the reply of Reply Spec *)
+  | Release of Clocks.Timestamp.t  (** Lamport's release; Reply Spec's "send" *)
+
+val timestamp : t -> Clocks.Timestamp.t
+
+val is_request : t -> bool
+val is_reply : t -> bool
+val is_release : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val corrupt : n:int -> Stdext.Rng.t -> t -> t
+(** [corrupt ~n rng m] models transient message corruption: the kind
+    and/or timestamp is replaced with arbitrary values (timestamp pids
+    drawn from [0 .. n-1]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,260 @@
+type vtrace = (View.t, Msg.t) Sim.Trace.t
+
+type analysis = {
+  trace_len : int;
+  last_fault_index : int option;
+  converged_index : int option;
+  recovery_steps : int option;
+  me1_violations : int;
+  starving : Sim.Pid.t list;
+  recovered : bool;
+}
+
+(* For process [j], mark every index [i] at which j's pending interval
+   (hungry awaiting service, or eating awaiting release) is known to
+   resolve correctly: hungry intervals must end in Eating, eating
+   intervals in Thinking.  Intervals cut off by the end of the trace
+   are acceptable only within [tail_margin]. *)
+let resolution_ok modes ~len ~tail_margin j =
+  let ok = Array.make len true in
+  let interval_start = ref None in
+  let mark a b value =
+    for i = a to b do
+      if not value then ok.(i) <- false
+    done
+  in
+  let close_interval endpoint current_end =
+    match !interval_start with
+    | None -> ()
+    | Some (start, kind) ->
+      let resolved =
+        match endpoint with
+        | Some next_mode ->
+          (match kind with
+           | View.Hungry -> next_mode = View.Eating
+           | View.Eating -> next_mode = View.Thinking
+           | View.Thinking -> true)
+        | None ->
+          (* trace ended mid-interval *)
+          current_end - start < tail_margin
+      in
+      mark start current_end resolved;
+      interval_start := None
+  in
+  for i = 0 to len - 1 do
+    let m = modes i j in
+    (match !interval_start with
+     | Some (_, kind) when kind = m -> ()
+     | Some _ ->
+       close_interval (Some m) (i - 1);
+       if m = View.Hungry || m = View.Eating then interval_start := Some (i, m)
+     | None ->
+       if m = View.Hungry || m = View.Eating then interval_start := Some (i, m))
+  done;
+  close_interval None (len - 1);
+  ok
+
+let analyse ?(tail_margin = 300) (tr : vtrace) =
+  let snaps = Array.of_list tr in
+  let len = Array.length snaps in
+  if len = 0 then
+    { trace_len = 0;
+      last_fault_index = None;
+      converged_index = None;
+      recovery_steps = None;
+      me1_violations = 0;
+      starving = [];
+      recovered = false }
+  else begin
+    let n = Array.length snaps.(0).Sim.Trace.states in
+    let modes i j = snaps.(i).Sim.Trace.states.(j).View.mode in
+    let me1_ok i =
+      let eaters = ref 0 in
+      Array.iter
+        (fun v -> if View.eating v then incr eaters)
+        snaps.(i).Sim.Trace.states;
+      !eaters <= 1
+    in
+    let last_fault_index =
+      let found = ref None in
+      Array.iteri
+        (fun i snap ->
+          match snap.Sim.Trace.event with
+          | Sim.Trace.Fault _ -> found := Some i
+          | _ -> ())
+        snaps;
+      !found
+    in
+    let per_proc =
+      Array.init n (fun j -> resolution_ok modes ~len ~tail_margin j)
+    in
+    (* good.(i): the criteria hold at snapshot i *)
+    let good i =
+      me1_ok i
+      &&
+      let rec all j = j >= n || (per_proc.(j).(i) && all (j + 1)) in
+      all 0
+    in
+    (* converged_index: earliest i with good holding on [i, len). *)
+    let converged_index =
+      let idx = ref None in
+      (try
+         for i = len - 1 downto 0 do
+           if good i then idx := Some i else raise Exit
+         done
+       with Exit -> ());
+      !idx
+    in
+    let base = match last_fault_index with Some f -> f | None -> 0 in
+    let converged_index =
+      match converged_index with
+      | Some i -> Some (max i base)
+      | None -> None
+    in
+    let recovery_steps =
+      match converged_index with
+      | None -> None
+      | Some i ->
+        Some (snaps.(i).Sim.Trace.time - snaps.(base).Sim.Trace.time)
+    in
+    let me1_violations =
+      let count = ref 0 in
+      for i = base to len - 1 do
+        if not (me1_ok i) then incr count
+      done;
+      !count
+    in
+    let starving =
+      List.filter
+        (fun j ->
+          let rec hungry_run i acc =
+            if i < 0 || modes i j <> View.Hungry then acc
+            else hungry_run (i - 1) (acc + 1)
+          in
+          hungry_run (len - 1) 0 >= tail_margin)
+        (Sim.Pid.range n)
+    in
+    { trace_len = len;
+      last_fault_index;
+      converged_index;
+      recovery_steps;
+      me1_violations;
+      starving;
+      recovered = converged_index <> None }
+  end
+
+let service_round_latency (tr : vtrace) ~after =
+  let snaps = Array.of_list tr in
+  let len = Array.length snaps in
+  if len = 0 || after >= len then None
+  else begin
+    let n = Array.length snaps.(0).Sim.Trace.states in
+    let served = Array.make n false in
+    let remaining = ref n in
+    let answer = ref None in
+    (try
+       for i = max 1 (after + 1) to len - 1 do
+         for j = 0 to n - 1 do
+           if
+             (not served.(j))
+             && (not (View.eating snaps.(i - 1).Sim.Trace.states.(j)))
+             && View.eating snaps.(i).Sim.Trace.states.(j)
+           then begin
+             served.(j) <- true;
+             decr remaining;
+             if !remaining = 0 then begin
+               answer :=
+                 Some
+                   (snaps.(i).Sim.Trace.time - snaps.(after).Sim.Trace.time);
+               raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    !answer
+  end
+
+let service_times ?(after = 0) (tr : vtrace) =
+  let snaps = Array.of_list tr in
+  let len = Array.length snaps in
+  if len = 0 then []
+  else begin
+    let n = Array.length snaps.(0).Sim.Trace.states in
+    let samples = ref [] in
+    for j = 0 to n - 1 do
+      let start = ref None in
+      for i = 0 to len - 1 do
+        let mode = snaps.(i).Sim.Trace.states.(j).View.mode in
+        match !start, mode with
+        | None, View.Hungry -> if i >= after then start := Some i
+        | Some s, View.Eating ->
+          samples :=
+            (snaps.(i).Sim.Trace.time - snaps.(s).Sim.Trace.time) :: !samples;
+          start := None
+        | Some _, View.Thinking ->
+          (* interval aborted (fault reset the mode): not a service *)
+          start := None
+        | Some _, View.Hungry | None, (View.Thinking | View.Eating) -> ()
+      done
+    done;
+    List.rev !samples
+  end
+
+let time_to_quiescent_consistency (tr : vtrace) ~after =
+  let snaps = Array.of_list tr in
+  let len = Array.length snaps in
+  if len = 0 || after >= len then None
+  else begin
+    let n = Array.length snaps.(0).Sim.Trace.states in
+    let consistent (snap : (View.t, Msg.t) Sim.Trace.snapshot) =
+      let eaters = ref 0 in
+      Array.iter (fun v -> if View.eating v then incr eaters) snap.states;
+      !eaters <= 1
+      && List.for_all
+           (fun j ->
+             let vj = snap.states.(j) in
+             (not (View.hungry vj))
+             || List.for_all
+                  (fun k ->
+                    not
+                      (Clocks.Timestamp.lt
+                         (View.local_req snap.states.(k) j)
+                         vj.View.req))
+                  (Sim.Pid.others ~self:j ~n))
+           (Sim.Pid.range n)
+    in
+    let answer = ref None in
+    (try
+       for i = after to len - 1 do
+         if consistent snaps.(i) then begin
+           answer := Some (snaps.(i).Sim.Trace.time - snaps.(after).Sim.Trace.time);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !answer
+  end
+
+let pp ppf a =
+  Format.fprintf ppf
+    "@[<v>trace length      : %d@,last fault        : %a@,\
+     converged at      : %a@,recovery steps    : %a@,\
+     ME1 violations    : %d@,starving          : %a@,recovered         : %b@]"
+    a.trace_len
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "none")
+       Format.pp_print_int)
+    a.last_fault_index
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "never")
+       Format.pp_print_int)
+    a.converged_index
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "-")
+       Format.pp_print_int)
+    a.recovery_steps a.me1_violations
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    a.starving a.recovered

@@ -1,0 +1,58 @@
+(** Convergence analysis: did the system stabilize, and how fast?
+
+    "C is stabilizing to A iff every computation of C has a suffix
+    that is a suffix of some computation of A that starts at an
+    initial state of A."  Over a recorded trace we judge the suffix
+    behaviourally: from the convergence point onward, mutual exclusion
+    is never violated, every hungry process is served, and every eater
+    releases.  Obligations still open within [tail_margin] snapshots
+    of the trace end are treated as in-progress rather than failed,
+    since a finite trace always truncates some computation. *)
+
+type vtrace = (View.t, Msg.t) Sim.Trace.t
+
+type analysis = {
+  trace_len : int;
+  last_fault_index : int option;
+      (** index of the last injected fault, if any *)
+  converged_index : int option;
+      (** earliest index from which the legitimate-suffix criteria
+          hold to the end of the trace *)
+  recovery_steps : int option;
+      (** simulated steps from the last fault (or trace start) to the
+          convergence point; [Some 0] when never perturbed/immediate *)
+  me1_violations : int;
+      (** snapshots violating mutual exclusion after the last fault *)
+  starving : Sim.Pid.t list;
+      (** processes whose final hungry interval exceeds [tail_margin]
+          without being served — deadlock/starvation witnesses *)
+  recovered : bool;
+      (** [converged_index] exists — the headline verdict *)
+}
+
+val analyse : ?tail_margin:int -> vtrace -> analysis
+(** [analyse ?tail_margin tr] computes the analysis.  [tail_margin]
+    defaults to 300 snapshots. *)
+
+val pp : Format.formatter -> analysis -> unit
+
+val service_round_latency : vtrace -> after:int -> int option
+(** [service_round_latency tr ~after] is the number of simulated steps
+    from snapshot index [after] until every process has completed at
+    least one critical-section entry strictly after [after] — a
+    recovery-latency measure that requires every process to be live
+    again, so it scales with contention and ring size.  [None] if some
+    process never re-enters within the trace. *)
+
+val service_times : ?after:int -> vtrace -> int list
+(** [service_times ?after tr] lists the duration (in simulated steps)
+    of every completed hungry-to-eating interval that starts at or
+    after snapshot index [after] (default 0) — the per-request service
+    latencies, for percentile reporting. *)
+
+val time_to_quiescent_consistency : vtrace -> after:int -> int option
+(** [time_to_quiescent_consistency tr ~after] is the number of steps
+    from [after] to the first subsequent snapshot at which no process
+    is eating together with another (ME1 holds) and every hungry
+    process's request is known to all peers — a cheap spot check of
+    restored mutual consistency.  [None] if never reached. *)

@@ -1,0 +1,54 @@
+open Unityspec
+open Clocks
+
+type vtrace = (View.t, Msg.t) Sim.Trace.t
+
+let eaters (snap : (View.t, Msg.t) Sim.Trace.snapshot) =
+  Array.fold_left
+    (fun acc v -> if View.eating v then acc + 1 else acc)
+    0 snap.states
+
+let me1 tr =
+  Temporal.invariant ~name:"ME1" (fun snap -> eaters snap <= 1) tr
+
+let me1_violations tr =
+  List.fold_left (fun acc snap -> if eaters snap > 1 then acc + 1 else acc) 0 tr
+
+let me2 ~n tr =
+  Temporal.forall
+    (fun j ->
+      Temporal.leads_to ~name:(Printf.sprintf "ME2.%d" j)
+        ~p:(fun snap -> View.hungry snap.Sim.Trace.states.(j))
+        ~q:(fun snap -> View.eating snap.Sim.Trace.states.(j))
+        tr)
+    n
+
+let me3 entries =
+  (* Entries are in trace order; an entry whose request causally
+     preceded an *earlier* entry's request violates FCFS. *)
+  let rec scan idx earlier = function
+    | [] -> Temporal.Holds
+    | (e : Harness.entry_record) :: rest ->
+      let bad =
+        List.exists
+          (fun (prev : Harness.entry_record) ->
+            Vector_clock.lt e.entry_req_vc prev.entry_req_vc)
+          earlier
+      in
+      if bad then
+        Temporal.Violated
+          { at = idx;
+            reason =
+              Printf.sprintf
+                "entry %d by process %d served a request that \
+                 happened-before an already-served one"
+                idx e.entry_pid }
+      else scan (idx + 1) (e :: earlier) rest
+  in
+  scan 0 [] entries
+
+let check_all ~n ~entries tr =
+  Report.of_list
+    [ ("ME1 (mutual exclusion)", me1 tr);
+      ("ME2 (starvation freedom)", me2 ~n tr);
+      ("ME3 (FCFS)", me3 entries) ]

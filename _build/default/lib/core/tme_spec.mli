@@ -1,0 +1,29 @@
+(** Executable monitors for TME_Spec (paper §3.1):
+    ME1 mutual exclusion, ME2 starvation freedom, ME3 first-come
+    first-serve.
+
+    Theorem 5 states that every implementation of Lspec implements
+    TME_Spec from initial states; these monitors are the empirical
+    check — they must hold on every fault-free trace of a conforming
+    implementation, and (by Theorem 8) on a suffix of every faulty
+    trace of a wrapped one. *)
+
+type vtrace = (View.t, Msg.t) Sim.Trace.t
+
+val me1 : vtrace -> Unityspec.Temporal.verdict
+(** [(∀j,k :: e.j ∧ e.k ⇒ j = k)]: at most one process eats. *)
+
+val me1_violations : vtrace -> int
+(** Number of snapshots with two or more eaters (for recovery
+    accounting rather than a verdict). *)
+
+val me2 : n:int -> vtrace -> Unityspec.Temporal.verdict
+(** [(∀j :: h.j ↝ e.j)]: every hungry process eventually eats. *)
+
+val me3 : Harness.entry_record list -> Unityspec.Temporal.verdict
+(** FCFS over the oracle entry log: if [a]'s request happened-before
+    [b]'s request (exact, via oracle vector clocks), then [a]'s entry
+    precedes [b]'s in the trace.  The log must be in trace order. *)
+
+val check_all :
+  n:int -> entries:Harness.entry_record list -> vtrace -> Unityspec.Report.t

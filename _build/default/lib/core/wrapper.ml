@@ -1,0 +1,14 @@
+type variant = Refined | Unrefined
+
+let targets variant (v : View.t) ~n =
+  if not (View.hungry v) then []
+  else
+    let peers = Sim.Pid.others ~self:v.self ~n in
+    match variant with
+    | Unrefined -> peers
+    | Refined -> List.filter (View.earlier v ~than:v.req) peers
+
+let fire variant v ~n =
+  List.map (fun k -> (k, Msg.Request v.View.req)) (targets variant v ~n)
+
+let action_label = "wrapper"

@@ -1,0 +1,40 @@
+(** The graybox stabilization wrapper for TME (paper §4).
+
+    The level-2 wrapper reestablishes mutual consistency between
+    processes.  Its entire interface to the wrapped system is the
+    specification-level {!View.t}:
+
+    {v W_j  ::  h.j → (∀k : k ≠ j ∧ j.REQ_k lt REQ_j : send(REQ_j, j, k)) v}
+
+    and its timeout refinement (an everywhere implementation of [W_j],
+    hence by Theorem 4 itself a valid wrapper):
+
+    {v W'_j ::  timer.j = 0 ∧ h.j →
+          (∀k : k ≠ j ∧ j.REQ_k lt REQ_j : send(REQ_j, j, k));
+          timer.j := δ v}
+
+    No level-1 wrapper is needed: Lspec already captures per-process
+    internal consistency, so any everywhere implementation is
+    internally consistent in every state (paper §4). *)
+
+type variant =
+  | Refined
+      (** send only to processes [k] with [j.REQ_k lt REQ_j] — the
+          paper's final [W_j] *)
+  | Unrefined
+      (** send to every [k ≠ j] — the paper's first, coarser [W_j];
+          kept for the overhead ablation *)
+
+val targets : variant -> View.t -> n:int -> Sim.Pid.t list
+(** [targets variant v ~n] lists the processes the wrapper would
+    correct, given only the view: all peers for [Unrefined], the
+    [j.REQ_k lt REQ_j] peers for [Refined].  Empty unless [hungry v]. *)
+
+val fire : variant -> View.t -> n:int -> (Sim.Pid.t * Msg.t) list
+(** [fire variant v ~n] is the wrapper's send list:
+    [Request REQ_j] to every target.  This function {e is} the wrapper
+    — note its type mentions no implementation state. *)
+
+val action_label : string
+(** The engine action label under which wrapper sends are attributed
+    in {!Sim.Metrics} (["wrapper"]). *)

@@ -1,0 +1,1 @@
+lib/gcl/ra_gcl.ml: Clocks Graybox List Sim Store Timestamp

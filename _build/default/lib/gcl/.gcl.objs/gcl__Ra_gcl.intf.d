@@ -1,0 +1,1 @@
+lib/gcl/ra_gcl.mli: Graybox Store

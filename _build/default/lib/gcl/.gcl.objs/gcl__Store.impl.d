@@ -1,0 +1,1 @@
+lib/gcl/store.ml: Clocks Format Graybox List Map Printf Rng Sim Stdext String Timestamp

@@ -1,0 +1,1 @@
+lib/gcl/store.mli: Clocks Format Graybox Sim Stdext

@@ -1,0 +1,126 @@
+open Clocks
+module View = Graybox.View
+module Msg = Graybox.Msg
+
+(* The paper's variables.  lc.j is kept as a plain counter in the
+   store; timestamps are built from it on demand. *)
+let v_mode = "state"
+let v_clock = "lc"
+let v_req = "REQ"
+let v_local = "localREQ"
+let v_received = "received"
+
+let schema =
+  [ (v_mode, Store.Domain.D_mode);
+    (v_clock, Store.Domain.D_nat 64);
+    (v_req, Store.Domain.D_own_ts);
+    (v_local, Store.Domain.D_peer_ts_map);
+    (v_received, Store.Domain.D_pid_set) ]
+
+type state = Store.t
+
+let name = "ra-gcl"
+
+let store s = s
+
+let peers s = Sim.Pid.others ~self:(Store.self s) ~n:(Store.size s)
+
+let init ~n self =
+  Store.create schema ~self ~n
+    [ (v_mode, Store.Value.V_mode View.Thinking);
+      (v_clock, Store.Value.V_nat 0);
+      (v_req, Store.Value.V_own_ts (Timestamp.zero ~pid:self));
+      ( v_local,
+        Store.Value.V_peer_ts_map
+          (List.fold_left
+             (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
+             Sim.Pid.Map.empty
+             (Sim.Pid.others ~self ~n)) );
+      (v_received, Store.Value.V_pid_set Sim.Pid.Set.empty) ]
+
+let view s =
+  View.make ~self:(Store.self s) ~mode:(Store.get_mode s v_mode)
+    ~req:(Store.get_ts s v_req) ~local_req:(Store.get_map s v_local)
+    ~clock:(Store.get_nat s v_clock)
+
+(* lc.j := lc.j + 1, returning the event's timestamp *)
+let tick s =
+  let now = Store.get_nat s v_clock + 1 in
+  let s = Store.set_nat s v_clock now in
+  (s, Timestamp.make ~clock:now ~pid:(Store.self s))
+
+(* lc.j := max(lc.j, ts) — call before [tick] on receives *)
+let witness s (ts : Timestamp.t) =
+  Store.set_nat s v_clock (max (Store.get_nat s v_clock) ts.Timestamp.clock)
+
+let read_now s =
+  Timestamp.make ~clock:(Store.get_nat s v_clock) ~pid:(Store.self s)
+
+(* CS Release Spec: t.j => REQ_j = ts.j *)
+let refresh_req_if_thinking s =
+  if Store.get_mode s v_mode = View.Thinking then
+    Store.set_ts s v_req (read_now s)
+  else s
+
+(* {Request CS}  t.j -> REQ_j := lc.j; h.j := true; send-request to all *)
+let request_cs s =
+  let s, ts = tick s in
+  let s = Store.set_ts s v_req ts in
+  let s = Store.set_mode s v_mode View.Hungry in
+  (s, List.map (fun k -> (k, Msg.Request ts)) (peers s))
+
+(* {Grant CS}  h.j ∧ (∀k : REQ_j lt j.REQ_k) -> e.j *)
+let try_enter s =
+  let earliest =
+    List.for_all
+      (fun k -> Timestamp.lt (Store.get_ts s v_req) (Store.map_entry s v_local k))
+      (peers s)
+  in
+  if Store.get_mode s v_mode = View.Hungry && earliest then begin
+    let s, _ = tick s in
+    Some (Store.set_mode s v_mode View.Eating, [])
+  end
+  else None
+
+(* deferred_set.j = {k : received(j.REQ_k) ∧ REQ_j lt j.REQ_k} *)
+let deferred_set s =
+  List.filter
+    (fun k ->
+      Sim.Pid.Set.mem k (Store.get_set s v_received)
+      && Timestamp.lt (Store.get_ts s v_req) (Store.map_entry s v_local k))
+    (peers s)
+
+(* {Release CS}  e.j -> reply to deferred; t.j; REQ_j := lc.j *)
+let release_cs s =
+  let deferred = deferred_set s in
+  let s, ts = tick s in
+  let s = Store.set_mode s v_mode View.Thinking in
+  let s = Store.set_ts s v_req ts in
+  let s = Store.set_set s v_received Sim.Pid.Set.empty in
+  (s, List.map (fun k -> (k, Msg.Reply ts)) deferred)
+
+let on_message ~from msg s =
+  let ts = Msg.timestamp msg in
+  let s, _ = tick (witness s ts) in
+  let s = refresh_req_if_thinking s in
+  match msg with
+  | Msg.Request req_k ->
+    (* received(j.REQ_k) := true; j.REQ_k := REQ_k; reply if
+       t.j ∨ REQ_k lt REQ_j *)
+    let s = Store.set_map_entry s v_local from req_k in
+    if
+      Store.get_mode s v_mode = View.Thinking
+      || Timestamp.lt req_k (Store.get_ts s v_req)
+    then
+      (Store.remove_from_set s v_received from, [ (from, Msg.Reply (read_now s)) ])
+    else (Store.add_to_set s v_received from, [])
+  | Msg.Reply r | Msg.Release r ->
+    if Timestamp.lt (Store.get_ts s v_req) r then
+      (Store.set_map_entry s v_local from r, [])
+    else (s, [])
+
+let corrupt rng s = Store.corrupt rng s
+
+let reset ~n self = Store.set_mode (init ~n self) v_mode View.Hungry
+
+let pp = Store.pp

@@ -1,0 +1,23 @@
+(** The paper's RA_ME program text, transliterated over a
+    guarded-command variable store.
+
+    This is a third, structurally independent implementation of Lspec:
+    its state is a schema-typed {!Store.t} with exactly the paper's
+    variables —
+
+    {v  state.j ∈ {t,h,e},  lc.j,  REQ_j,  j.REQ_k,  received(j.REQ_k)  v}
+
+    — its fault hook is the {e generic} schema-derived corruption
+    ({!Store.corrupt}; nothing protocol-specific), and the graybox
+    wrapper stabilizes it unchanged (checked in the test suite and
+    the reusability experiment).  Registered as ["ra-gcl"] in
+    {!Tme.Scenarios}. *)
+
+include Graybox.Protocol.S
+
+val store : state -> Store.t
+(** [store s] exposes the underlying variable store (for inspection
+    and tests). *)
+
+val schema : Store.schema
+(** The declared variable schema. *)

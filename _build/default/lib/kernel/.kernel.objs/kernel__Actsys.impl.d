@@ -1,0 +1,1 @@
+lib/kernel/actsys.ml: Array Fun Hashtbl List Printf Tsys

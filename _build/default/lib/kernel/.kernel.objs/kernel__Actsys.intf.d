@@ -1,0 +1,1 @@
+lib/kernel/actsys.mli: Tsys

@@ -1,0 +1,1 @@
+lib/kernel/fig1.ml: Tsys

@@ -1,0 +1,1 @@
+lib/kernel/product.ml: Actsys Array Fun List Printf String Tsys

@@ -1,0 +1,1 @@
+lib/kernel/product.mli: Actsys Tsys

@@ -1,0 +1,1 @@
+lib/kernel/synthesis.ml: Actsys Array Fun List Option Tsys

@@ -1,0 +1,1 @@
+lib/kernel/synthesis.mli: Actsys Tsys

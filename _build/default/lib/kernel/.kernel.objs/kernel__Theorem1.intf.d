@@ -1,0 +1,1 @@
+lib/kernel/theorem1.mli: Tsys

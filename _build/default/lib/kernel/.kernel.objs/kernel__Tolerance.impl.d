@@ -1,0 +1,1 @@
+lib/kernel/tolerance.ml: Array Fun List Tsys

@@ -1,0 +1,1 @@
+lib/kernel/tsys.ml: Array Format Fun List Printf Queue Stdext

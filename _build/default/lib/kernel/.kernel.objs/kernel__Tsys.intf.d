@@ -1,0 +1,1 @@
+lib/kernel/tsys.mli: Format Stdext

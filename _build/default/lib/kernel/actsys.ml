@@ -1,0 +1,165 @@
+type t = {
+  n : int;
+  names : string array;
+  actions : (string * (int * int) list) list;
+  init : int list;
+}
+
+let create ~n ?names ~actions ~init () =
+  if n <= 0 then invalid_arg "Actsys.create: need at least one state";
+  let names =
+    match names with
+    | None -> Array.init n (fun i -> Printf.sprintf "s%d" i)
+    | Some a ->
+      if Array.length a <> n then invalid_arg "Actsys.create: names length";
+      Array.copy a
+  in
+  let check s =
+    if s < 0 || s >= n then invalid_arg "Actsys.create: state out of range"
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, edges) ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Actsys.create: duplicate action " ^ name);
+      Hashtbl.add seen name ();
+      List.iter
+        (fun (u, v) ->
+          check u;
+          check v)
+        edges)
+    actions;
+  List.iter check init;
+  { n; names; actions; init = List.sort_uniq compare init }
+
+let n_states t = t.n
+let action_names t = List.map fst t.actions
+let init_states t = t.init
+
+let transitions t a =
+  match List.assoc_opt a t.actions with
+  | Some edges -> edges
+  | None -> raise Not_found
+
+let enabled t a s = List.exists (fun (u, _) -> u = s) (transitions t a)
+
+let union_edges t =
+  List.sort_uniq compare (List.concat_map snd t.actions)
+
+let to_tsys t =
+  Tsys.create ~n:t.n ~names:t.names ~edges:(union_edges t) ~init:t.init ()
+
+let box c w =
+  if c.n <> w.n then invalid_arg "Actsys.box: state-space mismatch";
+  let c_names = List.map fst c.actions in
+  let renamed =
+    List.map
+      (fun (name, edges) ->
+        if List.mem name c_names then (name ^ "'", edges) else (name, edges))
+      w.actions
+  in
+  { n = c.n;
+    names = Array.copy c.names;
+    actions = c.actions @ renamed;
+    init = List.filter (fun s -> List.mem s w.init) c.init }
+
+(* ------------------------------------------------------------------ *)
+(* Fair stabilization                                                  *)
+
+let legit_parts a =
+  let reach_a = Tsys.reachable a ~from:(Tsys.init_states a) in
+  let legit_edge (u, v) = reach_a.(u) && reach_a.(v) && Tsys.has_edge a u v in
+  let legit_deadlock s = reach_a.(s) && Tsys.is_deadlock a s in
+  (legit_edge, legit_deadlock)
+
+let no_enabled_action t s =
+  List.for_all (fun (_, edges) -> not (List.exists (fun (u, _) -> u = s) edges))
+    t.actions
+
+(* Is the subset S (given as a bitmask) strongly connected with at
+   least one internal edge, using only edges inside S? *)
+let strongly_connected_within t mask =
+  let in_set s = mask land (1 lsl s) <> 0 in
+  let members = List.filter in_set (List.init t.n Fun.id) in
+  match members with
+  | [] -> false
+  | first :: _ ->
+    let edges =
+      List.filter (fun (u, v) -> in_set u && in_set v) (union_edges t)
+    in
+    edges <> []
+    &&
+    let reach_from src =
+      let seen = Array.make t.n false in
+      let rec go s =
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          List.iter (fun (u, v) -> if u = s then go v) edges
+        end
+      in
+      go src;
+      seen
+    in
+    let fwd = reach_from first in
+    List.for_all (fun s -> fwd.(s)) members
+    && List.for_all
+         (fun s -> (reach_from s).(first))
+         members
+
+(* Weak fairness admits settlement in S iff every action enabled at
+   every state of S has a transition staying inside S. *)
+let fairness_allows t mask =
+  let in_set s = mask land (1 lsl s) <> 0 in
+  let members = List.filter in_set (List.init t.n Fun.id) in
+  List.for_all
+    (fun (_, edges) ->
+      let enabled_at s = List.exists (fun (u, _) -> u = s) edges in
+      (not (List.for_all enabled_at members))
+      || List.exists (fun (u, v) -> in_set u && in_set v) edges)
+    t.actions
+
+let check_small t a =
+  if t.n > 20 then
+    invalid_arg "Actsys: fair stabilization limited to 20 states";
+  if t.n <> Tsys.n_states a then
+    invalid_arg "Actsys: state-space mismatch with the specification"
+
+let illegitimate_deadlocks t ~spec =
+  check_small t spec;
+  let _, legit_deadlock = legit_parts spec in
+  List.filter
+    (fun s -> no_enabled_action t s && not (legit_deadlock s))
+    (List.init t.n Fun.id)
+
+let bad_settlements t ~spec =
+  check_small t spec;
+  let legit_edge, _ = legit_parts spec in
+  let members_of mask =
+    List.filter (fun s -> mask land (1 lsl s) <> 0) (List.init t.n Fun.id)
+  in
+  let edges = union_edges t in
+  let viable mask =
+    strongly_connected_within t mask
+    && fairness_allows t mask
+    && List.exists
+         (fun (u, v) ->
+           mask land (1 lsl u) <> 0
+           && mask land (1 lsl v) <> 0
+           && not (legit_edge (u, v)))
+         edges
+  in
+  let rec scan mask acc =
+    if mask >= 1 lsl t.n then List.rev acc
+    else scan (mask + 1) (if viable mask then members_of mask :: acc else acc)
+  in
+  scan 1 []
+
+let fair_violation_witness t a =
+  match illegitimate_deadlocks t ~spec:a with
+  | s :: _ -> Some [ s ]
+  | [] ->
+    (match bad_settlements t ~spec:a with
+     | members :: _ -> Some members
+     | [] -> None)
+
+let is_fairly_stabilizing_to t a = fair_violation_witness t a = None

@@ -1,0 +1,79 @@
+(** Labeled action systems with weak fairness: the UNITY semantics.
+
+    The paper writes specifications in UNITY, whose execution model is
+    a set of named actions with (weak) fairness: an action that is
+    continuously enabled is eventually executed.  {!Tsys} deliberately
+    ignores fairness (its computations are arbitrary maximal paths),
+    which is the right semantics for the paper's Section 2 definitions
+    but cannot express wrappers added to systems that may idle: in
+
+    {v   A: g0 ↔ g1, b → b (idle)      W: b → g0   v}
+
+    the plain path semantics lets a computation sit at [b] forever,
+    so [A □ W] is {e not} path-stabilizing — yet under UNITY fairness
+    the wrapper action, continuously enabled at [b], must eventually
+    fire, and [A □ W] {e is} stabilizing.  This module decides
+    stabilization under weak fairness exactly, for small systems, by
+    enumerating the strongly connected state sets a fair computation
+    can settle in.
+
+    A {e fair computation} is a maximal path such that every action
+    enabled at every state of the path's settlement set has a
+    transition taken within it (the lasso reading of weak fairness on
+    finite graphs). *)
+
+type t
+
+val create :
+  n:int -> ?names:string array ->
+  actions:(string * (int * int) list) list ->
+  init:int list -> unit -> t
+(** [create ~n ~actions ~init ()] builds an action system over states
+    [0 .. n-1]; each action is a named transition set.
+    @raise Invalid_argument on out-of-range states or duplicate action
+    names. *)
+
+val n_states : t -> int
+val action_names : t -> string list
+val init_states : t -> int list
+
+val enabled : t -> string -> int -> bool
+(** [enabled t a s]: action [a] has a transition from [s].
+    @raise Not_found for unknown action names. *)
+
+val transitions : t -> string -> (int * int) list
+
+val to_tsys : t -> Tsys.t
+(** [to_tsys t] forgets labels and fairness: the union graph. *)
+
+val box : t -> t -> t
+(** [box c w] unions the action sets (renaming clashes by suffixing
+    the right system's names with ["'"]), intersecting initial
+    states — the □ of Section 2 at the action level. *)
+
+val is_fairly_stabilizing_to : t -> Tsys.t -> bool
+(** [is_fairly_stabilizing_to c a] decides: every {e fair} computation
+    of [c] has a suffix that is a suffix of an initialized computation
+    of [a].  Exact for systems of up to ~20 states (it enumerates
+    strongly connected state subsets). *)
+
+val bad_settlements : t -> spec:Tsys.t -> int list list
+(** [bad_settlements t ~spec] enumerates every state set in which a
+    fair computation of [t] can settle while traversing a transition
+    that is not part of [spec]'s initialized behaviour: strongly
+    connected under [t]'s internal edges, closed under weak fairness
+    (every action enabled at all members has an internal transition),
+    and containing a non-legitimate edge.  Empty iff no fair infinite
+    computation violates stabilization. *)
+
+val illegitimate_deadlocks : t -> spec:Tsys.t -> int list
+(** [illegitimate_deadlocks t ~spec] lists states where no action of
+    [t] is enabled but which are not initialized-reachable deadlocks
+    of [spec] — fair finite computations ending there have no
+    legitimate suffix. *)
+
+val fair_violation_witness : t -> Tsys.t -> int list option
+(** [fair_violation_witness c a] returns the settlement set of states
+    of some fair computation with no legitimate suffix ([None] iff
+    {!is_fairly_stabilizing_to}).  Deadlock witnesses are singleton
+    sets. *)

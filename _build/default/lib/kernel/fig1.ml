@@ -1,0 +1,18 @@
+let s0 = 0
+let s1 = 1
+let s2 = 2
+let s3 = 3
+let s_star = 4
+
+let names = [| "s0"; "s1"; "s2"; "s3"; "s*" |]
+
+let chain = [ (s0, s1); (s1, s2); (s2, s3); (s3, s3) ]
+
+let a =
+  Tsys.create ~n:5 ~names
+    ~edges:((s_star, s2) :: chain)
+    ~init:[ s0 ] ()
+
+let c = Tsys.create ~n:5 ~names ~edges:chain ~init:[ s0 ] ()
+
+let fault s = if s = s0 then s_star else s

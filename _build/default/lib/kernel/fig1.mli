@@ -1,0 +1,31 @@
+(** The paper's Figure 1 counterexample, executable.
+
+    States [s0; s1; s2; s3; s*].  Both the specification [a] and the
+    implementation [c] have the single initialized computation
+    [s0, s1, s2, s3, s3, …]; additionally [a] has the computation
+    [s*, s2, s3, …] while in [c] the state [s*] is a dead end.  A
+    transient fault [F] throws [s0] to [s*]: afterwards [a] recovers
+    (its [s* → s2] edge rejoins the legitimate chain) but [c] cannot.
+
+    Consequences checked in the test suite and printed by experiment
+    T1: [\[c ⇒ a\]init] holds, [\[c ⇒ a\]] does not, [a] is stabilizing
+    to [a], and [c] is {e not} stabilizing to [a] — implementing a
+    specification only from initial states does not transfer
+    stabilization. *)
+
+val s0 : int
+val s1 : int
+val s2 : int
+val s3 : int
+val s_star : int
+(** State indices in {!a} and {!c}. *)
+
+val a : Tsys.t
+(** The specification system of Figure 1. *)
+
+val c : Tsys.t
+(** The implementation system of Figure 1. *)
+
+val fault : int -> int
+(** [fault s] models the transient corruption [F]: [s0] is thrown to
+    [s*]; other states are unaffected. *)

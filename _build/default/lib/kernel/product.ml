@@ -1,0 +1,91 @@
+let check_dims ~dims locals =
+  if List.length dims <> List.length locals then
+    invalid_arg "Product: dimension mismatch";
+  List.iter2
+    (fun d s ->
+      if s < 0 || s >= d then invalid_arg "Product: component state out of range")
+    dims locals
+
+let encode ~dims locals =
+  check_dims ~dims locals;
+  List.fold_right2 (fun d s acc -> (acc * d) + s) dims locals 0
+
+let decode ~dims g =
+  let rec go g = function
+    | [] -> []
+    | d :: rest -> (g mod d) :: go (g / d) rest
+  in
+  go g dims
+
+let component_view ~dims g ~i = List.nth (decode ~dims g) i
+
+let all_states dims = List.init (List.fold_left ( * ) 1 dims) Fun.id
+
+(* Lift component [i]'s edge (u, v) to every global state whose i-th
+   coordinate is [u]. *)
+let lift_edges ~dims ~i edges =
+  List.concat_map
+    (fun g ->
+      let locals = decode ~dims g in
+      let here = List.nth locals i in
+      List.filter_map
+        (fun (u, v) ->
+          if u = here then
+            Some (g, encode ~dims (List.mapi (fun j s -> if j = i then v else s) locals))
+          else None)
+        edges)
+    (all_states dims)
+
+let product_inits ~dims per_component =
+  let rec go = function
+    | [] -> [ [] ]
+    | inits :: rest ->
+      let tails = go rest in
+      List.concat_map (fun s -> List.map (fun t -> s :: t) tails) inits
+  in
+  List.map (encode ~dims) (go per_component)
+
+let product_names ~dims name_of =
+  Array.init
+    (List.fold_left ( * ) 1 dims)
+    (fun g ->
+      let locals = decode ~dims g in
+      "("
+      ^ String.concat "," (List.mapi (fun i s -> name_of i s) locals)
+      ^ ")")
+
+let compose = function
+  | [] -> invalid_arg "Product.compose: empty component list"
+  | comps ->
+    let dims = List.map Tsys.n_states comps in
+    let edges =
+      List.concat
+        (List.mapi (fun i c -> lift_edges ~dims ~i (Tsys.edges c)) comps)
+    in
+    let init = product_inits ~dims (List.map Tsys.init_states comps) in
+    let names =
+      product_names ~dims (fun i s -> Tsys.name (List.nth comps i) s)
+    in
+    Tsys.create
+      ~n:(List.fold_left ( * ) 1 dims)
+      ~names ~edges ~init ()
+
+let compose_act = function
+  | [] -> invalid_arg "Product.compose_act: empty component list"
+  | comps ->
+    let dims = List.map Actsys.n_states comps in
+    let actions =
+      List.concat
+        (List.mapi
+           (fun i c ->
+             List.map
+               (fun name ->
+                 ( Printf.sprintf "%d:%s" i name,
+                   lift_edges ~dims ~i (Actsys.transitions c name) ))
+               (Actsys.action_names c))
+           comps)
+    in
+    let init = product_inits ~dims (List.map Actsys.init_states comps) in
+    Actsys.create
+      ~n:(List.fold_left ( * ) 1 dims)
+      ~actions ~init ()

@@ -1,0 +1,23 @@
+let g0 = 0
+let g1 = 1
+let b = 2
+
+let names = [| "g0"; "g1"; "b" |]
+
+let a =
+  Tsys.create ~n:3 ~names ~edges:[ (g0, g1); (g1, g0) ] ~init:[ g0 ] ()
+
+let w = Tsys.create ~n:3 ~names ~edges:[ (b, g0) ] ~init:[ g0 ] ()
+
+let c = Tsys.create ~n:3 ~names ~edges:[ (g0, g1); (g1, g0) ] ~init:[ g0 ] ()
+
+let w' = w
+
+let hypotheses_hold ~c ~a ~w ~w' =
+  Tsys.everywhere_implements c a
+  && Tsys.is_stabilizing_to (Tsys.box a w) a
+  && Tsys.everywhere_implements w' w
+
+let check ~c ~a ~w ~w' =
+  (not (hypotheses_hold ~c ~a ~w ~w'))
+  || Tsys.is_stabilizing_to (Tsys.box c w') a

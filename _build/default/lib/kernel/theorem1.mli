@@ -1,0 +1,35 @@
+(** A machine-checked instance of Theorem 1.
+
+    Theorem 1 (stabilization via everywhere specifications): if
+    [\[C ⇒ A\]], [A □ W] is stabilizing to [A], and [\[W' ⇒ W\]], then
+    [C □ W'] is stabilizing to [A].
+
+    This module provides a small family of concrete systems on which
+    the hypotheses hold, so the conclusion can be (and is, in the test
+    suite) verified with {!Tsys.is_stabilizing_to}; and a generic
+    [check] that tests the implication on arbitrary systems — used by
+    the property-based tests to search for violations (none exist). *)
+
+val a : Tsys.t
+(** A two-state legitimate cycle [g0 ↔ g1] plus a dead-end fault state
+    [b]; initial state [g0]. *)
+
+val w : Tsys.t
+(** The wrapper: a single correction edge [b → g0] (every other state
+    is a dead end of [w]); same initial state. *)
+
+val c : Tsys.t
+(** An everywhere implementation of {!a}: the legitimate cycle without
+    the spurious edges, [b] still a dead end. *)
+
+val w' : Tsys.t
+(** An everywhere implementation of {!w} (here: [w] itself). *)
+
+val check : c:Tsys.t -> a:Tsys.t -> w:Tsys.t -> w':Tsys.t -> bool
+(** [check ~c ~a ~w ~w'] returns [true] when the Theorem 1 implication
+    holds on the given systems: if all three hypotheses hold then so
+    must the conclusion.  (Vacuously [true] when a hypothesis fails.) *)
+
+val hypotheses_hold : c:Tsys.t -> a:Tsys.t -> w:Tsys.t -> w':Tsys.t -> bool
+(** [hypotheses_hold ~c ~a ~w ~w'] tests the three hypotheses of
+    Theorem 1 — useful to report vacuity separately. *)

@@ -1,0 +1,42 @@
+let with_faults c ~faults =
+  Tsys.create ~n:(Tsys.n_states c) ~names:(Tsys.names c)
+    ~edges:(Tsys.edges c @ faults)
+    ~init:(Tsys.init_states c) ()
+
+let fault_span c ~faults =
+  Tsys.reachable (with_faults c ~faults) ~from:(Tsys.init_states c)
+
+let is_fail_safe ~c ~faults ~safe =
+  let span = fault_span c ~faults in
+  List.for_all
+    (fun (u, v) -> (not span.(u)) || safe u v)
+    (Tsys.edges c)
+
+(* Stabilization of [c] to [a], quantified over computations starting
+   in the fault span: a violation is a span-reachable non-legitimate
+   cycle or a span-reachable illegitimate dead end. *)
+let is_nonmasking ~c ~a ~faults =
+  let span = fault_span c ~faults in
+  let reach_a = Tsys.reachable a ~from:(Tsys.init_states a) in
+  let legit_edge u v = reach_a.(u) && reach_a.(v) && Tsys.has_edge a u v in
+  let legit_deadlock s = reach_a.(s) && Tsys.is_deadlock a s in
+  let span_states =
+    List.filter (fun s -> span.(s)) (List.init (Tsys.n_states c) Fun.id)
+  in
+  let c_reach_from_span = Tsys.reachable c ~from:span_states in
+  let states = List.init (Tsys.n_states c) Fun.id in
+  List.for_all
+    (fun u ->
+      (not c_reach_from_span.(u))
+      || ((not (Tsys.is_deadlock c u)) || legit_deadlock u))
+    states
+  && List.for_all
+       (fun (u, v) ->
+         (not c_reach_from_span.(u))
+         || legit_edge u v
+         || not (Tsys.reachable c ~from:[ v ]).(u)
+         (* a non-legit edge is tolerable only if it lies on no cycle *))
+       (Tsys.edges c)
+
+let is_masking ~c ~a ~faults ~safe =
+  is_fail_safe ~c ~faults ~safe && is_nonmasking ~c ~a ~faults

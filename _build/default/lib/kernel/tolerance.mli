@@ -1,0 +1,51 @@
+(** Graybox tolerance properties beyond stabilization (paper §6).
+
+    "A system is masking fault-tolerant iff its computations in the
+    presence of the faults implement the specification.  A component
+    is fail-safe fault-tolerant iff its computations in the presence
+    of faults implement the safety part (but not necessarily the
+    liveness part) of its specification."  Stabilization is the
+    nonmasking member of the family: after faults stop, behaviour
+    converges, but safety may be violated meanwhile.
+
+    Faults are modelled as a transition set [F] composed with the
+    program by □, exactly like a wrapper — the other direction of the
+    same operator.  On finite systems the three tolerances are
+    decidable:
+
+    - {e fail-safe}: no program transition taken from a fault-reachable
+      state violates the safety predicate;
+    - {e nonmasking}: from every fault-reachable state, the program
+      alone converges to the specification's initialized behaviour
+      (stabilization quantified over the fault span rather than over
+      every state);
+    - {e masking} = fail-safe ∧ nonmasking.
+
+    Fault transitions themselves are exempt from the safety predicate
+    (they are environment steps); what is judged is the program's
+    behaviour from the states faults produce. *)
+
+val with_faults : Tsys.t -> faults:(int * int) list -> Tsys.t
+(** [with_faults c ~faults] is [C □ F]: the program with fault
+    transitions added (same initial states).
+    @raise Invalid_argument on out-of-range states. *)
+
+val fault_span : Tsys.t -> faults:(int * int) list -> bool array
+(** [fault_span c ~faults] marks the states reachable from [c]'s
+    initial states by any interleaving of program and fault steps —
+    the states from which tolerance is judged. *)
+
+val is_fail_safe :
+  c:Tsys.t -> faults:(int * int) list -> safe:(int -> int -> bool) -> bool
+(** [is_fail_safe ~c ~faults ~safe]: every program transition
+    [(u, v)] with [u] in the fault span satisfies [safe u v]. *)
+
+val is_nonmasking : c:Tsys.t -> a:Tsys.t -> faults:(int * int) list -> bool
+(** [is_nonmasking ~c ~a ~faults]: every computation of [c] starting
+    anywhere in the fault span has a suffix that is a suffix of an
+    initialized computation of [a]. *)
+
+val is_masking :
+  c:Tsys.t -> a:Tsys.t -> faults:(int * int) list ->
+  safe:(int -> int -> bool) -> bool
+(** Conjunction of {!is_fail_safe} and {!is_nonmasking}. *)

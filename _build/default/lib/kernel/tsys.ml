@@ -1,0 +1,255 @@
+type t = {
+  n : int;
+  names : string array;
+  adj : bool array array;
+  init : bool array;
+}
+
+let check_state t s ctx =
+  if s < 0 || s >= t.n then
+    invalid_arg (Printf.sprintf "Tsys.%s: state %d out of range [0,%d)" ctx s t.n)
+
+let create ~n ?names ~edges ~init () =
+  if n <= 0 then invalid_arg "Tsys.create: need at least one state";
+  let names =
+    match names with
+    | None -> Array.init n (fun i -> Printf.sprintf "s%d" i)
+    | Some a ->
+      if Array.length a <> n then
+        invalid_arg "Tsys.create: names length mismatch";
+      Array.copy a
+  in
+  let t = { n; names; adj = Array.make_matrix n n false; init = Array.make n false } in
+  List.iter
+    (fun (u, v) ->
+      check_state t u "create(edge src)";
+      check_state t v "create(edge dst)";
+      t.adj.(u).(v) <- true)
+    edges;
+  List.iter
+    (fun s ->
+      check_state t s "create(init)";
+      t.init.(s) <- true)
+    init;
+  t
+
+let n_states t = t.n
+
+let name t s =
+  check_state t s "name";
+  t.names.(s)
+
+let names t = Array.copy t.names
+
+let has_edge t u v =
+  check_state t u "has_edge";
+  check_state t v "has_edge";
+  t.adj.(u).(v)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for v = t.n - 1 downto 0 do
+      if t.adj.(u).(v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let init_states t =
+  List.filter (fun s -> t.init.(s)) (List.init t.n Fun.id)
+
+let is_init t s =
+  check_state t s "is_init";
+  t.init.(s)
+
+let successors t s =
+  check_state t s "successors";
+  List.filter (fun v -> t.adj.(s).(v)) (List.init t.n Fun.id)
+
+let is_deadlock t s = successors t s = []
+
+let reachable t ~from =
+  let seen = Array.make t.n false in
+  let rec visit s =
+    check_state t s "reachable";
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      for v = 0 to t.n - 1 do
+        if t.adj.(s).(v) then visit v
+      done
+    end
+  in
+  List.iter visit from;
+  seen
+
+let box c w =
+  if c.n <> w.n then invalid_arg "Tsys.box: state-space mismatch";
+  let adj =
+    Array.init c.n (fun u ->
+        Array.init c.n (fun v -> c.adj.(u).(v) || w.adj.(u).(v)))
+  in
+  let init = Array.init c.n (fun s -> c.init.(s) && w.init.(s)) in
+  { n = c.n; names = Array.copy c.names; adj; init }
+
+(* [C => A]: C's edges within A's, C's deadlocks also deadlocked in A,
+   so every maximal C-path is a maximal A-path. *)
+let everywhere_implements c a =
+  c.n = a.n
+  && (let ok = ref true in
+      for u = 0 to c.n - 1 do
+        for v = 0 to c.n - 1 do
+          if c.adj.(u).(v) && not a.adj.(u).(v) then ok := false
+        done;
+        if is_deadlock c u && not (is_deadlock a u) then ok := false
+      done;
+      !ok)
+
+let implements_from_init c a =
+  c.n = a.n
+  &&
+  let reach = reachable c ~from:(init_states c) in
+  let ok = ref true in
+  for u = 0 to c.n - 1 do
+    if c.init.(u) && not a.init.(u) then ok := false;
+    if reach.(u) then begin
+      for v = 0 to c.n - 1 do
+        if c.adj.(u).(v) && not a.adj.(u).(v) then ok := false
+      done;
+      if is_deadlock c u && not (is_deadlock a u) then ok := false
+    end
+  done;
+  !ok
+
+(* Legitimacy for stabilization to A: the suffix must be a suffix of an
+   initialized computation of A, i.e. a maximal A-path inside A's
+   initialized reachable part. *)
+let legit_parts a =
+  let reach_a = reachable a ~from:(init_states a) in
+  let legit_edge u v = reach_a.(u) && reach_a.(v) && a.adj.(u).(v) in
+  let legit_deadlock s = reach_a.(s) && is_deadlock a s in
+  (legit_edge, legit_deadlock)
+
+(* v reaches u in c? *)
+let reaches c ~src ~dst = (reachable c ~from:[ src ]).(dst)
+
+let is_stabilizing_to c a =
+  c.n = a.n
+  &&
+  let legit_edge, legit_deadlock = legit_parts a in
+  let ok = ref true in
+  for u = 0 to c.n - 1 do
+    if is_deadlock c u && not (legit_deadlock u) then ok := false;
+    for v = 0 to c.n - 1 do
+      if c.adj.(u).(v) && not (legit_edge u v) && reaches c ~src:v ~dst:u then
+        (* a cycle through a non-legitimate edge: some computation
+           traverses it forever, so no suffix is legitimate *)
+        ok := false
+    done
+  done;
+  !ok
+
+let find_path c ~src ~dst =
+  (* BFS for a shortest path src -> dst (inclusive); None if unreachable *)
+  let prev = Array.make c.n (-1) in
+  let seen = Array.make c.n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for v = 0 to c.n - 1 do
+      if c.adj.(u).(v) && not seen.(v) then begin
+        seen.(v) <- true;
+        prev.(v) <- u;
+        if v = dst then found := true else Queue.add v q
+      end
+    done
+  done;
+  if not !found then None
+  else begin
+    let rec build acc s = if s = src then src :: acc else build (s :: acc) prev.(s) in
+    Some (build [] dst)
+  end
+
+let stabilization_counterexample c a =
+  if c.n <> a.n then Some []
+  else
+    let legit_edge, legit_deadlock = legit_parts a in
+    let witness = ref None in
+    for u = 0 to c.n - 1 do
+      if !witness = None && is_deadlock c u && not (legit_deadlock u) then
+        witness := Some [ u ];
+      for v = 0 to c.n - 1 do
+        if !witness = None && c.adj.(u).(v) && not (legit_edge u v) then
+          match find_path c ~src:v ~dst:u with
+          | Some back -> witness := Some ((u :: back) @ [ v ])
+          | None -> ()
+      done
+    done;
+    !witness
+
+let computations_upto t ~from len =
+  check_state t from "computations_upto";
+  let rec extend path s remaining =
+    if remaining = 0 then [ List.rev path ]
+    else
+      match successors t s with
+      | [] -> [ List.rev path ]
+      | succs ->
+        List.concat_map (fun v -> extend (v :: path) v (remaining - 1)) succs
+  in
+  extend [ from ] from len
+
+let sample_computation rng t ~from len =
+  check_state t from "sample_computation";
+  let rec go path s remaining =
+    if remaining = 0 then List.rev path
+    else
+      match successors t s with
+      | [] -> List.rev path
+      | succs ->
+        let v = Stdext.Rng.pick rng succs in
+        go (v :: path) v (remaining - 1)
+  in
+  go [ from ] from len
+
+let is_computation t = function
+  | [] -> false
+  | s :: rest ->
+    s >= 0 && s < t.n
+    &&
+    let rec go u = function
+      | [] -> true
+      | v :: rest -> v >= 0 && v < t.n && t.adj.(u).(v) && go v rest
+    in
+    go s rest
+
+let restrict_edges t ~keep =
+  let adj =
+    Array.init t.n (fun u -> Array.init t.n (fun v -> t.adj.(u).(v) && keep u v))
+  in
+  { t with adj; names = Array.copy t.names; init = Array.copy t.init }
+
+let equal a b =
+  a.n = b.n
+  && (let same = ref true in
+      for u = 0 to a.n - 1 do
+        if a.init.(u) <> b.init.(u) then same := false;
+        for v = 0 to a.n - 1 do
+          if a.adj.(u).(v) <> b.adj.(u).(v) then same := false
+        done
+      done;
+      !same)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>states: %d@,init: %a@,edges:@,%a@]" t.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    (List.map (fun s -> t.names.(s)) (init_states t))
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf (u, v) ->
+         Format.fprintf ppf "  %s -> %s" t.names.(u) t.names.(v)))
+    (edges t)

@@ -1,0 +1,102 @@
+(** Finite transition systems: the paper's Section 2 made executable.
+
+    The paper defines a system as a fusion-closed set of (possibly
+    infinite) state sequences with at least one sequence from every
+    state, plus a set of initial states.  Over a finite state space a
+    fusion-closed, suffix-rich sequence set is exactly the set of
+    maximal paths of a directed graph, so we represent systems as
+    graphs: states [0 .. n-1], an edge relation, and initial states.
+    A {e computation} is a maximal path — infinite, or finite ending in
+    a state with no successor.
+
+    On this representation the paper's relations are decidable exactly:
+
+    - [C] {e everywhere implements} [A] ([\[C ⇒ A\]]) iff every edge of
+      [C] is an edge of [A] and every deadlock of [C] is a deadlock of
+      [A] (so finite maximal paths stay maximal).
+    - [C] {e implements} [A] ([\[C ⇒ A\]init]) iff the same holds
+      restricted to the part of [C] reachable from [C]'s initial
+      states, and every initial state of [C] is initial in [A].
+    - [C □ W] (box) is the union graph with the common initial states:
+      the smallest fusion-closed system containing both computation
+      sets.
+    - [C] {e is stabilizing to} [A] iff every computation of [C] has a
+      suffix that is a suffix of an initialized computation of [A];
+      over finite graphs this holds iff no cycle of [C] contains a
+      "non-legitimate" edge (an edge outside [A]'s initialized
+      reachable part) and every deadlock of [C] is an initialized
+      reachable deadlock of [A]. *)
+
+type t
+
+val create :
+  n:int -> ?names:string array -> edges:(int * int) list -> init:int list ->
+  unit -> t
+(** [create ~n ?names ~edges ~init ()] builds a system over states
+    [0 .. n-1].  [names] defaults to ["s0" .. "s<n-1>"].
+    @raise Invalid_argument if an edge, initial state, or the [names]
+    length is out of range. *)
+
+val n_states : t -> int
+val name : t -> int -> string
+val names : t -> string array
+
+val has_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+val init_states : t -> int list
+val is_init : t -> int -> bool
+
+val successors : t -> int -> int list
+val is_deadlock : t -> int -> bool
+(** [is_deadlock t s] holds when [s] has no outgoing edge, so the only
+    computation from [s] is the finite sequence [(s)]. *)
+
+val reachable : t -> from:int list -> bool array
+(** [reachable t ~from] marks states reachable from [from] (inclusive)
+    along edges of [t]. *)
+
+val box : t -> t -> t
+(** [box c w] is [C □ W]: same state space, union of edges,
+    intersection of initial states.
+    @raise Invalid_argument if state counts differ. *)
+
+val everywhere_implements : t -> t -> bool
+(** [everywhere_implements c a] decides [\[C ⇒ A\]]. *)
+
+val implements_from_init : t -> t -> bool
+(** [implements_from_init c a] decides [\[C ⇒ A\]init]. *)
+
+val is_stabilizing_to : t -> t -> bool
+(** [is_stabilizing_to c a] decides "[C] is stabilizing to [A]". *)
+
+val stabilization_counterexample : t -> t -> int list option
+(** [stabilization_counterexample c a] returns a witness path of [C]
+    that has no legitimate suffix: either a path ending in a deadlock
+    that is not an initialized [A]-deadlock, or a path reaching a cycle
+    through a non-legitimate edge (returned as path followed by one
+    traversal of the cycle).  [None] iff {!is_stabilizing_to}. *)
+
+val computations_upto : t -> from:int -> int -> int list list
+(** [computations_upto t ~from len] enumerates all paths of length at
+    most [len] steps starting at [from], truncating infinite ones;
+    maximal-but-shorter paths appear in full.  Intended for tests on
+    small systems. *)
+
+val sample_computation : Stdext.Rng.t -> t -> from:int -> int -> int list
+(** [sample_computation rng t ~from len] follows uniformly random edges
+    for up to [len] steps, stopping early at deadlocks. *)
+
+val is_computation : t -> int list -> bool
+(** [is_computation t path] checks [path] is a (prefix of a) path of
+    [t]: consecutive states joined by edges, all in range.  A finite
+    path counts whether or not it is maximal; use {!is_deadlock} on the
+    last state to check maximality. *)
+
+val restrict_edges : t -> keep:(int -> int -> bool) -> t
+(** [restrict_edges t ~keep] removes edges for which [keep u v] is
+    false.  Initial states and names are preserved. *)
+
+val equal : t -> t -> bool
+(** Structural equality: same size, edges, and initial states. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Dijkstra's K-state token ring: the {e whitebox} contrast case.
+
+    The paper's opening concern is that classical stabilization is
+    designed {e into} an implementation using full knowledge of its
+    variables — the tradition started by Dijkstra's K-state machine
+    (the first self-stabilizing algorithm).  This module implements it
+    over the message-passing simulator so the repository contains both
+    design styles side by side:
+
+    - K-state: stabilization is intrinsic; no wrapper exists, and the
+      recovery argument depends on every implementation detail (the
+      counter domain [K >= n], the bottom machine's special rule);
+    - graybox TME: the implementation is an ordinary protocol and
+      stabilization is added by a wrapper derived from the
+      specification alone.
+
+    The algorithm, on a unidirectional ring of [n] machines with
+    counters in [0..K-1]: the bottom machine (pid 0) is privileged
+    when its counter equals its predecessor's and then increments
+    modulo K; every other machine is privileged when its counter
+    differs from its predecessor's and then copies it.  Machines learn
+    the predecessor's counter from messages circulating clockwise.
+    From {e any} counter assignment, exactly one privilege eventually
+    circulates. *)
+
+type outcome = {
+  stabilized_at : int option;
+      (** first trace index after the fault from which the
+          privilege count is exactly 1 through the end of the run *)
+  recovery_steps : int option;
+      (** steps from the fault to {!stabilized_at} *)
+  privileges_at_end : int;
+  moves : int;  (** rule firings (privilege passes) over the run *)
+}
+
+val privileges : counters:int array -> k:int -> int
+(** [privileges ~counters ~k] counts privileged machines under the
+    shared-state reading of the rules — the legitimacy measure
+    (legitimate iff 1; Dijkstra's lemma guarantees it is never 0). *)
+
+val run :
+  ?corrupt_at:int -> n:int -> k:int -> seed:int -> steps:int -> unit -> outcome
+(** [run ?corrupt_at ~n ~k ~seed ~steps ()] simulates the ring,
+    scrambling every counter at [corrupt_at] if given.
+    @raise Invalid_argument if [k < n + 1] (Dijkstra's bound, with one
+    spare state for the message-passing setting) or [n < 2]. *)

@@ -1,0 +1,139 @@
+type stats = {
+  explored : int;
+  frontier_peak : int;
+  depth_reached : int;
+  truncated : bool;
+}
+
+type 'v result =
+  | Ok of stats
+  | Violation of { trace : string list; witness : 'v; stats : stats }
+
+let explore (module P : Graybox.Protocol.S) ~n ~max_depth ~max_states ~name
+    predicate =
+  ignore name;
+  let module M = struct
+    type global = { procs : P.state array; chans : Graybox.Msg.t list array }
+  end in
+  let open M in
+  let initial = { procs = Array.init n (P.init ~n); chans = Array.make (n * n) [] } in
+  let digest g = Digest.string (Marshal.to_string (g.procs, g.chans) []) in
+  let views g = Array.map P.view g.procs in
+  let send g ~src sends =
+    if sends = [] then g
+    else begin
+      let chans = Array.copy g.chans in
+      List.iter
+        (fun (dst, m) ->
+          let i = (src * n) + dst in
+          chans.(i) <- chans.(i) @ [ m ])
+        sends;
+      { g with chans }
+    end
+  in
+  let with_proc g p state' =
+    let procs = Array.copy g.procs in
+    procs.(p) <- state';
+    { g with procs }
+  in
+  let successors g =
+    let client =
+      List.concat_map
+        (fun p ->
+          let v = P.view g.procs.(p) in
+          let request =
+            if Graybox.View.thinking v then
+              [ ( Printf.sprintf "request(%d)" p,
+                  let s, sends = P.request_cs g.procs.(p) in
+                  send (with_proc g p s) ~src:p sends ) ]
+            else []
+          in
+          let enter =
+            if Graybox.View.hungry v then
+              match P.try_enter g.procs.(p) with
+              | Some (s, sends) ->
+                [ ( Printf.sprintf "enter(%d)" p,
+                    send (with_proc g p s) ~src:p sends ) ]
+              | None -> []
+            else []
+          in
+          let release =
+            if Graybox.View.eating v then
+              [ ( Printf.sprintf "release(%d)" p,
+                  let s, sends = P.release_cs g.procs.(p) in
+                  send (with_proc g p s) ~src:p sends ) ]
+            else []
+          in
+          request @ enter @ release)
+        (List.init n Fun.id)
+    in
+    let deliveries =
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              match g.chans.((src * n) + dst) with
+              | [] -> None
+              | m :: rest ->
+                let chans = Array.copy g.chans in
+                chans.((src * n) + dst) <- rest;
+                let g' = { g with chans } in
+                let s, sends = P.on_message ~from:src m g'.procs.(dst) in
+                Some
+                  ( Printf.sprintf "deliver(%d->%d)" src dst,
+                    send (with_proc g' dst s) ~src:dst sends ))
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+    in
+    client @ deliveries
+  in
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  Hashtbl.replace visited (digest initial) ();
+  Queue.add (initial, [], 0) queue;
+  let explored = ref 0 in
+  let frontier_peak = ref 1 in
+  let depth_reached = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  while (not (Queue.is_empty queue)) && !violation = None do
+    let g, rev_trace, depth = Queue.pop queue in
+    incr explored;
+    if depth > !depth_reached then depth_reached := depth;
+    let vs = views g in
+    if not (predicate vs) then
+      violation := Some (List.rev rev_trace, vs)
+    else if depth >= max_depth || !explored + Queue.length queue > max_states
+    then truncated := true
+    else
+      List.iter
+        (fun (label, g') ->
+          let d = digest g' in
+          if not (Hashtbl.mem visited d) then begin
+            Hashtbl.replace visited d ();
+            Queue.add (g', label :: rev_trace, depth + 1) queue;
+            frontier_peak := max !frontier_peak (Queue.length queue)
+          end)
+        (successors g)
+  done;
+  let stats =
+    { explored = !explored;
+      frontier_peak = !frontier_peak;
+      depth_reached = !depth_reached;
+      truncated = !truncated }
+  in
+  match !violation with
+  | None -> Ok stats
+  | Some (trace, witness) -> Violation { trace; witness; stats }
+
+let check_invariant proto ~n ?(max_depth = 30) ?(max_states = 200_000) ~name p =
+  explore proto ~n ~max_depth ~max_states ~name p
+
+let me1 views =
+  Array.fold_left
+    (fun acc v -> if Graybox.View.eating v then acc + 1 else acc)
+    0 views
+  <= 1
+
+let check_me1 proto ~n ?max_depth ?max_states () =
+  check_invariant proto ~n ?max_depth ?max_states ~name:"ME1" me1

@@ -1,0 +1,1 @@
+lib/rvc/clock.ml: Clocks Format Fun List Rng Stdext Vector_clock

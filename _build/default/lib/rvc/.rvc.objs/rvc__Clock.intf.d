@@ -1,0 +1,1 @@
+lib/rvc/clock.mli: Clocks Format Stdext

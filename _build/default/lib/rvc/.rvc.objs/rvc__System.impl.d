@@ -1,0 +1,1 @@
+lib/rvc/system.ml: Array Clock List Rng Sim Stdext

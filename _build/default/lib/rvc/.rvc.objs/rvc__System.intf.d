@@ -1,0 +1,1 @@
+lib/rvc/system.mli:

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Faults List Metrics Network Pid Rng Stdext Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Faults Metrics Network Pid Trace

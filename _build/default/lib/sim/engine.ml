@@ -1,0 +1,237 @@
+open Stdext
+
+module type NODE = sig
+  type state
+  type msg
+
+  val receive :
+    self:Pid.t -> from:Pid.t -> msg -> state -> state * (Pid.t * msg) list
+
+  val actions :
+    self:Pid.t -> state -> (string * (state -> state * (Pid.t * msg) list)) list
+end
+
+module Make (N : NODE) = struct
+  type policy = Weighted_random | Round_robin
+
+  type config = {
+    n : int;
+    seed : int;
+    deliver_weight : int;
+    internal_weight : int;
+    policy : policy;
+    record : bool;
+  }
+
+  let config ?(deliver_weight = 2) ?(internal_weight = 1)
+      ?(policy = Weighted_random) ?(record = true) ~n ~seed () =
+    if n <= 0 then invalid_arg "Engine.config: need n > 0";
+    { n; seed; deliver_weight; internal_weight; policy; record }
+
+  type t = {
+    cfg : config;
+    sched_rng : Rng.t;
+    fault_rng : Rng.t;
+    mutable time : int;
+    mutable states : N.state array;
+    mutable net : N.msg Network.t;
+    mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
+    metrics : Metrics.t;
+  }
+
+  let record t event =
+    if t.cfg.record then
+      t.rev_trace <-
+        { Trace.time = t.time;
+          event;
+          states = Array.copy t.states;
+          channels = Network.snapshot t.net }
+        :: t.rev_trace
+
+  let create cfg ~init =
+    let master = Rng.create cfg.seed in
+    let t =
+      { cfg;
+        sched_rng = Rng.split master;
+        fault_rng = Rng.split master;
+        time = 0;
+        states = Array.init cfg.n init;
+        net = Network.create ~n:cfg.n;
+        rev_trace = [];
+        metrics = Metrics.create () }
+    in
+    record t Trace.Init;
+    t
+
+  let time t = t.time
+  let n_processes t = t.cfg.n
+  let state t p = t.states.(p)
+  let states t = Array.copy t.states
+  let network t = t.net
+  let metrics t = t.metrics
+  let trace t = List.rev t.rev_trace
+
+  let set_state t p s = t.states.(p) <- s
+  let set_network t net = t.net <- net
+
+  let dispatch t ~src ~label outbox =
+    List.iter
+      (fun (dst, m) ->
+        Metrics.note_send t.metrics ~label;
+        t.net <- Network.send t.net ~src ~dst m)
+      outbox
+
+  type move =
+    | M_deliver of Pid.t * Pid.t
+    | M_internal of Pid.t * string * (N.state -> N.state * (Pid.t * N.msg) list)
+
+  let enabled_moves t =
+    let deliveries =
+      List.map
+        (fun (src, dst) -> (M_deliver (src, dst), t.cfg.deliver_weight))
+        (Network.nonempty t.net)
+    in
+    let internals =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun (label, f) -> (M_internal (p, label, f), t.cfg.internal_weight))
+            (N.actions ~self:p t.states.(p)))
+        (Pid.range t.cfg.n)
+    in
+    deliveries @ internals
+
+  let step t =
+    let event : (N.state, N.msg) Trace.event =
+      match enabled_moves t with
+      | [] ->
+        Metrics.note_stutter t.metrics;
+        Trace.Stutter
+      | moves ->
+        let chosen =
+          match t.cfg.policy with
+          | Weighted_random -> Rng.pick_weighted t.sched_rng moves
+          | Round_robin -> fst (List.nth moves (t.time mod List.length moves))
+        in
+        (match chosen with
+         | M_deliver (src, dst) ->
+           (match Network.deliver t.net ~src ~dst with
+            | None -> Trace.Stutter (* cannot happen: channel was nonempty *)
+            | Some (msg, net) ->
+              t.net <- net;
+              Metrics.note_delivery t.metrics;
+              let state', outbox =
+                N.receive ~self:dst ~from:src msg t.states.(dst)
+              in
+              t.states.(dst) <- state';
+              dispatch t ~src:dst ~label:"deliver" outbox;
+              Trace.Deliver { src; dst; msg })
+         | M_internal (p, label, f) ->
+           Metrics.note_internal t.metrics;
+           let state', outbox = f t.states.(p) in
+           t.states.(p) <- state';
+           dispatch t ~src:p ~label outbox;
+           Trace.Internal { pid = p; label })
+    in
+    t.time <- t.time + 1;
+    record t event;
+    event
+
+  (* Positions (front-first) of messages in a channel matching [only]. *)
+  let matching_positions t ~src ~dst only =
+    let msgs = Network.contents t.net ~src ~dst in
+    List.mapi (fun i m -> (i, m)) msgs
+    |> List.filter_map (fun (i, m) ->
+           match only with
+           | None -> Some i
+           | Some p -> if p m then Some i else None)
+
+  let apply_chan_fault t ~chan ~count ~only ~note ~(f : src:Pid.t -> dst:Pid.t -> pos:int -> unit) =
+    let applied = ref 0 in
+    List.iter
+      (fun (src, dst) ->
+        let remaining = ref count in
+        while
+          !remaining > 0
+          &&
+          match matching_positions t ~src ~dst only with
+          | [] -> false
+          | positions ->
+            let pos = Rng.pick t.fault_rng positions in
+            f ~src ~dst ~pos;
+            incr applied;
+            decr remaining;
+            true
+        do
+          ()
+        done)
+      (Faults.select_chans ~n:t.cfg.n chan);
+    note t.metrics !applied
+
+  let apply_fault t kind =
+    (match (kind : (N.state, N.msg) Faults.kind) with
+     | Drop { chan; count; only } ->
+       apply_chan_fault t ~chan ~count ~only ~note:Metrics.note_dropped
+         ~f:(fun ~src ~dst ~pos -> t.net <- Network.drop_at t.net ~src ~dst ~pos)
+     | Duplicate { chan; count } ->
+       apply_chan_fault t ~chan ~count ~only:None ~note:Metrics.note_duplicated
+         ~f:(fun ~src ~dst ~pos ->
+           t.net <- Network.duplicate_at t.net ~src ~dst ~pos)
+     | Corrupt_messages { chan; count; f } ->
+       apply_chan_fault t ~chan ~count ~only:None ~note:Metrics.note_corrupted
+         ~f:(fun ~src ~dst ~pos ->
+           t.net <-
+             Network.corrupt_at t.net ~src ~dst ~pos ~f:(f t.fault_rng))
+     | Reorder { chan; count } ->
+       apply_chan_fault t ~chan ~count ~only:None ~note:Metrics.note_reordered
+         ~f:(fun ~src ~dst ~pos ->
+           t.net <- Network.reorder_at t.net ~src ~dst ~pos)
+     | Flush chan ->
+       let flushed = ref 0 in
+       List.iter
+         (fun (src, dst) ->
+           flushed := !flushed + Network.channel_length t.net ~src ~dst;
+           t.net <- Network.flush_channel t.net ~src ~dst)
+         (Faults.select_chans ~n:t.cfg.n chan);
+       Metrics.note_flushed t.metrics !flushed
+     | Mutate_state { proc; f } ->
+       List.iter
+         (fun p -> t.states.(p) <- f t.fault_rng t.states.(p))
+         (Faults.select_procs ~n:t.cfg.n proc)
+     | Reset_state { proc; f } ->
+       List.iter
+         (fun p -> t.states.(p) <- f p)
+         (Faults.select_procs ~n:t.cfg.n proc));
+    Metrics.note_fault t.metrics;
+    record t (Trace.Fault { label = Faults.label kind })
+
+  (* Duplicate-fault caveat: [duplicate_at] grows the matching set, so
+     the loop above must not re-match the copy; [only:None] with
+     [count] bounds the iterations, which keeps it finite. *)
+
+  let run ?(plan = []) ~steps t =
+    let plan = ref plan in
+    for _ = 1 to steps do
+      let fired, rest = Faults.due !plan t.time in
+      plan := rest;
+      List.iter (apply_fault t) fired;
+      ignore (step t)
+    done
+
+  let run_until ?(plan = []) ~max_steps ~stop t =
+    let plan = ref plan in
+    let rec go remaining =
+      if remaining <= 0 then None
+      else begin
+        let fired, rest = Faults.due !plan t.time in
+        plan := rest;
+        List.iter (apply_fault t) fired;
+        if !plan = [] && stop t then Some t.time
+        else begin
+          ignore (step t);
+          go (remaining - 1)
+        end
+      end
+    in
+    go max_steps
+end

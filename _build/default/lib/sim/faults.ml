@@ -1,0 +1,53 @@
+type chan_selector =
+  | Any_chan
+  | Chan of Pid.t * Pid.t
+  | From of Pid.t
+  | Into of Pid.t
+
+type proc_selector = Any_proc | Proc of Pid.t
+
+type ('s, 'm) kind =
+  | Drop of { chan : chan_selector; count : int; only : ('m -> bool) option }
+  | Duplicate of { chan : chan_selector; count : int }
+  | Corrupt_messages of
+      { chan : chan_selector; count : int; f : Stdext.Rng.t -> 'm -> 'm }
+  | Reorder of { chan : chan_selector; count : int }
+  | Flush of chan_selector
+  | Mutate_state of { proc : proc_selector; f : Stdext.Rng.t -> 's -> 's }
+  | Reset_state of { proc : proc_selector; f : Pid.t -> 's }
+
+type ('s, 'm) event = { at : int; kind : ('s, 'm) kind }
+
+type ('s, 'm) plan = ('s, 'm) event list
+
+let label = function
+  | Drop _ -> "drop"
+  | Duplicate _ -> "duplicate"
+  | Corrupt_messages _ -> "corrupt-msg"
+  | Reorder _ -> "reorder"
+  | Flush _ -> "flush"
+  | Mutate_state _ -> "mutate-state"
+  | Reset_state _ -> "reset-state"
+
+let at time kind = { at = time; kind }
+
+let due plan t =
+  let fired, rest = List.partition (fun e -> e.at <= t) plan in
+  (List.map (fun e -> e.kind) fired, rest)
+
+let last_time = function
+  | [] -> -1
+  | plan -> List.fold_left (fun acc e -> max acc e.at) min_int plan
+
+let select_chans ~n = function
+  | Chan (src, dst) -> [ (src, dst) ]
+  | Any_chan ->
+    List.concat_map
+      (fun src -> List.map (fun dst -> (src, dst)) (Pid.others ~self:src ~n))
+      (Pid.range n)
+  | From src -> List.map (fun dst -> (src, dst)) (Pid.others ~self:src ~n)
+  | Into dst -> List.map (fun src -> (src, dst)) (Pid.others ~self:dst ~n)
+
+let select_procs ~n = function
+  | Any_proc -> Pid.range n
+  | Proc p -> [ p ]

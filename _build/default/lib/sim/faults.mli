@@ -1,0 +1,67 @@
+(** Fault injection: the paper's §3.1 fault model, as data.
+
+    "Messages may be corrupted, lost, or duplicated at any time.
+    Processes (respectively channels) can be improperly initialized,
+    fail, recover, or their state could be transiently (and
+    arbitrarily) corrupted at any time.  Stabilization is desired
+    notwithstanding the occurrence of any finite number of these
+    faults."
+
+    A fault {!kind} describes one transient corruption; a {!plan}
+    schedules finitely many of them at simulated times.  Kinds that
+    need protocol knowledge (message corruption, state corruption,
+    improper re-initialization) carry their mutation as a closure, so
+    the engine stays protocol-agnostic while protocols decide what
+    "arbitrary corruption" means for their representation. *)
+
+type chan_selector =
+  | Any_chan            (** every channel *)
+  | Chan of Pid.t * Pid.t  (** one directed channel [src → dst] *)
+  | From of Pid.t       (** all channels leaving a process *)
+  | Into of Pid.t       (** all channels entering a process *)
+
+type proc_selector = Any_proc | Proc of Pid.t
+
+type ('s, 'm) kind =
+  | Drop of { chan : chan_selector; count : int; only : ('m -> bool) option }
+      (** Lose up to [count] messages per selected channel, front-first,
+          restricted to messages matching [only] when given. *)
+  | Duplicate of { chan : chan_selector; count : int }
+      (** Duplicate up to [count] messages per selected channel. *)
+  | Corrupt_messages of
+      { chan : chan_selector; count : int; f : Stdext.Rng.t -> 'm -> 'm }
+      (** Replace up to [count] messages per selected channel by
+          corrupted versions. *)
+  | Reorder of { chan : chan_selector; count : int }
+      (** Move up to [count] random messages per selected channel to
+          the channel's back: a transient FIFO violation. *)
+  | Flush of chan_selector
+      (** Empty the selected channels (channel failure/recovery). *)
+  | Mutate_state of { proc : proc_selector; f : Stdext.Rng.t -> 's -> 's }
+      (** Transient arbitrary corruption of process state. *)
+  | Reset_state of { proc : proc_selector; f : Pid.t -> 's }
+      (** Improper (re)initialization: replace a process's state
+          wholesale, e.g. with a fresh-but-wrong initial state. *)
+
+type ('s, 'm) event = { at : int; kind : ('s, 'm) kind }
+
+type ('s, 'm) plan = ('s, 'm) event list
+
+val label : ('s, 'm) kind -> string
+(** [label k] is a short trace tag, e.g. ["drop"], ["mutate-state"]. *)
+
+val at : int -> ('s, 'm) kind -> ('s, 'm) event
+
+val due : ('s, 'm) plan -> int -> ('s, 'm) kind list * ('s, 'm) plan
+(** [due plan t] splits off the kinds scheduled at time [<= t]
+    (in schedule order) from the remainder of the plan. *)
+
+val last_time : ('s, 'm) plan -> int
+(** [last_time plan] is the latest scheduled time, [-1] for the empty
+    plan — convergence is measured from this point on. *)
+
+val select_chans : n:int -> chan_selector -> (Pid.t * Pid.t) list
+(** [select_chans ~n sel] expands a selector over [n] processes into
+    directed pairs (excluding self-loops). *)
+
+val select_procs : n:int -> proc_selector -> Pid.t list

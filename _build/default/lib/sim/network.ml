@@ -1,0 +1,95 @@
+open Stdext
+
+type 'm t = { n : int; chans : 'm Fqueue.t array (* index src * n + dst *) }
+
+let idx t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Network: pid out of range";
+  (src * t.n) + dst
+
+let create ~n =
+  if n <= 0 then invalid_arg "Network.create: need n > 0";
+  { n; chans = Array.make (n * n) Fqueue.empty }
+
+let size t = t.n
+
+let update t i q =
+  let chans = Array.copy t.chans in
+  chans.(i) <- q;
+  { t with chans }
+
+let send t ~src ~dst m =
+  let i = idx t ~src ~dst in
+  update t i (Fqueue.push m t.chans.(i))
+
+let deliver t ~src ~dst =
+  let i = idx t ~src ~dst in
+  match Fqueue.pop t.chans.(i) with
+  | None -> None
+  | Some (m, q) -> Some (m, update t i q)
+
+let peek t ~src ~dst = Fqueue.peek t.chans.(idx t ~src ~dst)
+
+let contents t ~src ~dst = Fqueue.to_list t.chans.(idx t ~src ~dst)
+
+let channel_length t ~src ~dst = Fqueue.length t.chans.(idx t ~src ~dst)
+
+let nonempty t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    for dst = t.n - 1 downto 0 do
+      if not (Fqueue.is_empty t.chans.((src * t.n) + dst)) then
+        acc := (src, dst) :: !acc
+    done
+  done;
+  !acc
+
+let in_flight t = Array.fold_left (fun acc q -> acc + Fqueue.length q) 0 t.chans
+
+let is_empty t = in_flight t = 0
+
+let drop_at t ~src ~dst ~pos =
+  let i = idx t ~src ~dst in
+  match Fqueue.remove_at pos t.chans.(i) with
+  | None -> t
+  | Some (_, q) -> update t i q
+
+let duplicate_at t ~src ~dst ~pos =
+  let i = idx t ~src ~dst in
+  match Fqueue.remove_at pos t.chans.(i) with
+  | None -> t
+  | Some (m, q) -> update t i (Fqueue.insert_at pos m (Fqueue.insert_at pos m q))
+
+let corrupt_at t ~src ~dst ~pos ~f =
+  let i = idx t ~src ~dst in
+  match Fqueue.remove_at pos t.chans.(i) with
+  | None -> t
+  | Some (m, q) -> update t i (Fqueue.insert_at pos (f m) q)
+
+let reorder_at t ~src ~dst ~pos =
+  let i = idx t ~src ~dst in
+  match Fqueue.remove_at pos t.chans.(i) with
+  | None -> t
+  | Some (m, q) -> update t i (Fqueue.push m q)
+
+let flush_channel t ~src ~dst = update t (idx t ~src ~dst) Fqueue.empty
+
+let flush_all t = { t with chans = Array.make (t.n * t.n) Fqueue.empty }
+
+let map f t = { t with chans = Array.map (Fqueue.map f) t.chans }
+
+let fold_messages f acc t =
+  let acc = ref acc in
+  for src = 0 to t.n - 1 do
+    for dst = 0 to t.n - 1 do
+      List.iter
+        (fun m -> acc := f !acc ~src ~dst m)
+        (Fqueue.to_list t.chans.((src * t.n) + dst))
+    done
+  done;
+  !acc
+
+let snapshot t =
+  List.map
+    (fun (src, dst) -> (src, dst, contents t ~src ~dst))
+    (nonempty t)

@@ -1,0 +1,76 @@
+(** The interprocess network: one FIFO channel per ordered process
+    pair, as demanded by the paper's Communication Spec.
+
+    The structure is persistent so that the engine can snapshot channel
+    contents into traces and so fault injection is a pure
+    transformation.  Fault primitives (drop / duplicate / corrupt /
+    flush) are defined here; {e when} they fire is decided by
+    {!Faults}. *)
+
+type 'm t
+
+val create : n:int -> 'm t
+(** [create ~n] is an empty network over processes [0 .. n-1]. *)
+
+val size : 'm t -> int
+(** [size net] is the number of processes. *)
+
+val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> 'm t
+(** [send net ~src ~dst m] enqueues [m] at the back of channel
+    [src→dst].  Self-sends are allowed but unused by the protocols. *)
+
+val deliver : 'm t -> src:Pid.t -> dst:Pid.t -> ('m * 'm t) option
+(** [deliver net ~src ~dst] dequeues the head of channel [src→dst]. *)
+
+val peek : 'm t -> src:Pid.t -> dst:Pid.t -> 'm option
+
+val contents : 'm t -> src:Pid.t -> dst:Pid.t -> 'm list
+(** [contents net ~src ~dst] lists channel [src→dst] front-first. *)
+
+val channel_length : 'm t -> src:Pid.t -> dst:Pid.t -> int
+
+val nonempty : 'm t -> (Pid.t * Pid.t) list
+(** [nonempty net] lists channels that currently hold messages, in
+    (src, dst) lexicographic order. *)
+
+val in_flight : 'm t -> int
+(** [in_flight net] is the total number of queued messages. *)
+
+val is_empty : 'm t -> bool
+
+(** {2 Channel-level fault primitives} *)
+
+val drop_at : 'm t -> src:Pid.t -> dst:Pid.t -> pos:int -> 'm t
+(** [drop_at net ~src ~dst ~pos] loses the message at front-first
+    position [pos]; no-op when out of range. *)
+
+val duplicate_at : 'm t -> src:Pid.t -> dst:Pid.t -> pos:int -> 'm t
+(** [duplicate_at net ~src ~dst ~pos] duplicates the message at [pos]
+    in place (the copy sits immediately behind the original). *)
+
+val corrupt_at : 'm t -> src:Pid.t -> dst:Pid.t -> pos:int -> f:('m -> 'm) -> 'm t
+(** [corrupt_at net ~src ~dst ~pos ~f] replaces the message at [pos]
+    with [f msg]; no-op when out of range. *)
+
+val reorder_at : 'm t -> src:Pid.t -> dst:Pid.t -> pos:int -> 'm t
+(** [reorder_at net ~src ~dst ~pos] moves the message at [pos] to the
+    back of its channel — a FIFO violation fault (the wrapper is only
+    guaranteed to stabilize once FIFO behaviour resumes, which this
+    transient fault permits). *)
+
+val flush_channel : 'm t -> src:Pid.t -> dst:Pid.t -> 'm t
+(** [flush_channel net ~src ~dst] empties channel [src→dst]. *)
+
+val flush_all : 'm t -> 'm t
+
+val map : ('m -> 'm) -> 'm t -> 'm t
+(** [map f net] transforms every queued message. *)
+
+val fold_messages :
+  ('acc -> src:Pid.t -> dst:Pid.t -> 'm -> 'acc) -> 'acc -> 'm t -> 'acc
+(** [fold_messages f acc net] folds over all queued messages, channel
+    by channel, front-first. *)
+
+val snapshot : 'm t -> (Pid.t * Pid.t * 'm list) list
+(** [snapshot net] lists every nonempty channel with its contents —
+    the trace representation. *)

@@ -1,0 +1,13 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+
+let range n = List.init n Fun.id
+
+let others ~self ~n = List.filter (fun k -> k <> self) (range n)
+
+let pp = Format.pp_print_int
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

@@ -1,0 +1,21 @@
+(** Process identifiers.
+
+    Pids are dense integers [0 .. n-1]; the tiebreaking order used by
+    the paper's timestamp relation [lt] is the integer order. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val range : int -> t list
+(** [range n] is [\[0; …; n-1\]]. *)
+
+val others : self:t -> n:int -> t list
+(** [others ~self ~n] is [range n] without [self] — the paper's
+    "(∀k : k ≠ j)" quantification domain. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

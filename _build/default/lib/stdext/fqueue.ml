@@ -1,0 +1,74 @@
+type 'a t = { front : 'a list; back : 'a list; length : int }
+
+let empty = { front = []; back = []; length = 0 }
+
+let is_empty q = q.length = 0
+let length q = q.length
+
+let push x q = { q with back = x :: q.back; length = q.length + 1 }
+
+let pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front; length = q.length - 1 })
+  | [] ->
+    (match List.rev q.back with
+     | [] -> None
+     | x :: front -> Some (x, { front; back = []; length = q.length - 1 }))
+
+let peek q =
+  match q.front with
+  | x :: _ -> Some x
+  | [] ->
+    (match List.rev q.back with
+     | [] -> None
+     | x :: _ -> Some x)
+
+let of_list xs = { front = xs; back = []; length = List.length xs }
+
+let to_list q = q.front @ List.rev q.back
+
+let map f q =
+  { front = List.map f q.front;
+    back = List.map f q.back;
+    length = q.length }
+
+let filter p q =
+  let front = List.filter p q.front and back = List.filter p q.back in
+  { front; back; length = List.length front + List.length back }
+
+let fold f init q = List.fold_left f init (to_list q)
+
+let exists p q = List.exists p q.front || List.exists p q.back
+
+let for_all p q = List.for_all p q.front && List.for_all p q.back
+
+let mapi f q = of_list (List.mapi f (to_list q))
+
+let remove_at i q =
+  if i < 0 || i >= q.length then None
+  else
+    let rec go k acc = function
+      | [] -> None
+      | x :: rest ->
+        if k = i then Some (x, of_list (List.rev_append acc rest))
+        else go (k + 1) (x :: acc) rest
+    in
+    go 0 [] (to_list q)
+
+let insert_at i x q =
+  let rec go k acc = function
+    | rest when k = i -> List.rev_append acc (x :: rest)
+    | [] -> List.rev (x :: acc)
+    | y :: rest -> go (k + 1) (y :: acc) rest
+  in
+  of_list (go 0 [] (to_list q))
+
+let equal eq a b =
+  a.length = b.length && List.for_all2 eq (to_list a) (to_list b)
+
+let pp pp_elt ppf q =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_elt)
+    (to_list q)

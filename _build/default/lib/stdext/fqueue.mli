@@ -1,0 +1,56 @@
+(** Purely functional FIFO queue (paired-list representation).
+
+    Used for interprocess channels, where the FIFO discipline is part of
+    the paper's Communication Spec, and where a persistent structure
+    lets the simulator snapshot channel contents into traces for free. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a -> 'a t -> 'a t
+(** [push x q] enqueues [x] at the back. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** [pop q] dequeues from the front, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+(** [peek q] returns the front element without removing it. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] builds a queue whose front is the head of [xs]. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list q] lists elements front-first. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** [map f q] applies [f] to every element, preserving order. *)
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+(** [filter p q] keeps elements satisfying [p], preserving order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f init q] folds front-first. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+(** [mapi f q] like {!map}, passing the front-first position. *)
+
+val remove_at : int -> 'a t -> ('a * 'a t) option
+(** [remove_at i q] removes the element at front-first position [i],
+    returning it and the remaining queue; [None] if out of range. *)
+
+val insert_at : int -> 'a -> 'a t -> 'a t
+(** [insert_at i x q] inserts [x] so it occupies front-first position
+    [i]; appends when [i] exceeds the length. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

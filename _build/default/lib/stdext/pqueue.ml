@@ -1,0 +1,54 @@
+type ('prio, 'a) heap =
+  | Leaf
+  | Node of 'prio * 'a * ('prio, 'a) heap list
+
+type ('prio, 'a) t = {
+  leq : 'prio -> 'prio -> bool;
+  heap : ('prio, 'a) heap;
+  size : int;
+}
+
+let empty ~leq = { leq; heap = Leaf; size = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let merge leq a b =
+  match a, b with
+  | Leaf, h | h, Leaf -> h
+  | Node (pa, xa, ca), Node (pb, xb, cb) ->
+    if leq pa pb then Node (pa, xa, b :: ca) else Node (pb, xb, a :: cb)
+
+let insert prio x t =
+  { t with
+    heap = merge t.leq (Node (prio, x, [])) t.heap;
+    size = t.size + 1 }
+
+(* Two-pass pairing merge keeps pop amortized O(log n). *)
+let rec merge_pairs leq = function
+  | [] -> Leaf
+  | [ h ] -> h
+  | a :: b :: rest -> merge leq (merge leq a b) (merge_pairs leq rest)
+
+let pop_min t =
+  match t.heap with
+  | Leaf -> None
+  | Node (prio, x, children) ->
+    let heap = merge_pairs t.leq children in
+    Some (prio, x, { t with heap; size = t.size - 1 })
+
+let peek_min t =
+  match t.heap with
+  | Leaf -> None
+  | Node (prio, x, _) -> Some (prio, x)
+
+let to_list t =
+  let rec go acc t =
+    match pop_min t with
+    | None -> List.rev acc
+    | Some (prio, x, t) -> go ((prio, x) :: acc) t
+  in
+  go [] t
+
+let of_list ~leq entries =
+  List.fold_left (fun t (prio, x) -> insert prio x t) (empty ~leq) entries

@@ -1,0 +1,27 @@
+(** Purely functional priority queue (pairing heap).
+
+    Used by the simulator's event calendar: events are ordered by
+    (time, sequence number) so delivery is deterministic given a seed. *)
+
+type ('prio, 'a) t
+
+val empty : leq:('prio -> 'prio -> bool) -> ('prio, 'a) t
+(** [empty ~leq] is the empty queue ordered by [leq] (a total
+    preorder; ties are broken by insertion order only if the caller
+    encodes a tiebreaker into ['prio]). *)
+
+val is_empty : ('prio, 'a) t -> bool
+
+val size : ('prio, 'a) t -> int
+
+val insert : 'prio -> 'a -> ('prio, 'a) t -> ('prio, 'a) t
+
+val pop_min : ('prio, 'a) t -> ('prio * 'a * ('prio, 'a) t) option
+(** [pop_min q] removes a minimal-priority element. *)
+
+val peek_min : ('prio, 'a) t -> ('prio * 'a) option
+
+val to_list : ('prio, 'a) t -> ('prio * 'a) list
+(** [to_list q] lists entries in ascending priority order. *)
+
+val of_list : leq:('prio -> 'prio -> bool) -> ('prio * 'a) list -> ('prio, 'a) t

@@ -1,0 +1,35 @@
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function
+  | [] -> nan
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> nan
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+    let xs = sorted xs in
+    let n = List.length xs in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+      |> max 0
+      |> min (n - 1)
+    in
+    List.nth xs rank
+
+let median xs = percentile 50. xs
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) y -> (min lo y, max hi y)) (x, x) xs
+
+let mean_int xs = mean (List.map float_of_int xs)

@@ -1,0 +1,25 @@
+(** Summary statistics over small samples of measurements. *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean; [nan] on the empty list. *)
+
+val stddev : float list -> float
+(** [stddev xs] is the population standard deviation; [nan] on the
+    empty list, [0.] on singletons. *)
+
+val median : float list -> float
+(** [median xs] is the (lower-interpolated) median; [nan] on the empty
+    list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0, 100\]] using nearest-rank;
+    [nan] on the empty list. *)
+
+val min_max : float list -> float * float
+(** [min_max xs] returns [(min, max)].
+    @raise Invalid_argument on the empty list. *)
+
+val sum : float list -> float
+
+val mean_int : int list -> float
+(** [mean_int xs] is the mean of integer samples. *)

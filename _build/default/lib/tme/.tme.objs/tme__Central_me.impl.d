@@ -1,0 +1,1 @@
+lib/tme/central_me.ml: Clocks Format Graybox List Logical_clock Rng Sim Stdext Timestamp

@@ -1,0 +1,1 @@
+lib/tme/central_me.mli: Graybox

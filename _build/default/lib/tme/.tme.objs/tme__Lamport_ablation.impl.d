@@ -1,0 +1,1 @@
+lib/tme/lamport_ablation.ml: Lamport_core

@@ -1,0 +1,1 @@
+lib/tme/lamport_me.mli: Graybox

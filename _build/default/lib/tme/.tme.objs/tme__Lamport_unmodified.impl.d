@@ -1,0 +1,1 @@
+lib/tme/lamport_unmodified.ml: Lamport_core

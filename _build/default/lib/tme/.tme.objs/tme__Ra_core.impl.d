@@ -1,0 +1,1 @@
+lib/tme/ra_core.ml: Clocks Format Graybox List Logical_clock Rng Sim Stdext Timestamp

@@ -1,0 +1,1 @@
+lib/tme/ra_me.mli: Graybox

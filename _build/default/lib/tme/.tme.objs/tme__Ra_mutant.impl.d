@@ -1,0 +1,1 @@
+lib/tme/ra_mutant.ml: Ra_core

@@ -1,0 +1,1 @@
+lib/tme/scenarios.ml: Central_me Gcl Graybox Lamport_ablation Lamport_me Lamport_unmodified List Ra_me Sim

@@ -1,0 +1,1 @@
+lib/tme/scenarios.mli: Graybox Sim Unityspec

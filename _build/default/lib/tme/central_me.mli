@@ -1,0 +1,16 @@
+(** Centralized-coordinator mutual exclusion: the message-complexity
+    baseline.
+
+    Process 0 is the coordinator; requesters send it a timestamped
+    request, it grants the critical section to the earliest pending
+    request whenever the section is free, and holders send it a
+    release.  Three messages per entry, versus [2(n-1)] for
+    Ricart–Agrawala and [3(n-1)] for Lamport.
+
+    This protocol does {e not} implement Lspec (its per-peer knowledge
+    is not maintained; it is not a timestamp-exchange algorithm) and
+    is not meant to be wrapped — it exists for the fault-free
+    message-complexity table and as a contrast case showing what the
+    graybox interface requires. *)
+
+include Graybox.Protocol.S

@@ -1,0 +1,27 @@
+(** Partially modified Lamport variants, for the modification-ablation
+    experiment (bench table T9).
+
+    The paper's modifications, cumulatively:
+    - m0 ({!Lamport_unmodified}): the original program;
+    - m1: Insert keeps one request per process;
+    - m1+2: additionally, the entry rule is "own request ≤ head";
+    - m1+2+3 ({!Lamport_me}): additionally, thinking receivers answer
+      requests with reply + release (prunes phantom queue entries).
+
+    Each variant still implements Lspec from initial states; the
+    ablation shows which fault classes each missing modification
+    leaves unrecoverable even under the wrapper. *)
+
+module M1 = Lamport_core.Make (struct
+  let name = "lamport-m1"
+  let purge_on_insert = true
+  let entry_rule = Lamport_core.Exact_head
+  let release_echo = false
+end)
+
+module M12 = Lamport_core.Make (struct
+  let name = "lamport-m12"
+  let purge_on_insert = true
+  let entry_rule = Lamport_core.Leq_head
+  let release_echo = false
+end)

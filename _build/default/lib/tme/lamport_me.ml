@@ -1,0 +1,6 @@
+include Lamport_core.Make (struct
+  let name = "lamport"
+  let purge_on_insert = true
+  let entry_rule = Lamport_core.Leq_head
+  let release_echo = true
+end)

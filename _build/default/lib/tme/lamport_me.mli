@@ -1,0 +1,6 @@
+(** Lamport's mutual-exclusion program with the paper's modifications
+    (paper §5.2 and Appendix A1), so that it everywhere implements
+    Lspec and the graybox wrapper stabilizes it.  See
+    {!Lamport_core} for the modification list. *)
+
+include Graybox.Protocol.S

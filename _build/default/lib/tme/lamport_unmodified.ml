@@ -1,0 +1,6 @@
+include Lamport_core.Make (struct
+  let name = "lamport-unmod"
+  let purge_on_insert = false
+  let entry_rule = Lamport_core.Exact_head
+  let release_echo = false
+end)

@@ -1,0 +1,13 @@
+(** Lamport's {e original} program, without the paper's modifications:
+    the negative control.
+
+    It implements Lspec from initial states (it is a correct mutual
+    exclusion algorithm) but does {e not} everywhere implement it:
+    from a corrupted state — a duplicated or phantom queue entry — its
+    strict "own request = head" entry rule deadlocks, and the wrapper
+    cannot help because no wrapper message dislodges a queue entry.
+    This is the simulator-scale analogue of Figure 1: satisfying the
+    specification from initial states only does not transfer
+    stabilization. *)
+
+include Graybox.Protocol.S

@@ -1,0 +1,179 @@
+(** The common machinery of Ricart-Agrawala, shared by the correct
+    implementation ({!Ra_me}) and a deliberately faulty mutant
+    ({!Ra_mutant}) used to validate the bounded model checker's
+    discrimination (see test/test_mcheck.ml).  The single configuration
+    point is the receive-request reply condition:
+
+    - the paper's rule replies iff [t.j \/ REQ_k lt REQ_j] — an eating
+      process defers every later request until release;
+    - the mutant replies whenever it is not hungry — including while
+      eating — which lets two processes eat at once.  This is a real
+      bug this repository had during development; the model checker
+      finds it within a dozen steps. *)
+
+module type CONFIG = sig
+  val name : string
+
+  val defer_while_eating : bool
+  (** [true] is the paper's rule; [false] is the mutant. *)
+end
+
+module Make (C : CONFIG) : Graybox.Protocol.S = struct
+  open Clocks
+  module View = Graybox.View
+  module Msg = Graybox.Msg
+
+  type state = {
+    self : Sim.Pid.t;
+    n : int;
+    mode : View.mode;
+    clock : Logical_clock.t;
+    req : Timestamp.t;  (* REQ_j *)
+    local_req : Timestamp.t Sim.Pid.Map.t;  (* j.REQ_k *)
+    received : Sim.Pid.Set.t;  (* received(j.REQ_k): request pending reply *)
+  }
+
+  let name = C.name
+
+  let peers s = Sim.Pid.others ~self:s.self ~n:s.n
+
+  let init ~n self =
+    { self;
+      n;
+      mode = View.Thinking;
+      clock = Logical_clock.create ~pid:self;
+      req = Timestamp.zero ~pid:self;
+      local_req =
+        List.fold_left
+          (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
+          Sim.Pid.Map.empty
+          (Sim.Pid.others ~self ~n);
+      received = Sim.Pid.Set.empty }
+
+  let view s =
+    View.make ~self:s.self ~mode:s.mode ~req:s.req ~local_req:s.local_req
+      ~clock:(Logical_clock.now s.clock)
+
+  (* CS Release Spec: while thinking, REQ_j tracks the newest event. *)
+  let refresh_req_if_thinking s =
+    if s.mode = View.Thinking then { s with req = Logical_clock.read s.clock }
+    else s
+
+  let request_cs s =
+    let clock, ts = Logical_clock.tick s.clock in
+    let s = { s with clock; req = ts; mode = View.Hungry } in
+    (s, List.map (fun k -> (k, Msg.Request ts)) (peers s))
+
+  let earliest s =
+    List.for_all
+      (fun k -> Timestamp.lt s.req (Sim.Pid.Map.find k s.local_req))
+      (peers s)
+
+  let try_enter s =
+    if s.mode = View.Hungry && earliest s then begin
+      let clock, _entry_ts = Logical_clock.tick s.clock in
+      Some ({ s with clock; mode = View.Eating }, [])
+    end
+    else None
+
+  let deferred_set s =
+    List.filter
+      (fun k ->
+        Sim.Pid.Set.mem k s.received
+        && Timestamp.lt s.req (Sim.Pid.Map.find k s.local_req))
+      (peers s)
+
+  let release_cs s =
+    let deferred = deferred_set s in
+    let clock, ts = Logical_clock.tick s.clock in
+    let s =
+      { s with
+        clock;
+        mode = View.Thinking;
+        req = ts;
+        received = Sim.Pid.Set.empty }
+    in
+    (s, List.map (fun k -> (k, Msg.Reply ts)) deferred)
+
+  let on_message ~from msg s =
+    let ts = Msg.timestamp msg in
+    let clock, _ = Logical_clock.receive_event s.clock ts in
+    let s = refresh_req_if_thinking { s with clock } in
+    match msg with
+    | Msg.Request req_k ->
+      (* Assignment, not max: receipt of the owner's (or its wrapper's)
+         request repairs an arbitrarily corrupted copy. *)
+      let s = { s with local_req = Sim.Pid.Map.add from req_k s.local_req } in
+      (* Reply iff t.j ∨ REQ_k lt REQ_j: an eating process defers every
+         later request until it releases.  The mutant (defer_while_eating
+         = false) also replies while eating — the seeded safety bug. *)
+      let replies_now =
+        if C.defer_while_eating then
+          s.mode = View.Thinking || Timestamp.lt req_k s.req
+        else s.mode <> View.Hungry || Timestamp.lt req_k s.req
+      in
+      if replies_now then begin
+        let s = { s with received = Sim.Pid.Set.remove from s.received } in
+        (s, [ (from, Msg.Reply (Logical_clock.read s.clock)) ])
+      end
+      else ({ s with received = Sim.Pid.Set.add from s.received }, [])
+    | Msg.Reply r | Msg.Release r ->
+      (* A reply counts as a grant only if it postdates our request;
+         stale replies (pre-fault leftovers, duplicates) are absorbed. *)
+      if Timestamp.lt s.req r then
+        ({ s with local_req = Sim.Pid.Map.add from r s.local_req }, [])
+      else (s, [])
+
+  let random_ts ~n rng =
+    Timestamp.make
+      ~clock:(Stdext.Rng.int rng 64)
+      ~pid:(Stdext.Rng.int rng n)
+
+  let corrupt rng s =
+    let open Stdext in
+    let mode =
+      match Rng.int rng 3 with
+      | 0 -> View.Thinking
+      | 1 -> View.Hungry
+      | _ -> View.Eating
+    in
+    let clock =
+      if Rng.bool rng then Logical_clock.with_now s.clock (Rng.int rng 64)
+      else s.clock
+    in
+    (* REQ_j's domain is stamps of j's own clock: the pid component is
+       structural, so "arbitrary corruption" randomizes the clock value
+       only.  (A foreign pid would be outside the variable's domain, like
+       assigning a string to an int.) *)
+    let req =
+      if Rng.bool rng then Timestamp.make ~clock:(Rng.int rng 64) ~pid:s.self
+      else s.req
+    in
+    let local_req =
+      Sim.Pid.Map.map
+        (fun ts -> if Rng.chance rng 0.5 then random_ts ~n:s.n rng else ts)
+        s.local_req
+    in
+    let received =
+      List.fold_left
+        (fun acc k -> if Rng.bool rng then Sim.Pid.Set.add k acc else acc)
+        Sim.Pid.Set.empty (peers s)
+    in
+    { s with mode; clock; req; local_req; received }
+
+  let reset ~n self =
+    (* Improper initialization: claims hungry with the zero request but
+       told nobody. *)
+    let s = init ~n self in
+    { s with mode = View.Hungry }
+
+  let pp ppf s =
+    Format.fprintf ppf "ra[%d %a req=%a lc=%d recv={%a}]" s.self View.pp_mode
+      s.mode Timestamp.pp s.req
+      (Logical_clock.now s.clock)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      (Sim.Pid.Set.elements s.received)
+
+end

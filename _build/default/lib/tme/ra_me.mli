@@ -1,0 +1,22 @@
+(** Ricart–Agrawala mutual exclusion (paper §5.1).
+
+    A process that wants the critical section sends a timestamped
+    request to everyone; a receiver replies immediately when it is not
+    requesting or its own request is later, and defers the reply
+    otherwise, releasing all deferred replies on exit.  In the paper's
+    Lspec vocabulary the per-peer knowledge [j.REQ_k] is a concrete
+    variable updated by request receipt (assignment — this is the
+    correction path the wrapper relies on) and by replies (guarded:
+    only information newer than the own request counts as a grant).
+
+    Conformance notes (each required by a clause of Lspec):
+    - any event handled while thinking refreshes [REQ_j] to the current
+      event timestamp (CS Release Spec);
+    - receiving a request {e overwrites} [j.REQ_k], even downward, so
+      corrupted copies are repaired as soon as the owner (or its
+      wrapper) resends (Reply Spec's correction semantics);
+    - message handling is total: stale, duplicated, or corrupted
+      messages are absorbed from any state (everywhere
+      implementation). *)
+
+include Graybox.Protocol.S

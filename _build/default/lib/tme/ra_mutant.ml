@@ -1,0 +1,9 @@
+(** A deliberately faulty Ricart-Agrawala: replies to requests while
+    eating (see {!Ra_core}).  It exists so the bounded model checker's
+    ability to find real interleaving bugs is itself tested; it is not
+    registered in {!Scenarios.protocols}. *)
+
+include Ra_core.Make (struct
+  let name = "ra-mutant"
+  let defer_while_eating = false
+end)

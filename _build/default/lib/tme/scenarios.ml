@@ -1,0 +1,132 @@
+module H = Graybox.Harness
+
+type fault_spec =
+  | Drop_requests of { at : int; per_chan : int }
+  | Drop_requests_window of { from_t : int; until_t : int }
+  | Drop_any of { at : int; per_chan : int }
+  | Duplicate of { at : int; per_chan : int }
+  | Corrupt_messages of { at : int; per_chan : int }
+  | Reorder of { at : int; per_chan : int }
+  | Flush of { at : int }
+  | Partition of { pid : Sim.Pid.t; from_t : int; until_t : int }
+  | Corrupt_state of { at : int; procs : Sim.Faults.proc_selector }
+  | Reset_state of { at : int; procs : Sim.Faults.proc_selector }
+
+let burst ~at =
+  [ Corrupt_state { at; procs = Sim.Faults.Any_proc };
+    Corrupt_messages { at; per_chan = 2 };
+    Drop_any { at; per_chan = 1 } ]
+
+type result = {
+  protocol : string;
+  n : int;
+  seed : int;
+  steps : int;
+  wrapper : H.wrapper_mode;
+  vtrace : (Graybox.View.t, Graybox.Msg.t) Sim.Trace.t;
+  entry_log : H.entry_record list;
+  total_entries : int;
+  analysis : Graybox.Stabilize.analysis;
+  recovery_latency : int option;
+  sent_total : int;
+  wrapper_sends : int;
+  protocol_sends : int;
+  delivered : int;
+  sim_steps : int;
+}
+
+let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?tail_margin
+    ?(think = (2, 8)) ?(eat = (1, 3)) ?(passive = [])
+    (module P : Graybox.Protocol.S) ~n ~seed ~steps =
+  let module Run = H.Make (P) in
+  let think_min, think_max = think and eat_min, eat_max = eat in
+  let params =
+    H.params ~wrapper ~think_min ~think_max ~eat_min ~eat_max ~passive ~n ()
+  in
+  let engine = Run.make_engine ~record params ~seed in
+  let lower = function
+    | Drop_requests { at; per_chan } ->
+      [ Sim.Faults.at at
+          (Run.fault_drop_requests Sim.Faults.Any_chan ~count:per_chan) ]
+    | Drop_requests_window { from_t; until_t } ->
+      List.init
+        (max 0 (until_t - from_t + 1))
+        (fun i ->
+          Sim.Faults.at (from_t + i)
+            (Run.fault_drop_requests Sim.Faults.Any_chan ~count:max_int))
+    | Drop_any { at; per_chan } ->
+      [ Sim.Faults.at at (Run.fault_drop_any Sim.Faults.Any_chan ~count:per_chan) ]
+    | Duplicate { at; per_chan } ->
+      [ Sim.Faults.at at (Run.fault_duplicate Sim.Faults.Any_chan ~count:per_chan) ]
+    | Corrupt_messages { at; per_chan } ->
+      [ Sim.Faults.at at
+          (Run.fault_corrupt_messages params Sim.Faults.Any_chan ~count:per_chan) ]
+    | Reorder { at; per_chan } ->
+      [ Sim.Faults.at at (Run.fault_reorder Sim.Faults.Any_chan ~count:per_chan) ]
+    | Flush { at } -> [ Sim.Faults.at at (Run.fault_flush Sim.Faults.Any_chan) ]
+    | Partition { pid; from_t; until_t } ->
+      List.concat
+        (List.init
+           (max 0 (until_t - from_t + 1))
+           (fun i ->
+             [ Sim.Faults.at (from_t + i)
+                 (Run.fault_drop_any (Sim.Faults.From pid) ~count:max_int);
+               Sim.Faults.at (from_t + i)
+                 (Run.fault_drop_any (Sim.Faults.Into pid) ~count:max_int) ]))
+    | Corrupt_state { at; procs } ->
+      [ Sim.Faults.at at (Run.fault_corrupt_process procs) ]
+    | Reset_state { at; procs } ->
+      [ Sim.Faults.at at (Run.fault_reset_process params procs) ]
+  in
+  let plan = List.concat_map lower faults in
+  Run.Run.run ~plan ~steps engine;
+  let vtrace = if record then Run.view_trace engine else [] in
+  let entry_log = if record then Run.entry_log engine else [] in
+  let metrics = Run.Run.metrics engine in
+  let wrapper_sends =
+    Sim.Metrics.sends_with_label metrics Graybox.Wrapper.action_label
+  in
+  let sent_total = Sim.Metrics.sent metrics in
+  let analysis = Graybox.Stabilize.analyse ?tail_margin vtrace in
+  let recovery_latency =
+    let after =
+      match analysis.Graybox.Stabilize.last_fault_index with
+      | Some i -> i
+      | None -> 0
+    in
+    Graybox.Stabilize.service_round_latency vtrace ~after
+  in
+  { protocol = P.name;
+    n;
+    seed;
+    steps;
+    wrapper;
+    vtrace;
+    entry_log;
+    total_entries = Run.total_entries engine;
+    analysis;
+    recovery_latency;
+    sent_total;
+    wrapper_sends;
+    protocol_sends = sent_total - wrapper_sends;
+    delivered = Sim.Metrics.delivered metrics;
+    sim_steps = Run.Run.time engine }
+
+let lspec_report r = Graybox.Lspec.check_all ~n:r.n r.vtrace
+
+let tme_report r =
+  Graybox.Tme_spec.check_all ~n:r.n ~entries:r.entry_log r.vtrace
+
+let protocols =
+  [ ("ra", (module Ra_me : Graybox.Protocol.S));
+    ("ra-gcl", (module Gcl.Ra_gcl : Graybox.Protocol.S));
+    ("lamport", (module Lamport_me : Graybox.Protocol.S));
+    ("lamport-unmod", (module Lamport_unmodified : Graybox.Protocol.S));
+    ("lamport-m1", (module Lamport_ablation.M1 : Graybox.Protocol.S));
+    ("lamport-m12", (module Lamport_ablation.M12 : Graybox.Protocol.S));
+    ("central", (module Central_me : Graybox.Protocol.S)) ]
+
+let find_protocol name = List.assoc_opt name protocols
+
+let wrapped ?(variant = Graybox.Wrapper.Refined) ~delta () =
+  H.On { variant; delta }

@@ -1,0 +1,85 @@
+(** Packaged simulation scenarios.
+
+    Everything downstream — tests, examples, the CLI, and the bench
+    harness — runs experiments through this module, so a scenario is
+    described once: protocol (as a first-class module), wrapper mode,
+    process count, seed, horizon, and a protocol-independent fault
+    script that is lowered onto the protocol's own corruption hooks. *)
+
+type fault_spec =
+  | Drop_requests of { at : int; per_chan : int }
+      (** lose request messages — the paper's §4 deadlock scenario when
+          applied to all in-flight requests *)
+  | Drop_requests_window of { from_t : int; until_t : int }
+      (** lose {e every} request in flight during the window: the
+          reliable §4 deadlock injection — any process that requests
+          inside the window has its request lost to all peers *)
+  | Drop_any of { at : int; per_chan : int }
+  | Duplicate of { at : int; per_chan : int }
+  | Corrupt_messages of { at : int; per_chan : int }
+  | Reorder of { at : int; per_chan : int }
+  | Flush of { at : int }
+  | Partition of { pid : Sim.Pid.t; from_t : int; until_t : int }
+      (** isolate one process: every message to or from it is lost
+          while the window lasts (process failure and recovery) *)
+  | Corrupt_state of { at : int; procs : Sim.Faults.proc_selector }
+  | Reset_state of { at : int; procs : Sim.Faults.proc_selector }
+
+val burst : at:int -> fault_spec list
+(** [burst ~at] is a compound transient fault: state corruption of
+    every process plus message corruption and loss — the stress case
+    for stabilization. *)
+
+type result = {
+  protocol : string;
+  n : int;
+  seed : int;
+  steps : int;
+  wrapper : Graybox.Harness.wrapper_mode;
+  vtrace : (Graybox.View.t, Graybox.Msg.t) Sim.Trace.t;
+  entry_log : Graybox.Harness.entry_record list;
+  total_entries : int;
+  analysis : Graybox.Stabilize.analysis;
+  recovery_latency : int option;
+      (** steps from the last fault until every process completed a
+          fresh CS entry ({!Graybox.Stabilize.service_round_latency});
+          measured from the trace start on fault-free runs *)
+  sent_total : int;
+  wrapper_sends : int;
+  protocol_sends : int;  (** [sent_total - wrapper_sends] *)
+  delivered : int;
+  sim_steps : int;
+}
+
+val run :
+  ?wrapper:Graybox.Harness.wrapper_mode ->
+  ?faults:fault_spec list ->
+  ?record:bool ->
+  ?tail_margin:int ->
+  ?think:(int * int) ->
+  ?eat:(int * int) ->
+  ?passive:Sim.Pid.t list ->
+  (module Graybox.Protocol.S) ->
+  n:int -> seed:int -> steps:int -> result
+(** [run proto ~n ~seed ~steps] executes one scenario.  With
+    [~record:false] the view trace and entry log are empty and the
+    analysis is degenerate — use it for throughput measurements
+    only. *)
+
+val lspec_report : result -> Unityspec.Report.t
+(** Lspec clause verdicts over the scenario's recorded trace — only
+    meaningful on fault-free runs (see {!Graybox.Lspec}). *)
+
+val tme_report : result -> Unityspec.Report.t
+(** ME1/ME2/ME3 verdicts over the recorded trace. *)
+
+val protocols : (string * (module Graybox.Protocol.S)) list
+(** The registry: [ra], [ra-gcl] (the guarded-command-store
+    transliteration), [lamport], [lamport-unmod], [lamport-m1],
+    [lamport-m12] (the modification-ablation variants), [central]. *)
+
+val find_protocol : string -> (module Graybox.Protocol.S) option
+
+val wrapped : ?variant:Graybox.Wrapper.variant -> delta:int -> unit ->
+  Graybox.Harness.wrapper_mode
+(** Convenience constructor for [On {variant; delta}]. *)

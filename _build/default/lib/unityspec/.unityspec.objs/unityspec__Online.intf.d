@@ -1,0 +1,1 @@
+lib/unityspec/online.mli: Temporal

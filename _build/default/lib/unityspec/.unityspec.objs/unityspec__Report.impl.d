@@ -1,0 +1,1 @@
+lib/unityspec/report.ml: Format List Temporal

@@ -1,0 +1,1 @@
+lib/unityspec/report.mli: Format Temporal

@@ -1,0 +1,1 @@
+lib/unityspec/temporal.ml: Array Format Fun List

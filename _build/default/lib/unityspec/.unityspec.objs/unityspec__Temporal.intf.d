@@ -1,0 +1,1 @@
+lib/unityspec/temporal.mli: Format

@@ -1,0 +1,38 @@
+type entry = { clause : string; verdict : Temporal.verdict }
+
+type t = entry list
+
+let entry clause verdict = { clause; verdict }
+
+let of_list l = List.map (fun (clause, verdict) -> { clause; verdict }) l
+
+let all_hold r = List.for_all (fun e -> Temporal.is_ok e.verdict) r
+
+let safe r =
+  List.for_all
+    (fun e -> match e.verdict with Temporal.Violated _ -> false | _ -> true)
+    r
+
+let failures r = List.filter (fun e -> not (Temporal.is_ok e.verdict)) r
+
+let violations r =
+  List.filter
+    (fun e -> match e.verdict with Temporal.Violated _ -> true | _ -> false)
+    r
+
+let pending r =
+  List.filter
+    (fun e -> match e.verdict with Temporal.Pending _ -> true | _ -> false)
+    r
+
+let merge = ( @ )
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf e ->
+         Format.fprintf ppf "%-28s %a" e.clause Temporal.pp_verdict e.verdict))
+    r
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,34 @@
+(** Named collections of verdicts.
+
+    A specification is a conjunction of named clauses (the paper's
+    Structural Spec, Flow Spec, …); a report pairs each clause name
+    with its verdict so failures identify the clause, not just the
+    trace index. *)
+
+type entry = { clause : string; verdict : Temporal.verdict }
+
+type t = entry list
+
+val entry : string -> Temporal.verdict -> entry
+
+val of_list : (string * Temporal.verdict) list -> t
+
+val all_hold : t -> bool
+(** [all_hold r]: every clause [Holds]. *)
+
+val safe : t -> bool
+(** [safe r]: no clause is [Violated] (pending liveness allowed). *)
+
+val failures : t -> entry list
+(** [failures r] lists clauses that are not [Holds]. *)
+
+val violations : t -> entry list
+(** [violations r] lists only [Violated] clauses. *)
+
+val pending : t -> entry list
+
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

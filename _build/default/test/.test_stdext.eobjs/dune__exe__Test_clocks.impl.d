@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Clocks List Logical_clock QCheck2 QCheck_alcotest Timestamp Vector_clock

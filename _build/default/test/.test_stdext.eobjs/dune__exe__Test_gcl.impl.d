@@ -1,0 +1,1 @@
+test/test_gcl.ml: Alcotest Clocks Gcl Graybox List Option Printf QCheck2 QCheck_alcotest Sim Stdext Store Tme Unityspec

@@ -1,0 +1,1 @@
+test/test_graybox.ml: Alcotest Array Clocks Graybox Harness List Lspec Msg QCheck2 QCheck_alcotest Sim Stabilize Stdext Timestamp Tme Tme_spec Unityspec Vector_clock View Wrapper

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Actsys Alcotest Fig1 Fun Kernel List Product QCheck2 QCheck_alcotest Stdext Synthesis Theorem1 Tolerance Tsys

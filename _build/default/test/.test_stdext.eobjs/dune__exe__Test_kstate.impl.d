@@ -1,0 +1,1 @@
+test/test_kstate.ml: Alcotest Array Kstate List Printf QCheck2 QCheck_alcotest

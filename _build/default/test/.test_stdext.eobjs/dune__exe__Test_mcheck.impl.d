@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Array Gcl Graybox List Mcheck Printf String Tme

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Clocks Graybox List Msg Printf Protocol QCheck2 QCheck_alcotest Stdext Timestamp Tme View

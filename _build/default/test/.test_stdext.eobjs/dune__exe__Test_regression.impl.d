@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Format Option Tme

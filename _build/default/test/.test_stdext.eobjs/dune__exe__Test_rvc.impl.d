@@ -1,0 +1,1 @@
+test/test_rvc.ml: Alcotest Clocks List QCheck2 QCheck_alcotest Rvc Stdext Vector_clock

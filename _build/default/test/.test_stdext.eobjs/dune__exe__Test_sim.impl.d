@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Faults List Metrics Network Pid QCheck2 QCheck_alcotest Sim String Trace

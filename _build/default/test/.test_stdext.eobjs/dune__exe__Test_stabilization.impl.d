@@ -1,0 +1,1 @@
+test/test_stabilization.ml: Alcotest Array Format Graybox List Option Printf QCheck2 QCheck_alcotest Scenarios Sim Tme Unityspec

@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array Float Fqueue Fun List Pqueue QCheck2 QCheck_alcotest Rng Stats Stdext String Tabular

@@ -1,0 +1,1 @@
+test/test_unityspec.ml: Alcotest List Online QCheck2 QCheck_alcotest Report String Temporal Unityspec

@@ -1,0 +1,791 @@
+(* Tests for the Section-2 kernel: transition-system semantics, the
+   implements / everywhere-implements / stabilizing-to relations, box
+   composition, the Figure 1 counterexample, and property tests of
+   Lemma 0 and Theorem 1 over random finite systems. *)
+
+open Kernel
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Tsys basics                                                         *)
+
+let ring3 =
+  Tsys.create ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] ~init:[ 0 ] ()
+
+let test_create_and_accessors () =
+  Alcotest.(check int) "n" 3 (Tsys.n_states ring3);
+  Alcotest.(check bool) "edge" true (Tsys.has_edge ring3 0 1);
+  Alcotest.(check bool) "no edge" false (Tsys.has_edge ring3 1 0);
+  Alcotest.(check (list int)) "init" [ 0 ] (Tsys.init_states ring3);
+  Alcotest.(check (list int)) "succ" [ 1 ] (Tsys.successors ring3 0);
+  Alcotest.(check string) "default name" "s2" (Tsys.name ring3 2)
+
+let test_create_validates () =
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Tsys.create(edge dst): state 5 out of range [0,3)")
+    (fun () -> ignore (Tsys.create ~n:3 ~edges:[ (0, 5) ] ~init:[] ()));
+  Alcotest.check_raises "bad init"
+    (Invalid_argument "Tsys.create(init): state 9 out of range [0,3)")
+    (fun () -> ignore (Tsys.create ~n:3 ~edges:[] ~init:[ 9 ] ()))
+
+let test_deadlock_detection () =
+  let t = Tsys.create ~n:2 ~edges:[ (0, 1) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "0 live" false (Tsys.is_deadlock t 0);
+  Alcotest.(check bool) "1 dead" true (Tsys.is_deadlock t 1)
+
+let test_reachable () =
+  let t = Tsys.create ~n:4 ~edges:[ (0, 1); (1, 2) ] ~init:[ 0 ] () in
+  let r = Tsys.reachable t ~from:[ 0 ] in
+  Alcotest.(check (array bool)) "reach" [| true; true; true; false |] r
+
+let test_box_unions_edges_intersects_init () =
+  let a = Tsys.create ~n:3 ~edges:[ (0, 1) ] ~init:[ 0; 1 ] () in
+  let b = Tsys.create ~n:3 ~edges:[ (1, 2) ] ~init:[ 1; 2 ] () in
+  let ab = Tsys.box a b in
+  Alcotest.(check bool) "edge from a" true (Tsys.has_edge ab 0 1);
+  Alcotest.(check bool) "edge from b" true (Tsys.has_edge ab 1 2);
+  Alcotest.(check (list int)) "common init" [ 1 ] (Tsys.init_states ab)
+
+let test_box_size_mismatch () =
+  let a = Tsys.create ~n:2 ~edges:[] ~init:[ 0 ] () in
+  let b = Tsys.create ~n:3 ~edges:[] ~init:[ 0 ] () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Tsys.box: state-space mismatch") (fun () ->
+      ignore (Tsys.box a b))
+
+let test_everywhere_implements_edge_subset () =
+  let a = Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  let c = Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "equal systems" true (Tsys.everywhere_implements c a);
+  let c_extra =
+    Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0); (0, 0) ] ~init:[ 0 ] ()
+  in
+  Alcotest.(check bool) "extra edge" false (Tsys.everywhere_implements c_extra a)
+
+let test_everywhere_implements_deadlock_condition () =
+  (* c's deadlock at 1 is not a deadlock of a: c's finite computation
+     (0,1) is not maximal in a, hence not a computation of a *)
+  let a = Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  let c = Tsys.create ~n:2 ~edges:[ (0, 1) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "deadlock mismatch" false
+    (Tsys.everywhere_implements c a)
+
+let test_implements_from_init_ignores_unreachable () =
+  (* c has a rogue edge 2->0, but state 2 is unreachable from init *)
+  let a = Tsys.create ~n:3 ~edges:[ (0, 1); (1, 0); (2, 2) ] ~init:[ 0 ] () in
+  let c = Tsys.create ~n:3 ~edges:[ (0, 1); (1, 0); (2, 0) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "init ok" true (Tsys.implements_from_init c a);
+  Alcotest.(check bool) "everywhere not ok" false
+    (Tsys.everywhere_implements c a)
+
+let test_implements_from_init_requires_init_subset () =
+  let a = Tsys.create ~n:2 ~edges:[ (0, 0); (1, 1) ] ~init:[ 0 ] () in
+  let c = Tsys.create ~n:2 ~edges:[ (0, 0); (1, 1) ] ~init:[ 1 ] () in
+  Alcotest.(check bool) "init not subset" false (Tsys.implements_from_init c a)
+
+let test_stabilizing_self () =
+  Alcotest.(check bool) "ring stabilizes to itself" true
+    (Tsys.is_stabilizing_to ring3 ring3)
+
+let test_stabilizing_bad_cycle () =
+  (* a cycle outside the initialized part prevents stabilization *)
+  let c =
+    Tsys.create ~n:4 ~edges:[ (0, 1); (1, 0); (2, 3); (3, 2) ] ~init:[ 0 ] ()
+  in
+  Alcotest.(check bool) "bad cycle" false (Tsys.is_stabilizing_to c c);
+  match Tsys.stabilization_counterexample c c with
+  | Some witness ->
+    Alcotest.(check bool) "witness is a path" true
+      (Tsys.is_computation c witness);
+    Alcotest.(check bool) "witness visits bad states" true
+      (List.exists (fun s -> s = 2 || s = 3) witness)
+  | None -> Alcotest.fail "expected counterexample"
+
+let test_stabilizing_transient_escape () =
+  (* same bad states but with an escape edge and no bad cycle *)
+  let c =
+    Tsys.create ~n:4 ~edges:[ (0, 1); (1, 0); (2, 3); (3, 0) ] ~init:[ 0 ] ()
+  in
+  Alcotest.(check bool) "escapes" true (Tsys.is_stabilizing_to c c);
+  Alcotest.(check bool) "no counterexample" true
+    (Tsys.stabilization_counterexample c c = None)
+
+let test_stabilizing_dead_end () =
+  let a = Tsys.create ~n:2 ~edges:[ (0, 0) ] ~init:[ 0 ] () in
+  let c = Tsys.create ~n:2 ~edges:[ (0, 0) ] ~init:[ 0 ] () in
+  (* state 1 is a dead end in c and a deadlock of a, but it is not
+     reachable from a's initial states, so the suffix (1) is not a
+     suffix of any initialized computation *)
+  Alcotest.(check bool) "dead end blocks" false (Tsys.is_stabilizing_to c a)
+
+let test_computations_upto () =
+  let paths = Tsys.computations_upto ring3 ~from:0 4 in
+  Alcotest.(check (list (list int))) "single path" [ [ 0; 1; 2; 0; 1 ] ] paths;
+  let t = Tsys.create ~n:3 ~edges:[ (0, 1); (0, 2) ] ~init:[ 0 ] () in
+  let paths = Tsys.computations_upto t ~from:0 2 in
+  Alcotest.(check (list (list int))) "branches" [ [ 0; 1 ]; [ 0; 2 ] ] paths
+
+let test_sample_computation () =
+  let rng = Stdext.Rng.create 3 in
+  let path = Tsys.sample_computation rng ring3 ~from:0 10 in
+  Alcotest.(check bool) "valid path" true (Tsys.is_computation ring3 path);
+  Alcotest.(check int) "length" 11 (List.length path)
+
+let test_is_computation () =
+  Alcotest.(check bool) "valid" true (Tsys.is_computation ring3 [ 0; 1; 2; 0 ]);
+  Alcotest.(check bool) "invalid" false (Tsys.is_computation ring3 [ 0; 2 ]);
+  Alcotest.(check bool) "empty" false (Tsys.is_computation ring3 []);
+  Alcotest.(check bool) "out of range" false (Tsys.is_computation ring3 [ 7 ])
+
+let test_restrict_edges () =
+  let t = Tsys.restrict_edges ring3 ~keep:(fun u _ -> u <> 2) in
+  Alcotest.(check bool) "kept" true (Tsys.has_edge t 0 1);
+  Alcotest.(check bool) "removed" false (Tsys.has_edge t 2 0)
+
+let test_equal () =
+  Alcotest.(check bool) "reflexive" true (Tsys.equal ring3 ring3);
+  let other = Tsys.create ~n:3 ~edges:[ (0, 1) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "different" false (Tsys.equal ring3 other)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+
+let test_fig1_implements_from_init () =
+  Alcotest.(check bool) "[C => A]init" true
+    (Tsys.implements_from_init Fig1.c Fig1.a)
+
+let test_fig1_not_everywhere () =
+  Alcotest.(check bool) "not [C => A]" false
+    (Tsys.everywhere_implements Fig1.c Fig1.a)
+
+let test_fig1_a_stabilizes () =
+  Alcotest.(check bool) "A stabilizing to A" true
+    (Tsys.is_stabilizing_to Fig1.a Fig1.a)
+
+let test_fig1_c_does_not_stabilize () =
+  Alcotest.(check bool) "C not stabilizing to A" false
+    (Tsys.is_stabilizing_to Fig1.c Fig1.a)
+
+let test_fig1_fault_and_witness () =
+  Alcotest.(check int) "fault throws s0 to s*" Fig1.s_star (Fig1.fault Fig1.s0);
+  Alcotest.(check int) "fault fixes others" Fig1.s2 (Fig1.fault Fig1.s2);
+  match Tsys.stabilization_counterexample Fig1.c Fig1.a with
+  | Some [ s ] -> Alcotest.(check int) "dead-end witness is s*" Fig1.s_star s
+  | Some other ->
+    Alcotest.failf "unexpected witness of length %d" (List.length other)
+  | None -> Alcotest.fail "expected a counterexample"
+
+let test_fig1_a_recovers_after_fault () =
+  let faulted = Fig1.fault Fig1.s0 in
+  let paths = Tsys.computations_upto Fig1.a ~from:faulted 3 in
+  Alcotest.(check (list (list int))) "a's recovery path"
+    [ [ Fig1.s_star; Fig1.s2; Fig1.s3; Fig1.s3 ] ]
+    paths;
+  let c_paths = Tsys.computations_upto Fig1.c ~from:faulted 3 in
+  Alcotest.(check (list (list int))) "c is stuck" [ [ Fig1.s_star ] ] c_paths
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 instance                                                  *)
+
+let test_theorem1_hypotheses () =
+  Alcotest.(check bool) "hypotheses hold" true
+    (Theorem1.hypotheses_hold ~c:Theorem1.c ~a:Theorem1.a ~w:Theorem1.w
+       ~w':Theorem1.w')
+
+let test_theorem1_conclusion () =
+  Alcotest.(check bool) "C box W' stabilizes to A" true
+    (Tsys.is_stabilizing_to (Tsys.box Theorem1.c Theorem1.w') Theorem1.a);
+  Alcotest.(check bool) "check" true
+    (Theorem1.check ~c:Theorem1.c ~a:Theorem1.a ~w:Theorem1.w ~w':Theorem1.w')
+
+let test_theorem1_needs_wrapper () =
+  Alcotest.(check bool) "C alone does not stabilize" false
+    (Tsys.is_stabilizing_to Theorem1.c Theorem1.a)
+
+(* ------------------------------------------------------------------ *)
+(* Random-system properties                                            *)
+
+let gen_system =
+  let open QCheck2.Gen in
+  let* n = 2 -- 5 in
+  let* edges =
+    list_size (0 -- (n * n)) (pair (0 -- (n - 1)) (0 -- (n - 1)))
+  in
+  let* init_candidates = list_size (1 -- n) (0 -- (n - 1)) in
+  return (Tsys.create ~n ~edges ~init:init_candidates ())
+
+let gen_subsystem_of t =
+  (* a random everywhere implementation: keep a random edge subset,
+     then give any state that would spuriously deadlock its original
+     edges back *)
+  let open QCheck2.Gen in
+  let edges = Tsys.edges t in
+  let* keep = list_repeat (List.length edges) bool in
+  let kept = List.filteri (fun i _ -> List.nth keep i) edges in
+  let candidate =
+    Tsys.create ~n:(Tsys.n_states t) ~edges:kept ~init:(Tsys.init_states t) ()
+  in
+  let repaired =
+    List.fold_left
+      (fun acc s ->
+        if Tsys.is_deadlock candidate s && not (Tsys.is_deadlock t s) then
+          acc @ List.map (fun v -> (s, v)) (Tsys.successors t s)
+        else acc)
+      kept
+      (List.init (Tsys.n_states t) Fun.id)
+  in
+  return
+    (Tsys.create ~n:(Tsys.n_states t) ~edges:repaired
+       ~init:(Tsys.init_states t) ())
+
+let gen_pair_sub =
+  let open QCheck2.Gen in
+  let* a = gen_system in
+  let* c = gen_subsystem_of a in
+  return (a, c)
+
+let gen_lemma0_inputs =
+  let open QCheck2.Gen in
+  let* n = 2 -- 5 in
+  let sys =
+    let* edges =
+      list_size (0 -- (n * n)) (pair (0 -- (n - 1)) (0 -- (n - 1)))
+    in
+    let* init_candidates = list_size (1 -- n) (0 -- (n - 1)) in
+    return (Tsys.create ~n ~edges ~init:init_candidates ())
+  in
+  let* a = sys in
+  let* w = sys in
+  let* c = gen_subsystem_of a in
+  let* w' = gen_subsystem_of w in
+  return (a, w, c, w')
+
+let prop_everywhere_implements_reflexive =
+  qtest "[A => A] always" gen_system (fun a -> Tsys.everywhere_implements a a)
+
+let prop_everywhere_implies_from_init =
+  qtest "[C => A] implies [C => A]init (same inits)" gen_pair_sub
+    (fun (a, c) ->
+      (not (Tsys.everywhere_implements c a)) || Tsys.implements_from_init c a)
+
+let prop_subsystem_everywhere_implements =
+  qtest "deadlock-repaired subsystems everywhere implement" gen_pair_sub
+    (fun (a, c) -> Tsys.everywhere_implements c a)
+
+let prop_box_monotone_lemma0 =
+  (* Lemma 0: [C => A] and [W' => W] imply [(C box W') => (A box W)] *)
+  qtest "Lemma 0" ~count:200 gen_lemma0_inputs (fun (a, w, c, w') ->
+      (not
+         (Tsys.everywhere_implements c a && Tsys.everywhere_implements w' w))
+      || Tsys.everywhere_implements (Tsys.box c w') (Tsys.box a w))
+
+let prop_theorem1_random =
+  qtest "Theorem 1 (random search for violations)" ~count:500
+    gen_lemma0_inputs
+    (fun (a, w, c, w') -> Theorem1.check ~c ~a ~w ~w')
+
+let gen_two_systems =
+  let open QCheck2.Gen in
+  let* n = 2 -- 5 in
+  let sys =
+    let* edges =
+      list_size (0 -- (n * n)) (pair (0 -- (n - 1)) (0 -- (n - 1)))
+    in
+    let* init_candidates = list_size (1 -- n) (0 -- (n - 1)) in
+    return (Tsys.create ~n ~edges ~init:init_candidates ())
+  in
+  let* a = sys in
+  let* c = sys in
+  return (a, c)
+
+let prop_stabilizing_counterexample_agrees =
+  qtest "counterexample iff not stabilizing" gen_two_systems (fun (a, c) ->
+      let stab = Tsys.is_stabilizing_to c a in
+      let cex = Tsys.stabilization_counterexample c a in
+      stab = (cex = None))
+
+let prop_counterexample_is_a_path =
+  qtest "counterexamples are real computations of C" gen_two_systems
+    (fun (a, c) ->
+      match Tsys.stabilization_counterexample c a with
+      | None -> true
+      | Some path -> Tsys.is_computation c path)
+
+let prop_box_commutative_edges =
+  qtest "box is commutative" gen_two_systems (fun (a, b) ->
+      Tsys.equal (Tsys.box a b) (Tsys.box b a))
+
+let prop_box_idempotent =
+  qtest "box is idempotent" gen_system (fun a -> Tsys.equal (Tsys.box a a) a)
+
+
+(* ------------------------------------------------------------------ *)
+(* Actsys: weak fairness                                               *)
+
+let g0 = 0
+let g1 = 1
+let b = 2
+
+(* the motivating case: an idling fault state.  Under the plain path
+   semantics the wrapper cannot stabilize it (the idle self-loop is a
+   bad cycle); under UNITY weak fairness the continuously enabled
+   correction must eventually fire. *)
+let idle_sys =
+  Actsys.create ~n:3
+    ~actions:[ ("prog", [ (g0, g1); (g1, g0) ]); ("idle", [ (b, b) ]) ]
+    ~init:[ g0 ] ()
+
+let correction = Actsys.create ~n:3 ~actions:[ ("correct", [ (b, g0) ]) ] ~init:[ g0 ] ()
+
+let spec_gg = Tsys.create ~n:3 ~edges:[ (g0, g1); (g1, g0) ] ~init:[ g0 ] ()
+
+let test_actsys_accessors () =
+  Alcotest.(check int) "n" 3 (Actsys.n_states idle_sys);
+  Alcotest.(check (list string)) "actions" [ "prog"; "idle" ]
+    (Actsys.action_names idle_sys);
+  Alcotest.(check bool) "enabled" true (Actsys.enabled idle_sys "idle" b);
+  Alcotest.(check bool) "not enabled" false (Actsys.enabled idle_sys "idle" g0);
+  Alcotest.(check (list (pair int int))) "transitions" [ (b, b) ]
+    (Actsys.transitions idle_sys "idle")
+
+let test_actsys_create_validates () =
+  Alcotest.check_raises "duplicate action"
+    (Invalid_argument "Actsys.create: duplicate action a") (fun () ->
+      ignore (Actsys.create ~n:2 ~actions:[ ("a", []); ("a", []) ] ~init:[] ()))
+
+let test_actsys_box_renames () =
+  let x = Actsys.create ~n:2 ~actions:[ ("a", [ (0, 1) ]) ] ~init:[ 0 ] () in
+  let y = Actsys.create ~n:2 ~actions:[ ("a", [ (1, 0) ]) ] ~init:[ 0 ] () in
+  let xy = Actsys.box x y in
+  Alcotest.(check (list string)) "renamed" [ "a"; "a'" ] (Actsys.action_names xy)
+
+let test_fairness_rescues_the_wrapper () =
+  let wrapped = Actsys.box idle_sys correction in
+  (* path semantics: NOT stabilizing (the idle loop is a bad cycle) *)
+  Alcotest.(check bool) "path semantics says no" false
+    (Tsys.is_stabilizing_to (Actsys.to_tsys wrapped) spec_gg);
+  (* fair semantics: stabilizing *)
+  Alcotest.(check bool) "weak fairness says yes" true
+    (Actsys.is_fairly_stabilizing_to wrapped spec_gg)
+
+let test_fairness_does_not_invent_stabilization () =
+  (* without the correction action, fairness cannot help: the idle
+     settlement {b} satisfies the fairness condition and is
+     illegitimate *)
+  Alcotest.(check bool) "unwrapped still stuck" false
+    (Actsys.is_fairly_stabilizing_to idle_sys spec_gg);
+  match Actsys.fair_violation_witness idle_sys spec_gg with
+  | Some [ s ] -> Alcotest.(check int) "settles at b" b s
+  | _ -> Alcotest.fail "expected the singleton settlement {b}"
+
+let test_fair_deadlock_detected () =
+  let dead =
+    Actsys.create ~n:3 ~actions:[ ("prog", [ (g0, g1); (g1, g0) ]) ]
+      ~init:[ g0 ] ()
+  in
+  (* b has no enabled action: a fair finite computation ends there *)
+  Alcotest.(check bool) "illegitimate dead end" false
+    (Actsys.is_fairly_stabilizing_to dead spec_gg);
+  Alcotest.(check bool) "witness is the dead end" true
+    (Actsys.fair_violation_witness dead spec_gg = Some [ b ])
+
+let test_fair_witness_none_when_stabilizing () =
+  let wrapped = Actsys.box idle_sys correction in
+  Alcotest.(check bool) "no witness" true
+    (Actsys.fair_violation_witness wrapped spec_gg = None)
+
+let test_fair_two_state_bad_cycle () =
+  (* two illegitimate states cycling between each other with a single
+     always-enabled escape from only one of them: fairness does not
+     force the escape (it is not enabled at both states), so the
+     system is not fairly stabilizing *)
+  let sys =
+    Actsys.create ~n:4
+      ~actions:
+        [ ("prog", [ (0, 1); (1, 0) ]);
+          ("bad", [ (2, 3); (3, 2) ]);
+          ("escape", [ (2, 0) ]) ]
+      ~init:[ 0 ] ()
+  in
+  let spec = Tsys.create ~n:4 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "can dodge the escape" false
+    (Actsys.is_fairly_stabilizing_to sys spec);
+  (* the witness must avoid state 2 (where escape is enabled) -- no:
+     escape is enabled only at 2, and {2,3} visits 2 infinitely often,
+     but escape is not enabled at 3, so it is not continuously enabled
+     and fairness does not force it *)
+  match Actsys.fair_violation_witness sys spec with
+  | Some members ->
+    Alcotest.(check (list int)) "settles in the bad cycle" [ 2; 3 ]
+      (List.sort compare members)
+  | None -> Alcotest.fail "expected a witness"
+
+let test_fair_escape_enabled_everywhere_forces_exit () =
+  (* same but the escape action is enabled at both bad states: now
+     weak fairness forces it and the system stabilizes *)
+  let sys =
+    Actsys.create ~n:4
+      ~actions:
+        [ ("prog", [ (0, 1); (1, 0) ]);
+          ("bad", [ (2, 3); (3, 2) ]);
+          ("escape", [ (2, 0); (3, 0) ]) ]
+      ~init:[ 0 ] ()
+  in
+  let spec = Tsys.create ~n:4 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  Alcotest.(check bool) "forced out" true
+    (Actsys.is_fairly_stabilizing_to sys spec)
+
+(* ------------------------------------------------------------------ *)
+(* Tolerance: masking / fail-safe / nonmasking (paper 6)               *)
+
+let spec_tol = spec_gg
+let faults_tol = [ (g0, b); (g1, b) ]
+
+(* program that recovers from b: nonmasking, and masking w.r.t. the
+   safety "program steps never enter b" *)
+let recovering =
+  Tsys.create ~n:3 ~edges:[ (g0, g1); (g1, g0); (b, g0) ] ~init:[ g0 ] ()
+
+(* program that ignores b entirely: fail-safe (its own steps are all
+   inside the legitimate part) but not nonmasking (b is a dead end) *)
+let ignoring = Tsys.create ~n:3 ~edges:[ (g0, g1); (g1, g0) ] ~init:[ g0 ] ()
+
+let safe_no_enter_b _ v = v <> b
+
+let test_fault_span () =
+  let span = Tolerance.fault_span recovering ~faults:faults_tol in
+  Alcotest.(check (array bool)) "all states reachable under faults"
+    [| true; true; true |] span;
+  let span0 = Tolerance.fault_span recovering ~faults:[] in
+  Alcotest.(check (array bool)) "no faults: program reach only"
+    [| true; true; false |] span0
+
+let test_with_faults_box () =
+  let cf = Tolerance.with_faults ignoring ~faults:faults_tol in
+  Alcotest.(check bool) "fault edge present" true (Tsys.has_edge cf g0 b);
+  Alcotest.(check bool) "program edges kept" true (Tsys.has_edge cf g0 g1)
+
+let test_masking_example () =
+  Alcotest.(check bool) "fail-safe" true
+    (Tolerance.is_fail_safe ~c:recovering ~faults:faults_tol
+       ~safe:safe_no_enter_b);
+  Alcotest.(check bool) "nonmasking" true
+    (Tolerance.is_nonmasking ~c:recovering ~a:spec_tol ~faults:faults_tol);
+  Alcotest.(check bool) "masking" true
+    (Tolerance.is_masking ~c:recovering ~a:spec_tol ~faults:faults_tol
+       ~safe:safe_no_enter_b)
+
+let test_failsafe_only_example () =
+  Alcotest.(check bool) "fail-safe" true
+    (Tolerance.is_fail_safe ~c:ignoring ~faults:faults_tol
+       ~safe:safe_no_enter_b);
+  Alcotest.(check bool) "not nonmasking (dead end at b)" false
+    (Tolerance.is_nonmasking ~c:ignoring ~a:spec_tol ~faults:faults_tol);
+  Alcotest.(check bool) "hence not masking" false
+    (Tolerance.is_masking ~c:ignoring ~a:spec_tol ~faults:faults_tol
+       ~safe:safe_no_enter_b)
+
+let test_nonmasking_only_example () =
+  (* safety forbids the recovery edge itself: nonmasking holds but
+     fail-safe does not *)
+  let safe_strict u v = u <> b && v <> b in
+  Alcotest.(check bool) "not fail-safe" false
+    (Tolerance.is_fail_safe ~c:recovering ~faults:faults_tol ~safe:safe_strict);
+  Alcotest.(check bool) "still nonmasking" true
+    (Tolerance.is_nonmasking ~c:recovering ~a:spec_tol ~faults:faults_tol)
+
+let test_tolerance_ignores_unreachable_faults () =
+  (* faults that cannot occur (source unreachable) do not matter *)
+  let c = Tsys.create ~n:3 ~edges:[ (g0, g1); (g1, g0); (b, b) ] ~init:[ g0 ] () in
+  Alcotest.(check bool) "bad loop outside span is fine" true
+    (Tolerance.is_nonmasking ~c ~a:spec_tol ~faults:[])
+
+let test_tolerance_bad_cycle_in_span () =
+  let c = Tsys.create ~n:3 ~edges:[ (g0, g1); (g1, g0); (b, b) ] ~init:[ g0 ] () in
+  Alcotest.(check bool) "bad loop inside span breaks nonmasking" false
+    (Tolerance.is_nonmasking ~c ~a:spec_tol ~faults:faults_tol)
+
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis                                                           *)
+
+let test_synthesis_idle_case () =
+  (* synthesize the correction for the idling fault state: exactly the
+     wrapper we wrote by hand *)
+  match Synthesis.synthesize idle_sys ~spec:spec_gg with
+  | None -> Alcotest.fail "expected a wrapper"
+  | Some w ->
+    Alcotest.(check (list int)) "corrects exactly b" [ b ]
+      (Synthesis.needs_correction idle_sys ~spec:spec_gg);
+    Alcotest.(check bool) "verified stabilizing" true
+      (Actsys.is_fairly_stabilizing_to (Actsys.box idle_sys w) spec_gg);
+    Alcotest.(check bool) "minimal" true
+      (Synthesis.is_minimal idle_sys ~spec:spec_gg ~wrapper:w)
+
+let test_synthesis_nothing_to_do () =
+  (* an already-stabilizing system needs an empty correction *)
+  let healthy =
+    Actsys.create ~n:2 ~actions:[ ("prog", [ (0, 1); (1, 0) ]) ] ~init:[ 0 ] ()
+  in
+  let spec = Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  Alcotest.(check (list int)) "no corrections" []
+    (Synthesis.needs_correction healthy ~spec);
+  match Synthesis.synthesize healthy ~spec with
+  | Some w ->
+    Alcotest.(check (list (pair int int))) "empty action" []
+      (Actsys.transitions w "correct")
+  | None -> Alcotest.fail "expected the empty wrapper"
+
+let test_synthesis_deadlock_case () =
+  let dead =
+    Actsys.create ~n:3 ~actions:[ ("prog", [ (g0, g1); (g1, g0) ]) ]
+      ~init:[ g0 ] ()
+  in
+  match Synthesis.synthesize dead ~spec:spec_gg with
+  | None -> Alcotest.fail "expected a wrapper"
+  | Some w ->
+    Alcotest.(check (list (pair int int))) "corrects the dead end"
+      [ (b, g0) ]
+      (Actsys.transitions w "correct")
+
+let test_synthesis_no_target () =
+  (* a spec with no initialized reachable state cannot be escaped to *)
+  let empty_spec = Tsys.create ~n:2 ~edges:[ (0, 0) ] ~init:[] () in
+  let sys = Actsys.create ~n:2 ~actions:[ ("idle", [ (1, 1) ]) ] ~init:[] () in
+  Alcotest.(check bool) "no wrapper" true
+    (Synthesis.synthesize sys ~spec:empty_spec = None)
+
+let test_synthesis_respects_target () =
+  match Synthesis.synthesize ~target:g1 idle_sys ~spec:spec_gg with
+  | Some w ->
+    Alcotest.(check (list (pair int int))) "targets g1" [ (b, g1) ]
+      (Actsys.transitions w "correct")
+  | None -> Alcotest.fail "expected a wrapper"
+
+(* Random closed systems: legitimate core (a cycle over the first
+   [k] states) plus arbitrary junk actions among the remaining states
+   and junk->core escape edges; synthesis must always succeed and
+   verify. *)
+let gen_closed_system =
+  let open QCheck2.Gen in
+  let* core = 2 -- 3 in
+  let* extra = 1 -- 3 in
+  let n = core + extra in
+  let core_cycle = List.init core (fun i -> (i, (i + 1) mod core)) in
+  let* junk =
+    list_size (0 -- 6) (pair (core -- (n - 1)) (core -- (n - 1)))
+  in
+  let* escapes = list_size (0 -- 2) (pair (core -- (n - 1)) (0 -- (core - 1))) in
+  let spec = Tsys.create ~n ~edges:core_cycle ~init:[ 0 ] () in
+  let sys =
+    Actsys.create ~n
+      ~actions:
+        [ ("prog", core_cycle); ("junk", junk); ("escape", escapes) ]
+      ~init:[ 0 ] ()
+  in
+  return (sys, spec)
+
+let prop_synthesis_always_works =
+  qtest "synthesized wrappers verify" ~count:200 gen_closed_system
+    (fun (sys, spec) ->
+      match Synthesis.synthesize sys ~spec with
+      | Some w -> Actsys.is_fairly_stabilizing_to (Actsys.box sys w) spec
+      | None -> false)
+
+let prop_synthesis_empty_iff_stabilizing =
+  qtest "empty correction iff already fairly stabilizing" ~count:200
+    gen_closed_system
+    (fun (sys, spec) ->
+      let needs = Synthesis.needs_correction sys ~spec in
+      (needs = []) = Actsys.is_fairly_stabilizing_to sys spec)
+
+
+(* ------------------------------------------------------------------ *)
+(* Product: local specifications composed (Lemmas 2-3, Theorem 4)      *)
+
+let test_encode_decode_roundtrip () =
+  let dims = [ 3; 4; 2 ] in
+  List.iter
+    (fun locals ->
+      Alcotest.(check (list int)) "roundtrip" locals
+        (Product.decode ~dims (Product.encode ~dims locals)))
+    [ [ 0; 0; 0 ]; [ 2; 3; 1 ]; [ 1; 2; 0 ] ];
+  Alcotest.(check int) "component view" 3
+    (Product.component_view ~dims (Product.encode ~dims [ 1; 3; 0 ]) ~i:1)
+
+let test_encode_validates () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Product: component state out of range") (fun () ->
+      ignore (Product.encode ~dims:[ 2; 2 ] [ 0; 5 ]));
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Product: dimension mismatch") (fun () ->
+      ignore (Product.encode ~dims:[ 2 ] [ 0; 0 ]))
+
+let two_rings =
+  let ring = Tsys.create ~n:2 ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] () in
+  Product.compose [ ring; ring ]
+
+let test_compose_basic () =
+  Alcotest.(check int) "4 global states" 4 (Tsys.n_states two_rings);
+  let dims = [ 2; 2 ] in
+  let s00 = Product.encode ~dims [ 0; 0 ] in
+  let s10 = Product.encode ~dims [ 1; 0 ] in
+  let s01 = Product.encode ~dims [ 0; 1 ] in
+  let s11 = Product.encode ~dims [ 1; 1 ] in
+  Alcotest.(check (list int)) "init" [ s00 ] (Tsys.init_states two_rings);
+  Alcotest.(check bool) "comp0 move" true (Tsys.has_edge two_rings s00 s10);
+  Alcotest.(check bool) "comp1 move" true (Tsys.has_edge two_rings s00 s01);
+  Alcotest.(check bool) "no joint move" false (Tsys.has_edge two_rings s00 s11);
+  Alcotest.(check string) "name" "(s0,s0)" (Tsys.name two_rings s00)
+
+(* Lemma 2 on random components: local everywhere implementations
+   compose to a global everywhere implementation. *)
+let gen_component =
+  let open QCheck2.Gen in
+  let* n = 2 -- 3 in
+  let* edges = list_size (1 -- (n * n)) (pair (0 -- (n - 1)) (0 -- (n - 1))) in
+  let* init_candidates = list_size (1 -- n) (0 -- (n - 1)) in
+  return (Tsys.create ~n ~edges ~init:init_candidates ())
+
+let gen_lemma2_inputs =
+  let open QCheck2.Gen in
+  let* a0 = gen_component in
+  let* a1 = gen_component in
+  let* c0 = gen_subsystem_of a0 in
+  let* c1 = gen_subsystem_of a1 in
+  return ((a0, a1), (c0, c1))
+
+let prop_lemma2 =
+  qtest "Lemma 2: local [C_i => A_i] gives global [C => A]" ~count:200
+    gen_lemma2_inputs
+    (fun ((a0, a1), (c0, c1)) ->
+      (not
+         (Tsys.everywhere_implements c0 a0 && Tsys.everywhere_implements c1 a1))
+      || Tsys.everywhere_implements
+           (Product.compose [ c0; c1 ])
+           (Product.compose [ a0; a1 ]))
+
+let prop_box_distributes_over_product =
+  qtest "box distributes over the product" ~count:200 gen_lemma2_inputs
+    (fun ((c0, c1), (w0, w1)) ->
+      Tsys.equal
+        (Product.compose [ Tsys.box c0 w0; Tsys.box c1 w1 ])
+        (Tsys.box (Product.compose [ c0; c1 ]) (Product.compose [ w0; w1 ])))
+
+(* Theorem 4, end to end: synthesize per-process wrappers against the
+   LOCAL specifications only, compose them, and verify the global
+   product stabilizes. *)
+let test_theorem4_local_wrappers_compose () =
+  let local_spec = spec_gg in
+  let local_sys = idle_sys in
+  let w =
+    match Synthesis.synthesize local_sys ~spec:local_spec with
+    | Some w -> w
+    | None -> Alcotest.fail "local synthesis failed"
+  in
+  let global_sys = Product.compose_act [ local_sys; local_sys ] in
+  let global_wrapper = Product.compose_act [ w; w ] in
+  let global_spec = Product.compose [ local_spec; local_spec ] in
+  Alcotest.(check bool) "unwrapped product does not stabilize" false
+    (Actsys.is_fairly_stabilizing_to global_sys global_spec);
+  Alcotest.(check bool) "wrapped product stabilizes (Theorem 4)" true
+    (Actsys.is_fairly_stabilizing_to
+       (Actsys.box global_sys global_wrapper)
+       global_spec)
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "tsys",
+        [ Alcotest.test_case "create/accessors" `Quick test_create_and_accessors;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "box" `Quick test_box_unions_edges_intersects_init;
+          Alcotest.test_case "box mismatch" `Quick test_box_size_mismatch;
+          Alcotest.test_case "everywhere: edges" `Quick
+            test_everywhere_implements_edge_subset;
+          Alcotest.test_case "everywhere: deadlocks" `Quick
+            test_everywhere_implements_deadlock_condition;
+          Alcotest.test_case "from-init ignores unreachable" `Quick
+            test_implements_from_init_ignores_unreachable;
+          Alcotest.test_case "from-init init subset" `Quick
+            test_implements_from_init_requires_init_subset;
+          Alcotest.test_case "stabilizing: self" `Quick test_stabilizing_self;
+          Alcotest.test_case "stabilizing: bad cycle" `Quick
+            test_stabilizing_bad_cycle;
+          Alcotest.test_case "stabilizing: escape" `Quick
+            test_stabilizing_transient_escape;
+          Alcotest.test_case "stabilizing: dead end" `Quick
+            test_stabilizing_dead_end;
+          Alcotest.test_case "computations_upto" `Quick test_computations_upto;
+          Alcotest.test_case "sample_computation" `Quick test_sample_computation;
+          Alcotest.test_case "is_computation" `Quick test_is_computation;
+          Alcotest.test_case "restrict_edges" `Quick test_restrict_edges;
+          Alcotest.test_case "equal" `Quick test_equal ] );
+      ( "fig1",
+        [ Alcotest.test_case "[C => A]init" `Quick test_fig1_implements_from_init;
+          Alcotest.test_case "not [C => A]" `Quick test_fig1_not_everywhere;
+          Alcotest.test_case "A stabilizing" `Quick test_fig1_a_stabilizes;
+          Alcotest.test_case "C not stabilizing" `Quick
+            test_fig1_c_does_not_stabilize;
+          Alcotest.test_case "fault and witness" `Quick
+            test_fig1_fault_and_witness;
+          Alcotest.test_case "recovery paths" `Quick
+            test_fig1_a_recovers_after_fault ] );
+      ( "theorem1",
+        [ Alcotest.test_case "hypotheses" `Quick test_theorem1_hypotheses;
+          Alcotest.test_case "conclusion" `Quick test_theorem1_conclusion;
+          Alcotest.test_case "wrapper necessary" `Quick
+            test_theorem1_needs_wrapper ] );
+      ( "actsys-fairness",
+        [ Alcotest.test_case "accessors" `Quick test_actsys_accessors;
+          Alcotest.test_case "create validates" `Quick test_actsys_create_validates;
+          Alcotest.test_case "box renames" `Quick test_actsys_box_renames;
+          Alcotest.test_case "fairness rescues wrapper" `Quick
+            test_fairness_rescues_the_wrapper;
+          Alcotest.test_case "fairness is not magic" `Quick
+            test_fairness_does_not_invent_stabilization;
+          Alcotest.test_case "fair deadlock" `Quick test_fair_deadlock_detected;
+          Alcotest.test_case "no witness when stabilizing" `Quick
+            test_fair_witness_none_when_stabilizing;
+          Alcotest.test_case "dodgeable escape" `Quick test_fair_two_state_bad_cycle;
+          Alcotest.test_case "forced escape" `Quick
+            test_fair_escape_enabled_everywhere_forces_exit ] );
+      ( "tolerance",
+        [ Alcotest.test_case "fault span" `Quick test_fault_span;
+          Alcotest.test_case "with_faults" `Quick test_with_faults_box;
+          Alcotest.test_case "masking" `Quick test_masking_example;
+          Alcotest.test_case "fail-safe only" `Quick test_failsafe_only_example;
+          Alcotest.test_case "nonmasking only" `Quick test_nonmasking_only_example;
+          Alcotest.test_case "unreachable faults" `Quick
+            test_tolerance_ignores_unreachable_faults;
+          Alcotest.test_case "bad cycle in span" `Quick
+            test_tolerance_bad_cycle_in_span ] );
+      ( "synthesis",
+        [ Alcotest.test_case "idle case" `Quick test_synthesis_idle_case;
+          Alcotest.test_case "nothing to do" `Quick test_synthesis_nothing_to_do;
+          Alcotest.test_case "deadlock case" `Quick test_synthesis_deadlock_case;
+          Alcotest.test_case "no target" `Quick test_synthesis_no_target;
+          Alcotest.test_case "explicit target" `Quick test_synthesis_respects_target;
+          prop_synthesis_always_works;
+          prop_synthesis_empty_iff_stabilizing ] );
+      ( "product",
+        [ Alcotest.test_case "encode/decode" `Quick test_encode_decode_roundtrip;
+          Alcotest.test_case "encode validates" `Quick test_encode_validates;
+          Alcotest.test_case "compose basic" `Quick test_compose_basic;
+          prop_lemma2;
+          prop_box_distributes_over_product;
+          Alcotest.test_case "Theorem 4 end-to-end" `Quick
+            test_theorem4_local_wrappers_compose ] );
+      ( "properties",
+        [ prop_everywhere_implements_reflexive;
+          prop_everywhere_implies_from_init;
+          prop_subsystem_everywhere_implements;
+          prop_box_monotone_lemma0;
+          prop_theorem1_random;
+          prop_stabilizing_counterexample_agrees;
+          prop_counterexample_is_a_path;
+          prop_box_commutative_edges;
+          prop_box_idempotent ] ) ]

@@ -1,0 +1,68 @@
+(* Tests for Dijkstra's K-state ring: the whitebox-stabilization
+   contrast case.  Privilege counting, fault-free legitimacy, recovery
+   from arbitrary counter corruption (Dijkstra's theorem, empirically),
+   and validation of the K >= n + 1 precondition. *)
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_privileges_counting () =
+  (* all equal: only the bottom is privileged *)
+  Alcotest.(check int) "uniform" 1
+    (Kstate.privileges ~counters:[| 3; 3; 3; 3 |] ~k:5);
+  (* mid-circulation: the new value has propagated halfway; only the
+     frontier machine is privileged *)
+  Alcotest.(check int) "one step" 1
+    (Kstate.privileges ~counters:[| 4; 4; 3; 3 |] ~k:5);
+  (* fully scrambled: several privileges *)
+  Alcotest.(check bool) "scrambled has several" true
+    (Kstate.privileges ~counters:[| 0; 2; 1; 4 |] ~k:5 > 1)
+
+let test_privileges_never_zero =
+  qtest "at least one machine is always privileged"
+    QCheck2.Gen.(list_size (return 5) (0 -- 5))
+    (fun xs ->
+      Kstate.privileges ~counters:(Array.of_list xs) ~k:6 >= 1)
+
+let test_run_validates () =
+  Alcotest.check_raises "k too small"
+    (Invalid_argument "Kstate.run: need k >= n + 1") (fun () ->
+      ignore (Kstate.run ~n:5 ~k:5 ~seed:1 ~steps:10 ()));
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Kstate.run: need n >= 2") (fun () ->
+      ignore (Kstate.run ~n:1 ~k:5 ~seed:1 ~steps:10 ()))
+
+let test_fault_free_legitimate () =
+  let o = Kstate.run ~n:4 ~k:5 ~seed:3 ~steps:2000 () in
+  Alcotest.(check bool) "stabilized (trivially)" true
+    (o.Kstate.stabilized_at <> None);
+  Alcotest.(check int) "one privilege at end" 1 o.Kstate.privileges_at_end;
+  Alcotest.(check bool) "token moved" true (o.Kstate.moves > 20)
+
+let test_recovers_from_corruption () =
+  List.iter
+    (fun seed ->
+      let o = Kstate.run ~corrupt_at:300 ~n:5 ~k:6 ~seed ~steps:3000 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "stabilized (seed %d)" seed)
+        true
+        (o.Kstate.stabilized_at <> None);
+      Alcotest.(check int) "single privilege" 1 o.Kstate.privileges_at_end)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let prop_recovers_from_random_corruption =
+  qtest ~count:15 "K-state always stabilizes after corruption"
+    QCheck2.Gen.(pair (1 -- 500) (100 -- 600))
+    (fun (seed, at) ->
+      let o = Kstate.run ~corrupt_at:at ~n:4 ~k:5 ~seed ~steps:4000 () in
+      o.Kstate.stabilized_at <> None && o.Kstate.privileges_at_end = 1)
+
+let () =
+  Alcotest.run "kstate"
+    [ ( "kstate",
+        [ Alcotest.test_case "privilege counting" `Quick test_privileges_counting;
+          test_privileges_never_zero;
+          Alcotest.test_case "validates" `Quick test_run_validates;
+          Alcotest.test_case "fault-free" `Quick test_fault_free_legitimate;
+          Alcotest.test_case "recovers" `Quick test_recovers_from_corruption;
+          prop_recovers_from_random_corruption ] ) ]

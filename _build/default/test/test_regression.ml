@@ -1,0 +1,67 @@
+(* Golden regression tests: exact execution fingerprints for fixed
+   seeds.  The whole stack is deterministic (SplitMix64 + seeded
+   scheduling + pure fault application), so any semantic change to the
+   engine, a protocol, the wrapper, or the client shows up here as an
+   exact-number diff.  If a change is *intended*, re-capture the
+   goldens and say why in the commit. *)
+
+let ra = Option.get (Tme.Scenarios.find_protocol "ra")
+let lamport = Option.get (Tme.Scenarios.find_protocol "lamport")
+
+type golden = {
+  entries : int;
+  sent : int;
+  wrapper : int;
+  delivered : int;
+  me1 : int;
+  recovered : bool;
+}
+
+let fingerprint (r : Tme.Scenarios.result) =
+  { entries = r.total_entries;
+    sent = r.sent_total;
+    wrapper = r.wrapper_sends;
+    delivered = r.delivered;
+    me1 = r.analysis.me1_violations;
+    recovered = r.analysis.recovered }
+
+let golden_t =
+  Alcotest.testable
+    (fun ppf g ->
+      Format.fprintf ppf
+        "entries=%d sent=%d wrapper=%d delivered=%d me1=%d recovered=%b"
+        g.entries g.sent g.wrapper g.delivered g.me1 g.recovered)
+    ( = )
+
+let check name expected actual () =
+  Alcotest.check golden_t name expected (fingerprint actual)
+
+let () =
+  Alcotest.run "regression"
+    [ ( "goldens",
+        [ Alcotest.test_case "ra clean seed 100" `Quick
+            (check "ra-clean"
+               { entries = 184; sent = 1113; wrapper = 0; delivered = 1110;
+                 me1 = 0; recovered = true }
+               (Tme.Scenarios.run ra ~n:4 ~seed:100 ~steps:3000));
+          Alcotest.test_case "ra wrapped burst seed 100" `Quick
+            (check "ra-wrapped-burst"
+               { entries = 168; sent = 1651; wrapper = 514; delivered = 1649;
+                 me1 = 12; recovered = true }
+               (Tme.Scenarios.run ra ~n:4 ~seed:100 ~steps:5000
+                  ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+                  ~faults:(Tme.Scenarios.burst ~at:700)));
+          Alcotest.test_case "lamport clean seed 100" `Quick
+            (check "lamport-clean"
+               { entries = 176; sent = 1205; wrapper = 0; delivered = 1204;
+                 me1 = 0; recovered = true }
+               (Tme.Scenarios.run lamport ~n:3 ~seed:100 ~steps:3000));
+          Alcotest.test_case "lamport wrapped deadlock seed 100" `Quick
+            (check "lamport-wrapped-deadlock"
+               { entries = 203; sent = 1759; wrapper = 159; delivered = 1746;
+                 me1 = 0; recovered = true }
+               (Tme.Scenarios.run lamport ~n:3 ~seed:100 ~steps:5000
+                  ~wrapper:(Tme.Scenarios.wrapped ~delta:8 ())
+                  ~faults:
+                    [ Tme.Scenarios.Drop_requests_window
+                        { from_t = 400; until_t = 450 } ])) ] ) ]

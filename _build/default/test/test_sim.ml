@@ -1,0 +1,434 @@
+(* Tests for the simulator: FIFO network and fault primitives, fault
+   plans and selectors, traces, metrics, and the engine (determinism,
+   message flow, fault application, probabilistic fairness). *)
+
+open Sim
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Pid                                                                 *)
+
+let test_pid_range_others () =
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Pid.range 3);
+  Alcotest.(check (list int)) "others" [ 0; 2 ] (Pid.others ~self:1 ~n:3)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+
+let test_net_send_deliver_fifo () =
+  let net = Network.create ~n:3 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  Alcotest.(check (list string)) "contents" [ "a"; "b" ]
+    (Network.contents net ~src:0 ~dst:1);
+  match Network.deliver net ~src:0 ~dst:1 with
+  | Some ("a", net') ->
+    Alcotest.(check (list string)) "rest" [ "b" ]
+      (Network.contents net' ~src:0 ~dst:1)
+  | _ -> Alcotest.fail "expected head a"
+
+let test_net_deliver_empty () =
+  let net = Network.create ~n:2 in
+  Alcotest.(check bool) "none" true (Network.deliver net ~src:0 ~dst:1 = None)
+
+let test_net_persistence () =
+  let net0 = Network.create ~n:2 in
+  let net1 = Network.send net0 ~src:0 ~dst:1 "x" in
+  Alcotest.(check int) "original untouched" 0 (Network.in_flight net0);
+  Alcotest.(check int) "new has message" 1 (Network.in_flight net1)
+
+let test_net_nonempty () =
+  let net = Network.create ~n:3 in
+  let net = Network.send net ~src:2 ~dst:0 "m" in
+  let net = Network.send net ~src:0 ~dst:1 "m" in
+  Alcotest.(check (list (pair int int))) "sorted channels" [ (0, 1); (2, 0) ]
+    (Network.nonempty net)
+
+let test_net_drop_at () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  let net = Network.drop_at net ~src:0 ~dst:1 ~pos:0 in
+  Alcotest.(check (list string)) "dropped head" [ "b" ]
+    (Network.contents net ~src:0 ~dst:1);
+  let same = Network.drop_at net ~src:0 ~dst:1 ~pos:9 in
+  Alcotest.(check (list string)) "out of range noop" [ "b" ]
+    (Network.contents same ~src:0 ~dst:1)
+
+let test_net_duplicate_at () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  let net = Network.duplicate_at net ~src:0 ~dst:1 ~pos:0 in
+  Alcotest.(check (list string)) "duplicated in place" [ "a"; "a"; "b" ]
+    (Network.contents net ~src:0 ~dst:1)
+
+let test_net_corrupt_at () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.corrupt_at net ~src:0 ~dst:1 ~pos:0 ~f:String.uppercase_ascii in
+  Alcotest.(check (list string)) "corrupted" [ "A" ]
+    (Network.contents net ~src:0 ~dst:1)
+
+let test_net_reorder_at () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  let net = Network.send net ~src:0 ~dst:1 "c" in
+  let net = Network.reorder_at net ~src:0 ~dst:1 ~pos:0 in
+  Alcotest.(check (list string)) "moved to back" [ "b"; "c"; "a" ]
+    (Network.contents net ~src:0 ~dst:1)
+
+let test_net_flush () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:1 ~dst:0 "b" in
+  let net' = Network.flush_channel net ~src:0 ~dst:1 in
+  Alcotest.(check int) "one channel flushed" 1 (Network.in_flight net');
+  Alcotest.(check int) "flush all" 0 (Network.in_flight (Network.flush_all net))
+
+let test_net_snapshot_and_fold () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  Alcotest.(check (list (triple int int (list string)))) "snapshot"
+    [ (0, 1, [ "a"; "b" ]) ]
+    (Network.snapshot net);
+  let count = Network.fold_messages (fun acc ~src:_ ~dst:_ _ -> acc + 1) 0 net in
+  Alcotest.(check int) "fold" 2 count
+
+let test_net_pid_bounds () =
+  let net = Network.create ~n:2 in
+  Alcotest.check_raises "bad pid" (Invalid_argument "Network: pid out of range")
+    (fun () -> ignore (Network.send net ~src:0 ~dst:5 "x"))
+
+let prop_net_fifo_random_ops =
+  qtest "sends then delivers preserve order" QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let net =
+        List.fold_left (fun net x -> Network.send net ~src:0 ~dst:1 x)
+          (Network.create ~n:2) xs
+      in
+      let rec drain net acc =
+        match Network.deliver net ~src:0 ~dst:1 with
+        | None -> List.rev acc
+        | Some (x, net') -> drain net' (x :: acc)
+      in
+      drain net [] = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+
+let test_faults_selectors () =
+  Alcotest.(check (list (pair int int))) "chan" [ (1, 2) ]
+    (Faults.select_chans ~n:3 (Faults.Chan (1, 2)));
+  Alcotest.(check int) "any excludes self-loops" 6
+    (List.length (Faults.select_chans ~n:3 Faults.Any_chan));
+  Alcotest.(check (list (pair int int))) "from" [ (1, 0); (1, 2) ]
+    (Faults.select_chans ~n:3 (Faults.From 1));
+  Alcotest.(check (list (pair int int))) "into" [ (0, 1); (2, 1) ]
+    (Faults.select_chans ~n:3 (Faults.Into 1));
+  Alcotest.(check (list int)) "procs any" [ 0; 1; 2 ]
+    (Faults.select_procs ~n:3 Faults.Any_proc);
+  Alcotest.(check (list int)) "proc one" [ 2 ]
+    (Faults.select_procs ~n:3 (Faults.Proc 2))
+
+let test_faults_due () =
+  let plan =
+    [ Faults.at 5 (Faults.Flush Faults.Any_chan);
+      Faults.at 2 (Faults.Flush Faults.Any_chan);
+      Faults.at 9 (Faults.Flush Faults.Any_chan) ]
+  in
+  let fired, rest = Faults.due plan 5 in
+  Alcotest.(check int) "two due" 2 (List.length fired);
+  Alcotest.(check int) "one left" 1 (List.length rest);
+  Alcotest.(check int) "last time" 9 (Faults.last_time rest);
+  Alcotest.(check int) "empty plan" (-1) (Faults.last_time [])
+
+let test_faults_labels () =
+  Alcotest.(check string) "flush" "flush" (Faults.label (Faults.Flush Faults.Any_chan));
+  Alcotest.(check string) "drop" "drop"
+    (Faults.label (Faults.Drop { chan = Faults.Any_chan; count = 1; only = None }))
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let snap time event states : (int, string) Trace.snapshot =
+  { Trace.time; event; states; channels = [] }
+
+let test_trace_helpers () =
+  let tr =
+    [ snap 0 Trace.Init [| 1 |];
+      snap 1 (Trace.Fault { label = "drop" }) [| 2 |];
+      snap 2 Trace.Stutter [| 3 |] ]
+  in
+  Alcotest.(check int) "length" 3 (Trace.length tr);
+  Alcotest.(check (option int)) "last fault" (Some 1) (Trace.last_fault_index tr);
+  Alcotest.(check int) "suffix" 2 (Trace.length (Trace.suffix_from tr 1));
+  let mapped = Trace.map_states string_of_int tr in
+  Alcotest.(check string) "map_states" "2" (List.nth mapped 1).Trace.states.(0)
+
+let test_trace_no_fault () =
+  let tr = [ snap 0 Trace.Init [| 0 |] ] in
+  Alcotest.(check (option int)) "none" None (Trace.last_fault_index tr)
+
+let test_trace_map_msgs () =
+  let tr =
+    [ { Trace.time = 0;
+        event = Trace.Deliver { src = 0; dst = 1; msg = 41 };
+        states = [| () |];
+        channels = [ (0, 1, [ 1; 2 ]) ] } ]
+  in
+  match Trace.map_msgs (fun x -> x + 1) tr with
+  | [ { Trace.event = Trace.Deliver { msg = 42; _ }; channels = [ (0, 1, [ 2; 3 ]) ]; _ } ] ->
+    ()
+  | _ -> Alcotest.fail "map_msgs did not transform event and channels"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_counts () =
+  let m = Metrics.create () in
+  Metrics.note_send m ~label:"a";
+  Metrics.note_send m ~label:"a";
+  Metrics.note_send m ~label:"b";
+  Metrics.note_delivery m;
+  Metrics.note_dropped m 3;
+  Alcotest.(check int) "sent" 3 (Metrics.sent m);
+  Alcotest.(check int) "delivered" 1 (Metrics.delivered m);
+  Alcotest.(check int) "dropped" 3 (Metrics.dropped m);
+  Alcotest.(check int) "by label" 2 (Metrics.sends_with_label m "a");
+  Alcotest.(check int) "missing label" 0 (Metrics.sends_with_label m "zzz");
+  Alcotest.(check int) "matching" 3 (Metrics.sends_matching m (fun _ -> true));
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.sent m)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: a tiny token-passing node for testing                       *)
+
+module Token_node = struct
+  type state = { self : Pid.t; n : int; has_token : bool; passes : int }
+  type msg = Token
+
+  let receive ~self:_ ~from:_ Token s = ({ s with has_token = true }, [])
+
+  let actions ~self:_ s =
+    if s.has_token then
+      [ ( "pass",
+          fun s ->
+            ( { s with has_token = false; passes = s.passes + 1 },
+              [ ((s.self + 1) mod s.n, Token) ] ) ) ]
+    else []
+end
+
+module E = Engine.Make (Token_node)
+
+let token_engine ?(record = true) ~n ~seed () =
+  E.create (E.config ~record ~n ~seed ()) ~init:(fun self ->
+      { Token_node.self; n; has_token = self = 0; passes = 0 })
+
+let total_passes e =
+  Array.fold_left (fun acc s -> acc + s.Token_node.passes) 0 (E.states e)
+
+let test_engine_token_circulates () =
+  let e = token_engine ~n:3 ~seed:1 () in
+  E.run ~steps:300 e;
+  (* exactly one token: total passes equals deliveries plus in flight *)
+  Alcotest.(check bool) "token alive" true (total_passes e > 10);
+  let holders =
+    Array.to_list (E.states e)
+    |> List.filter (fun s -> s.Token_node.has_token)
+    |> List.length
+  in
+  let in_flight = Network.in_flight (E.network e) in
+  Alcotest.(check int) "exactly one token" 1 (holders + in_flight)
+
+let test_engine_determinism () =
+  let run seed =
+    let e = token_engine ~n:4 ~seed () in
+    E.run ~steps:200 e;
+    (total_passes e, Metrics.sent (E.metrics e))
+  in
+  Alcotest.(check (pair int int)) "same seed same run" (run 7) (run 7);
+  Alcotest.(check bool) "different seed differs somewhere" true
+    (run 7 <> run 8 || run 7 = run 8 (* tolerated: tiny state space *))
+
+let test_engine_trace_records () =
+  let e = token_engine ~n:2 ~seed:3 () in
+  E.run ~steps:10 e;
+  let tr = E.trace e in
+  Alcotest.(check int) "init + 10 steps" 11 (Trace.length tr);
+  match tr with
+  | { Trace.event = Trace.Init; time = 0; _ } :: _ -> ()
+  | _ -> Alcotest.fail "first snapshot must be Init at time 0"
+
+let test_engine_no_record () =
+  let e = token_engine ~record:false ~n:2 ~seed:3 () in
+  E.run ~steps:10 e;
+  Alcotest.(check int) "empty trace" 0 (Trace.length (E.trace e))
+
+let test_engine_stutter_when_disabled () =
+  (* no process holds the token and channels are empty: only stutters *)
+  let e = token_engine ~n:2 ~seed:1 () in
+  E.set_state e 0 { Token_node.self = 0; n = 2; has_token = false; passes = 0 };
+  E.run ~steps:5 e;
+  Alcotest.(check int) "all stutters" 5 (Metrics.stutters (E.metrics e))
+
+let test_engine_fault_drop () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  (* force a message into flight, then drop everything *)
+  let rec until_in_flight budget =
+    if budget = 0 then Alcotest.fail "token never sent"
+    else if Network.in_flight (E.network e) = 0 then begin
+      ignore (E.step e);
+      until_in_flight (budget - 1)
+    end
+  in
+  until_in_flight 100;
+  E.apply_fault e (Faults.Drop { chan = Faults.Any_chan; count = 99; only = None });
+  Alcotest.(check int) "net empty" 0 (Network.in_flight (E.network e));
+  Alcotest.(check int) "fault counted" 1 (Metrics.faults (E.metrics e));
+  E.run ~steps:20 e;
+  Alcotest.(check int) "token lost: system dead" 20
+    (Metrics.stutters (E.metrics e))
+
+let test_engine_fault_duplicate_token () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  let rec until_in_flight budget =
+    if budget = 0 then Alcotest.fail "token never sent"
+    else if Network.in_flight (E.network e) = 0 then begin
+      ignore (E.step e);
+      until_in_flight (budget - 1)
+    end
+  in
+  until_in_flight 100;
+  E.apply_fault e (Faults.Duplicate { chan = Faults.Any_chan; count = 1 });
+  Alcotest.(check int) "two tokens in flight" 2 (Network.in_flight (E.network e))
+
+let test_engine_mutate_state_fault () =
+  let e = token_engine ~n:2 ~seed:5 () in
+  E.apply_fault e
+    (Faults.Mutate_state
+       { proc = Faults.Proc 1;
+         f = (fun _rng s -> { s with Token_node.has_token = true }) });
+  let holders =
+    Array.to_list (E.states e)
+    |> List.filter (fun s -> s.Token_node.has_token)
+    |> List.length
+  in
+  Alcotest.(check int) "second token injected" 2 holders
+
+let test_engine_reset_state_fault () =
+  let e = token_engine ~n:2 ~seed:5 () in
+  E.apply_fault e
+    (Faults.Reset_state
+       { proc = Faults.Any_proc;
+         f = (fun p -> { Token_node.self = p; n = 2; has_token = false; passes = 0 }) });
+  Alcotest.(check int) "all reset" 0 (total_passes e)
+
+let test_engine_run_until () =
+  let e = token_engine ~n:3 ~seed:9 () in
+  let stop engine = total_passes engine >= 5 in
+  match E.run_until ~max_steps:1000 ~stop e with
+  | Some t ->
+    Alcotest.(check bool) "stopped in time" true (t <= 1000);
+    Alcotest.(check bool) "condition holds" true (stop e)
+  | None -> Alcotest.fail "never reached 5 passes"
+
+let test_engine_run_until_timeout () =
+  let e = token_engine ~n:3 ~seed:9 () in
+  Alcotest.(check (option int)) "unreachable condition" None
+    (E.run_until ~max_steps:50 ~stop:(fun _ -> false) e)
+
+let test_engine_planned_faults_fire () =
+  let e = token_engine ~n:2 ~seed:4 () in
+  let plan =
+    [ Faults.at 3 (Faults.Flush Faults.Any_chan);
+      Faults.at 7 (Faults.Flush Faults.Any_chan) ]
+  in
+  E.run ~plan ~steps:20 e;
+  Alcotest.(check int) "both fired" 2 (Metrics.faults (E.metrics e));
+  let fault_times =
+    List.filter_map
+      (fun (s : (Token_node.state, Token_node.msg) Trace.snapshot) ->
+        match s.Trace.event with
+        | Trace.Fault _ -> Some s.Trace.time
+        | _ -> None)
+      (E.trace e)
+  in
+  Alcotest.(check (list int)) "at the right times" [ 3; 7 ] fault_times
+
+let test_engine_round_robin () =
+  let e =
+    E.create
+      (E.config ~policy:E.Round_robin ~n:3 ~seed:1 ())
+      ~init:(fun self ->
+        { Token_node.self; n = 3; has_token = self = 0; passes = 0 })
+  in
+  E.run ~steps:300 e;
+  Alcotest.(check bool) "token circulates" true (total_passes e > 10);
+  (* deterministic: replaying gives the identical execution *)
+  let e2 =
+    E.create
+      (E.config ~policy:E.Round_robin ~n:3 ~seed:1 ())
+      ~init:(fun self ->
+        { Token_node.self; n = 3; has_token = self = 0; passes = 0 })
+  in
+  E.run ~steps:300 e2;
+  Alcotest.(check int) "replay identical" (total_passes e) (total_passes e2)
+
+let prop_engine_deterministic =
+  qtest "equal seeds give equal executions" ~count:25 QCheck2.Gen.small_int
+    (fun seed ->
+      let run () =
+        let e = token_engine ~n:3 ~seed () in
+        E.run ~steps:100 e;
+        (total_passes e, Metrics.sent (E.metrics e), Metrics.delivered (E.metrics e))
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "sim"
+    [ ("pid", [ Alcotest.test_case "range/others" `Quick test_pid_range_others ]);
+      ( "network",
+        [ Alcotest.test_case "send/deliver fifo" `Quick test_net_send_deliver_fifo;
+          Alcotest.test_case "deliver empty" `Quick test_net_deliver_empty;
+          Alcotest.test_case "persistence" `Quick test_net_persistence;
+          Alcotest.test_case "nonempty" `Quick test_net_nonempty;
+          Alcotest.test_case "drop_at" `Quick test_net_drop_at;
+          Alcotest.test_case "duplicate_at" `Quick test_net_duplicate_at;
+          Alcotest.test_case "corrupt_at" `Quick test_net_corrupt_at;
+          Alcotest.test_case "reorder_at" `Quick test_net_reorder_at;
+          Alcotest.test_case "flush" `Quick test_net_flush;
+          Alcotest.test_case "snapshot/fold" `Quick test_net_snapshot_and_fold;
+          Alcotest.test_case "pid bounds" `Quick test_net_pid_bounds;
+          prop_net_fifo_random_ops ] );
+      ( "faults",
+        [ Alcotest.test_case "selectors" `Quick test_faults_selectors;
+          Alcotest.test_case "due" `Quick test_faults_due;
+          Alcotest.test_case "labels" `Quick test_faults_labels ] );
+      ( "trace",
+        [ Alcotest.test_case "helpers" `Quick test_trace_helpers;
+          Alcotest.test_case "no fault" `Quick test_trace_no_fault;
+          Alcotest.test_case "map_msgs" `Quick test_trace_map_msgs ] );
+      ("metrics", [ Alcotest.test_case "counts" `Quick test_metrics_counts ]);
+      ( "engine",
+        [ Alcotest.test_case "token circulates" `Quick test_engine_token_circulates;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "trace records" `Quick test_engine_trace_records;
+          Alcotest.test_case "no record" `Quick test_engine_no_record;
+          Alcotest.test_case "stutter" `Quick test_engine_stutter_when_disabled;
+          Alcotest.test_case "drop fault" `Quick test_engine_fault_drop;
+          Alcotest.test_case "duplicate fault" `Quick
+            test_engine_fault_duplicate_token;
+          Alcotest.test_case "mutate fault" `Quick test_engine_mutate_state_fault;
+          Alcotest.test_case "reset fault" `Quick test_engine_reset_state_fault;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "run_until timeout" `Quick
+            test_engine_run_until_timeout;
+          Alcotest.test_case "planned faults" `Quick
+            test_engine_planned_faults_fire;
+          Alcotest.test_case "round robin" `Quick test_engine_round_robin;
+          prop_engine_deterministic ] ) ]

@@ -1,0 +1,330 @@
+(* Unit and property tests for the stdext substrate: RNG determinism,
+   FIFO queue semantics, pairing-heap ordering, table rendering, and
+   summary statistics. *)
+
+open Stdext
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+    (Rng.bits64 b)
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 9 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance rng 1.0)
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 200 do
+    let x = Rng.pick_weighted rng [ ("a", 0); ("b", 5); ("c", 0) ] in
+    Alcotest.(check string) "only positive weight picked" "b" x
+  done
+
+let test_rng_pick_weighted_all_zero () =
+  let rng = Rng.create 13 in
+  Alcotest.check_raises "no positive weight"
+    (Invalid_argument "Rng.pick_weighted: no positive weight") (fun () ->
+      ignore (Rng.pick_weighted rng [ ("a", 0) ]))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 20 Fun.id in
+  let ys = Array.copy xs in
+  Rng.shuffle rng ys;
+  let sorted = Array.copy ys in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" xs sorted
+
+let prop_rng_float_bounds =
+  qtest "Rng.float in [0,bound)" QCheck2.Gen.(pair small_int (1 -- 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng (float_of_int bound) in
+      x >= 0.0 && x < float_of_int bound)
+
+(* ------------------------------------------------------------------ *)
+(* Fqueue                                                              *)
+
+let test_fqueue_fifo_order () =
+  let q = List.fold_left (fun q x -> Fqueue.push x q) Fqueue.empty [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (Fqueue.to_list q)
+
+let test_fqueue_pop () =
+  let q = Fqueue.of_list [ 1; 2 ] in
+  (match Fqueue.pop q with
+   | Some (1, q') ->
+     Alcotest.(check (list int)) "rest" [ 2 ] (Fqueue.to_list q')
+   | _ -> Alcotest.fail "expected Some (1, _)");
+  Alcotest.(check bool) "empty pop" true (Fqueue.pop Fqueue.empty = None)
+
+let test_fqueue_peek () =
+  Alcotest.(check (option int)) "peek" (Some 1)
+    (Fqueue.peek (Fqueue.of_list [ 1; 2 ]));
+  Alcotest.(check (option int)) "peek empty" None (Fqueue.peek Fqueue.empty)
+
+let test_fqueue_peek_after_push () =
+  (* the back list must be consulted when the front is empty *)
+  let q = Fqueue.push 9 Fqueue.empty in
+  Alcotest.(check (option int)) "peek finds back" (Some 9) (Fqueue.peek q)
+
+let test_fqueue_length () =
+  let q = Fqueue.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "length" 3 (Fqueue.length q);
+  match Fqueue.pop q with
+  | Some (_, q') -> Alcotest.(check int) "after pop" 2 (Fqueue.length q')
+  | None -> Alcotest.fail "pop failed"
+
+let test_fqueue_remove_at () =
+  let q = Fqueue.of_list [ 10; 20; 30 ] in
+  (match Fqueue.remove_at 1 q with
+   | Some (20, q') ->
+     Alcotest.(check (list int)) "removed middle" [ 10; 30 ]
+       (Fqueue.to_list q')
+   | _ -> Alcotest.fail "expected removal of 20");
+  Alcotest.(check bool) "out of range" true (Fqueue.remove_at 5 q = None);
+  Alcotest.(check bool) "negative" true (Fqueue.remove_at (-1) q = None)
+
+let test_fqueue_insert_at () =
+  let q = Fqueue.of_list [ 1; 3 ] in
+  Alcotest.(check (list int)) "insert middle" [ 1; 2; 3 ]
+    (Fqueue.to_list (Fqueue.insert_at 1 2 q));
+  Alcotest.(check (list int)) "insert past end" [ 1; 3; 9 ]
+    (Fqueue.to_list (Fqueue.insert_at 10 9 q));
+  Alcotest.(check (list int)) "insert front" [ 0; 1; 3 ]
+    (Fqueue.to_list (Fqueue.insert_at 0 0 q))
+
+let test_fqueue_map_filter () =
+  let q = Fqueue.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ]
+    (Fqueue.to_list (Fqueue.map (fun x -> 2 * x) q));
+  Alcotest.(check (list int)) "filter" [ 2; 4 ]
+    (Fqueue.to_list (Fqueue.filter (fun x -> x mod 2 = 0) q))
+
+let prop_fqueue_push_pop_roundtrip =
+  qtest "Fqueue push/pop preserves order" QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let q = List.fold_left (fun q x -> Fqueue.push x q) Fqueue.empty xs in
+      let rec drain q acc =
+        match Fqueue.pop q with
+        | None -> List.rev acc
+        | Some (x, q') -> drain q' (x :: acc)
+      in
+      drain q [] = xs)
+
+let prop_fqueue_mixed_ops_length =
+  qtest "Fqueue length consistent under mixed ops"
+    QCheck2.Gen.(list (pair bool small_int))
+    (fun ops ->
+      let q, expected =
+        List.fold_left
+          (fun (q, len) (is_push, x) ->
+            if is_push then (Fqueue.push x q, len + 1)
+            else
+              match Fqueue.pop q with
+              | None -> (q, len)
+              | Some (_, q') -> (q', len - 1))
+          (Fqueue.empty, 0) ops
+      in
+      Fqueue.length q = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_orders () =
+  let q =
+    Pqueue.of_list ~leq:( <= ) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ]
+  in
+  Alcotest.(check (list (pair int string)))
+    "ascending" [ (1, "a"); (2, "b"); (3, "c"); (5, "e") ] (Pqueue.to_list q)
+
+let test_pqueue_pop_min () =
+  let q = Pqueue.of_list ~leq:( <= ) [ (2, ()); (1, ()) ] in
+  match Pqueue.pop_min q with
+  | Some (1, (), q') ->
+    Alcotest.(check int) "size" 1 (Pqueue.size q');
+    Alcotest.(check bool) "peek" true (Pqueue.peek_min q' = Some (2, ()))
+  | _ -> Alcotest.fail "expected min 1"
+
+let test_pqueue_empty () =
+  let q = Pqueue.empty ~leq:( <= ) in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop_min q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek_min q = None)
+
+let prop_pqueue_sorted_drain =
+  qtest "Pqueue drains in sorted order" QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let q =
+        List.fold_left (fun q x -> Pqueue.insert x () q)
+          (Pqueue.empty ~leq:( <= ))
+          xs
+      in
+      List.map fst (Pqueue.to_list q) = List.sort compare xs)
+
+let prop_pqueue_size =
+  qtest "Pqueue size tracks inserts" QCheck2.Gen.(list small_int)
+    (fun xs ->
+      let q =
+        List.fold_left (fun q x -> Pqueue.insert x () q)
+          (Pqueue.empty ~leq:( <= ))
+          xs
+      in
+      Pqueue.size q = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Tabular and Stats                                                   *)
+
+let test_tabular_alignment () =
+  let t = Tabular.create [ "name"; "value" ] in
+  Tabular.add_row t [ "x"; "1" ];
+  Tabular.add_row t [ "long-name"; "22" ];
+  let rendered = Tabular.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+   | header :: _ ->
+     Alcotest.(check bool) "header present" true
+       (String.length header >= String.length "name  value")
+   | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "contains row" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 'l') lines)
+
+let test_tabular_short_rows_padded () =
+  let t = Tabular.create [ "a"; "b"; "c" ] in
+  Tabular.add_row t [ "1" ];
+  let rendered = Tabular.render t in
+  Alcotest.(check bool) "renders without exception" true
+    (String.length rendered > 0)
+
+let test_tabular_cells () =
+  Alcotest.(check string) "int" "42" (Tabular.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Tabular.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416"
+    (Tabular.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "bool" "yes" (Tabular.cell_bool true);
+  Alcotest.(check string) "bool no" "no" (Tabular.cell_bool false)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  Alcotest.(check feq) "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.mean []))
+
+let test_stats_median () =
+  Alcotest.(check feq) "odd" 2.0 (Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check feq) "even (lower)" 2.0 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_stats_stddev () =
+  Alcotest.(check feq) "constant" 0.0 (Stats.stddev [ 5.; 5.; 5. ]);
+  Alcotest.(check feq) "known" 2.0 (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check feq) "p50" 50.0 (Stats.percentile 50. xs);
+  Alcotest.(check feq) "p99" 99.0 (Stats.percentile 99. xs);
+  Alcotest.(check feq) "p100" 100.0 (Stats.percentile 100. xs)
+
+let test_stats_min_max () =
+  Alcotest.(check (pair feq feq)) "min max" (1., 9.)
+    (Stats.min_max [ 3.; 1.; 9.; 4. ])
+
+let prop_stats_mean_bounds =
+  qtest "mean within min/max"
+    QCheck2.Gen.(list_size (1 -- 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "stdext"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "pick_weighted" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "pick_weighted all zero" `Quick
+            test_rng_pick_weighted_all_zero;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          prop_rng_float_bounds ] );
+      ( "fqueue",
+        [ Alcotest.test_case "fifo order" `Quick test_fqueue_fifo_order;
+          Alcotest.test_case "pop" `Quick test_fqueue_pop;
+          Alcotest.test_case "peek" `Quick test_fqueue_peek;
+          Alcotest.test_case "peek after push" `Quick test_fqueue_peek_after_push;
+          Alcotest.test_case "length" `Quick test_fqueue_length;
+          Alcotest.test_case "remove_at" `Quick test_fqueue_remove_at;
+          Alcotest.test_case "insert_at" `Quick test_fqueue_insert_at;
+          Alcotest.test_case "map/filter" `Quick test_fqueue_map_filter;
+          prop_fqueue_push_pop_roundtrip;
+          prop_fqueue_mixed_ops_length ] );
+      ( "pqueue",
+        [ Alcotest.test_case "orders" `Quick test_pqueue_orders;
+          Alcotest.test_case "pop_min" `Quick test_pqueue_pop_min;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          prop_pqueue_sorted_drain;
+          prop_pqueue_size ] );
+      ( "tabular",
+        [ Alcotest.test_case "alignment" `Quick test_tabular_alignment;
+          Alcotest.test_case "short rows" `Quick test_tabular_short_rows_padded;
+          Alcotest.test_case "cells" `Quick test_tabular_cells ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          prop_stats_mean_bounds ] ) ]
