@@ -4,11 +4,16 @@
      graybox-cli check --protocol lamport
      graybox-cli fig1
      graybox-cli rvc   --corrupt-at 500
+     graybox-cli chaos --seeds 50 --budget 6 --json report.json
 
-   `run` simulates a scenario and prints the stabilization analysis;
+   `run` simulates a scenario and prints the stabilization analysis
+   (exit 1 when the run does not recover, so it works as a CI gate);
    `check` runs fault-free and prints the Lspec / TME_Spec monitor
    reports; `fig1` model-checks the paper's counterexample; `rvc`
-   exercises the resettable-vector-clock case study. *)
+   exercises the resettable-vector-clock case study; `chaos` sweeps
+   randomized fault plans across protocols and wrapper modes, shrinks
+   any failure to a minimal reproducer, and exits 1 when a wrapped run
+   fails or an expected-failure baseline recovers. *)
 
 open Cmdliner
 
@@ -134,7 +139,8 @@ let run_cmd =
       (match r.recovery_latency with
        | Some l -> Printf.printf "service round     : %d steps\n" l
        | None -> print_endline "service round     : incomplete");
-      `Ok ()
+      (* exit nonzero on a non-recovering run so `run` can gate CI *)
+      `Ok (if r.analysis.Graybox.Stabilize.recovered then 0 else 1)
   in
   let term =
     Term.(
@@ -164,7 +170,7 @@ let check_cmd =
       Printf.printf
         "(liveness clauses may be 'pending' at the trace tail: the run \
          simply ended mid-obligation)\n";
-      `Ok ()
+      `Ok 0
   in
   let term =
     Term.(ret (const action $ protocol_arg $ n_arg $ seed_arg $ steps_arg))
@@ -193,7 +199,7 @@ let fig1_cmd =
       (yn
          (Theorem1.check ~c:Theorem1.c ~a:Theorem1.a ~w:Theorem1.w
             ~w':Theorem1.w'));
-    `Ok ()
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Model-check the paper's Figure 1 counterexample")
@@ -230,7 +236,7 @@ let rvc_cmd =
     Printf.printf "ill-formed at end: %d\n" o.Rvc.System.ill_at_end;
     Printf.printf "final epoch     : %d\n" o.Rvc.System.final_epoch;
     Printf.printf "hb sound        : %b\n" o.Rvc.System.hb_sound;
-    `Ok ()
+    `Ok 0
   in
   let term =
     Term.(
@@ -269,7 +275,7 @@ let kstate_cmd =
 " o.Kstate.privileges_at_end;
       Printf.printf "privilege passes  : %d
 " o.Kstate.moves;
-      `Ok ()
+      `Ok 0
     end
   in
   let term =
@@ -308,7 +314,7 @@ let synth_cmd =
        Printf.printf "verified: system box wrapper fairly stabilizes: %b
 "
          (Actsys.is_fairly_stabilizing_to (Actsys.box sys w) spec));
-    `Ok ()
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "synth"
@@ -344,7 +350,7 @@ let mc_cmd =
          Printf.printf "VIOLATION after exploring %d states:\n  %s\n"
            stats.Mcheck.explored
            (String.concat "\n  " trace));
-      `Ok ()
+      `Ok 0
   in
   let term = Term.(ret (const action $ protocol_arg $ mc_n_arg $ depth_arg)) in
   Cmd.v
@@ -354,10 +360,124 @@ let mc_cmd =
           (try --protocol ra-mutant)")
     term
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"K" ~doc:"Random fault plans per cell.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "budget" ] ~docv:"B" ~doc:"Fault events per plan.")
+  in
+  let chaos_steps_arg =
+    Arg.(
+      value & opt int 4000
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Scheduler steps per run.")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "w"; "wrapper" ] ~docv:"DELTA"
+          ~doc:"Wrapper timeout delta for the wrapped cells.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (list string) Chaos.Campaign.default_protocols
+      & info [ "protocols" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated protocols to sweep (also accepts ra-mutant); \
+             each gets a wrapped and an unwrapped cell.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable report to $(docv).")
+  in
+  let no_unwrapped_arg =
+    Arg.(
+      value & flag
+      & info [ "no-unwrapped" ] ~doc:"Skip the unwrapped baseline cells.")
+  in
+  let no_canary_arg =
+    Arg.(
+      value & flag
+      & info [ "no-canary" ]
+          ~doc:"Skip the deterministic unwrapped \u{00a7}4 deadlock canary.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without shrinking them.")
+  in
+  let action seed seeds budget n steps delta protocols json no_unwrapped
+      no_canary no_shrink =
+    let unknown =
+      List.filter (fun p -> Chaos.Campaign.resolve p = None) protocols
+    in
+    if unknown <> [] then
+      `Error (false, "unknown protocols: " ^ String.concat ", " unknown)
+    else begin try
+      let cfg =
+        Chaos.Campaign.config ~base_seed:seed ~seeds ~budget ~n ~steps ~delta
+          ~protocols ~include_unwrapped:(not no_unwrapped)
+          ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ()
+      in
+      let report = Chaos.Campaign.run cfg in
+      Stdext.Tabular.print
+        ~title:
+          (Printf.sprintf
+             "chaos campaign: %d plans/cell x %d events/plan (seed %d, n=%d, \
+              %d steps)"
+             seeds budget seed n steps)
+        (Chaos.Campaign.summary_table report);
+      print_newline ();
+      List.iter
+        (fun cx ->
+          Format.printf "%a@.@." Chaos.Campaign.pp_counterexample cx)
+        report.Chaos.Campaign.counterexamples;
+      (match json with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Chaos.Jsonx.to_string (Chaos.Campaign.to_json report));
+         output_char oc '\n';
+         close_out oc;
+         Printf.printf "json report       : %s\n" file);
+      Printf.printf "campaign gate     : %s\n"
+        (if report.Chaos.Campaign.gate_ok then "ok" else "FAILED");
+      `Ok (if report.Chaos.Campaign.gate_ok then 0 else 1)
+    with
+    | Invalid_argument msg | Sys_error msg -> `Error (false, msg)
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ seed_arg $ seeds_arg $ budget_arg $ n_arg
+       $ chaos_steps_arg $ delta_arg $ protocols_arg $ json_arg
+       $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a randomized fault campaign across protocols and wrapper \
+          modes, shrink failures to minimal reproducers, and gate on the \
+          stabilization property")
+    term
+
 let () =
   let doc = "graybox stabilization wrappers for distributed mutual exclusion" in
   let info = Cmd.info "graybox-cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd; mc_cmd ]))
+          [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd;
+            mc_cmd; chaos_cmd ]))

@@ -1,0 +1,378 @@
+open Stdext
+module S = Tme.Scenarios
+
+type expectation = Expect_recover | Expect_failure | Observe
+
+let expectation_label = function
+  | Expect_recover -> "recover"
+  | Expect_failure -> "fail"
+  | Observe -> "observe"
+
+type config = {
+  base_seed : int;
+  seeds : int;
+  budget : int;
+  n : int;
+  steps : int;
+  delta : int;
+  protocols : string list;
+  include_unwrapped : bool;
+  deadlock_canary : bool;
+  shrink : bool;
+  shrink_max_runs : int;
+  max_counterexamples : int;
+}
+
+let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
+
+let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
+    ?(delta = 8) ?(protocols = default_protocols) ?(include_unwrapped = true)
+    ?(deadlock_canary = true) ?(shrink = true) ?(shrink_max_runs = 300)
+    ?(max_counterexamples = 3) () =
+  if seeds <= 0 then invalid_arg "Campaign.config: need seeds > 0";
+  if steps < 100 then invalid_arg "Campaign.config: need steps >= 100";
+  if protocols = [] then invalid_arg "Campaign.config: need a protocol";
+  { base_seed; seeds; budget; n; steps; delta; protocols; include_unwrapped;
+    deadlock_canary; shrink; shrink_max_runs; max_counterexamples }
+
+(* Protocols that are not everywhere-implementations of Lspec: the
+   wrapper is not expected to rescue them (the paper's negative
+   controls), so their cells are never gated on recovery. *)
+let negative_controls = [ "lamport-unmod"; "lamport-m1"; "lamport-m12"; "ra-mutant" ]
+
+let resolve name =
+  match S.find_protocol name with
+  | Some p -> Some p
+  | None ->
+    if name = "ra-mutant" then Some (module Tme.Ra_mutant : Graybox.Protocol.S)
+    else None
+
+type row = {
+  row_seed : int;
+  row_plan : S.fault_spec list;
+  row_verdict : Outcome.verdict;
+  row_latency : int option;
+}
+
+type latency_stats = {
+  samples : int;
+  lat_mean : float;
+  lat_median : float;
+  lat_p95 : float;
+  lat_max : float;
+}
+
+type cell = {
+  cell_label : string;
+  cell_protocol : string;
+  cell_wrapped : bool;
+  cell_expect : expectation;
+  rows : row list;
+  counts : (Outcome.verdict * int) list;
+  latency : latency_stats option;
+  cell_ok : bool;
+}
+
+type counterexample = {
+  cx_cell : string;
+  cx_protocol : string;
+  cx_wrapper : Graybox.Harness.wrapper_mode;
+  cx_seed : int;
+  cx_verdict : Outcome.verdict;
+  cx_shrink : Shrink.result;
+}
+
+type report = {
+  report_config : config;
+  cells : cell list;
+  counterexamples : counterexample list;
+  gate_ok : bool;
+}
+
+(* Decorrelate the plan stream from the engine's scheduling stream,
+   which is seeded with the bare run seed. *)
+let plan_seed run_seed = (run_seed * 1_000_003) + 7919
+
+let run_seed cfg i = cfg.base_seed + i
+
+let plans cfg =
+  let gen_cfg = Plan_gen.config ~n:cfg.n ~horizon:cfg.steps ~budget:cfg.budget in
+  List.init cfg.seeds (fun i ->
+      let seed = run_seed cfg i in
+      (seed, Plan_gen.generate (Rng.create (plan_seed seed)) gen_cfg))
+
+let run_row ~cfg ~proto ~wrapper (seed, plan) =
+  let r =
+    S.run proto ~wrapper ~faults:plan ~n:cfg.n ~seed ~steps:cfg.steps
+  in
+  { row_seed = seed;
+    row_plan = plan;
+    row_verdict = Outcome.classify ~n:cfg.n r.S.analysis;
+    row_latency = r.S.recovery_latency }
+
+let latency_stats rows =
+  let samples =
+    List.filter_map
+      (fun r ->
+        if r.row_verdict = Outcome.Recovered then
+          Option.map float_of_int r.row_latency
+        else None)
+      rows
+  in
+  match samples with
+  | [] -> None
+  | xs ->
+    let _, max_ = Stats.min_max xs in
+    Some
+      { samples = List.length xs;
+        lat_mean = Stats.mean xs;
+        lat_median = Stats.median xs;
+        lat_p95 = Stats.percentile 95. xs;
+        lat_max = max_ }
+
+let cell_ok expect rows =
+  match expect with
+  | Expect_recover ->
+    List.for_all (fun r -> r.row_verdict = Outcome.Recovered) rows
+  | Expect_failure ->
+    List.exists (fun r -> Outcome.is_failure r.row_verdict) rows
+  | Observe -> true
+
+let make_cell ~cfg ~label ~protocol ~wrapped ~expect ~proto ~wrapper seeded_plans =
+  let rows = List.map (run_row ~cfg ~proto ~wrapper) seeded_plans in
+  let counts =
+    List.map
+      (fun v ->
+        (v, List.length (List.filter (fun r -> r.row_verdict = v) rows)))
+      Outcome.all
+  in
+  { cell_label = label;
+    cell_protocol = protocol;
+    cell_wrapped = wrapped;
+    cell_expect = expect;
+    rows;
+    counts;
+    latency = latency_stats rows;
+    cell_ok = cell_ok expect rows }
+
+let canary_plan cfg =
+  let from_t = max 1 (cfg.steps / 10) in
+  [ S.Drop_requests_window { from_t; until_t = from_t + 60 } ]
+
+let wrapper_of cfg = S.wrapped ~delta:cfg.delta ()
+
+let cells_of_config cfg =
+  let wrapped = wrapper_of cfg in
+  let seeded = plans cfg in
+  let proto_cells =
+    List.concat_map
+      (fun name ->
+        match resolve name with
+        | None -> failwith ("Campaign: unknown protocol " ^ name)
+        | Some proto ->
+          let negative = List.mem name negative_controls in
+          let wrapped_cell =
+            ( Printf.sprintf "%s+W'(%d)" name cfg.delta,
+              name,
+              true,
+              (if negative then Expect_failure else Expect_recover),
+              proto,
+              wrapped,
+              seeded )
+          in
+          let unwrapped_cell =
+            ( name,
+              name,
+              false,
+              (if negative then Expect_failure else Observe),
+              proto,
+              Graybox.Harness.Off,
+              seeded )
+          in
+          if cfg.include_unwrapped then [ wrapped_cell; unwrapped_cell ]
+          else [ wrapped_cell ])
+      cfg.protocols
+  in
+  let canary =
+    if not cfg.deadlock_canary then []
+    else
+      match resolve "ra" with
+      | None -> []
+      | Some proto ->
+        [ ( "ra/deadlock-canary",
+            "ra",
+            false,
+            Expect_failure,
+            proto,
+            Graybox.Harness.Off,
+            [ (cfg.base_seed, canary_plan cfg) ] ) ]
+  in
+  proto_cells @ canary
+
+(* Shrink the first failing row of each cell, unexpected failures
+   first, within the global counterexample cap. *)
+let counterexamples_of cfg cells =
+  if not cfg.shrink then []
+  else begin
+    let priority c =
+      match c.cell_expect with
+      | Expect_recover -> 0
+      | Expect_failure -> 1
+      | Observe -> 2
+    in
+    let candidates =
+      List.stable_sort
+        (fun a b -> compare (priority a) (priority b))
+        (List.filter
+           (fun c -> List.exists (fun r -> Outcome.is_failure r.row_verdict) c.rows)
+           cells)
+    in
+    candidates
+    |> List.filteri (fun i _ -> i < cfg.max_counterexamples)
+    |> List.map (fun c ->
+           let r =
+             List.find (fun r -> Outcome.is_failure r.row_verdict) c.rows
+           in
+           let wrapper =
+             if c.cell_wrapped then wrapper_of cfg else Graybox.Harness.Off
+           in
+           let scenario =
+             { Shrink.protocol = c.cell_protocol;
+               proto = Option.get (resolve c.cell_protocol);
+               wrapper;
+               n = cfg.n;
+               seed = r.row_seed;
+               steps = cfg.steps }
+           in
+           { cx_cell = c.cell_label;
+             cx_protocol = c.cell_protocol;
+             cx_wrapper = wrapper;
+             cx_seed = r.row_seed;
+             cx_verdict = r.row_verdict;
+             cx_shrink =
+               Shrink.shrink ~max_runs:cfg.shrink_max_runs scenario r.row_plan })
+  end
+
+let run cfg =
+  let cells =
+    List.map
+      (fun (label, protocol, wrapped, expect, proto, wrapper, seeded) ->
+        make_cell ~cfg ~label ~protocol ~wrapped ~expect ~proto ~wrapper seeded)
+      (cells_of_config cfg)
+  in
+  let counterexamples = counterexamples_of cfg cells in
+  let gate_ok =
+    List.for_all (fun c -> c.cell_ok) cells
+    && List.for_all (fun cx -> cx.cx_shrink.Shrink.confirmed) counterexamples
+  in
+  { report_config = cfg; cells; counterexamples; gate_ok }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let count_of cell v = List.assoc v cell.counts
+
+let summary_table report =
+  let t =
+    Tabular.create
+      [ "cell"; "expect"; "runs"; "recovered"; "me1"; "starv"; "dead";
+        "unstable"; "lat-med"; "lat-p95"; "ok" ]
+  in
+  List.iter
+    (fun c ->
+      let lat f =
+        match c.latency with
+        | None -> "-"
+        | Some l -> Tabular.cell_float ~decimals:0 (f l)
+      in
+      Tabular.add_row t
+        [ c.cell_label;
+          expectation_label c.cell_expect;
+          Tabular.cell_int (List.length c.rows);
+          Tabular.cell_int (count_of c Outcome.Recovered);
+          Tabular.cell_int (count_of c Outcome.Me1_violation);
+          Tabular.cell_int (count_of c Outcome.Starvation);
+          Tabular.cell_int (count_of c Outcome.Deadlock);
+          Tabular.cell_int (count_of c Outcome.Unstable);
+          lat (fun l -> l.lat_median);
+          lat (fun l -> l.lat_p95);
+          Tabular.cell_bool c.cell_ok ])
+    report.cells;
+  t
+
+let pp_counterexample ppf cx =
+  Format.fprintf ppf
+    "@[<v>counterexample: %s (seed %d, verdict %s)@,\
+     original (%d events): %s@,\
+     shrunk   (%d events, %d runs, confirmed %b):@,  @[%a@]@]"
+    cx.cx_cell cx.cx_seed
+    (Outcome.label cx.cx_verdict)
+    (List.length cx.cx_shrink.Shrink.original)
+    (Plan_gen.plan_label cx.cx_shrink.Shrink.original)
+    (List.length cx.cx_shrink.Shrink.shrunk)
+    cx.cx_shrink.Shrink.runs cx.cx_shrink.Shrink.confirmed Plan_gen.pp_plan
+    cx.cx_shrink.Shrink.shrunk
+
+let json_of_row r =
+  Jsonx.Obj
+    [ ("seed", Jsonx.Int r.row_seed);
+      ("plan", Jsonx.List (List.map (fun s -> Jsonx.String (Plan_gen.spec_label s)) r.row_plan));
+      ("verdict", Jsonx.String (Outcome.label r.row_verdict));
+      ("recovery_latency", Jsonx.of_int_option r.row_latency) ]
+
+let json_of_cell c =
+  Jsonx.Obj
+    [ ("cell", Jsonx.String c.cell_label);
+      ("protocol", Jsonx.String c.cell_protocol);
+      ("wrapped", Jsonx.Bool c.cell_wrapped);
+      ("expect", Jsonx.String (expectation_label c.cell_expect));
+      ( "counts",
+        Jsonx.Obj
+          (List.map (fun (v, k) -> (Outcome.label v, Jsonx.Int k)) c.counts) );
+      ( "latency",
+        match c.latency with
+        | None -> Jsonx.Null
+        | Some l ->
+          Jsonx.Obj
+            [ ("samples", Jsonx.Int l.samples);
+              ("mean", Jsonx.Float l.lat_mean);
+              ("median", Jsonx.Float l.lat_median);
+              ("p95", Jsonx.Float l.lat_p95);
+              ("max", Jsonx.Float l.lat_max) ] );
+      ("ok", Jsonx.Bool c.cell_ok);
+      ("runs", Jsonx.List (List.map json_of_row c.rows)) ]
+
+let json_of_counterexample cx =
+  let plan_json plan =
+    Jsonx.List (List.map (fun s -> Jsonx.String (Plan_gen.spec_label s)) plan)
+  in
+  Jsonx.Obj
+    [ ("cell", Jsonx.String cx.cx_cell);
+      ("seed", Jsonx.Int cx.cx_seed);
+      ("verdict", Jsonx.String (Outcome.label cx.cx_verdict));
+      ("original", plan_json cx.cx_shrink.Shrink.original);
+      ("shrunk", plan_json cx.cx_shrink.Shrink.shrunk);
+      ( "shrunk_ocaml",
+        Jsonx.String (Format.asprintf "%a" Plan_gen.pp_plan cx.cx_shrink.Shrink.shrunk) );
+      ("shrink_runs", Jsonx.Int cx.cx_shrink.Shrink.runs);
+      ("confirmed", Jsonx.Bool cx.cx_shrink.Shrink.confirmed) ]
+
+let to_json report =
+  let cfg = report.report_config in
+  Jsonx.Obj
+    [ ( "config",
+        Jsonx.Obj
+          [ ("base_seed", Jsonx.Int cfg.base_seed);
+            ("seeds", Jsonx.Int cfg.seeds);
+            ("budget", Jsonx.Int cfg.budget);
+            ("n", Jsonx.Int cfg.n);
+            ("steps", Jsonx.Int cfg.steps);
+            ("delta", Jsonx.Int cfg.delta);
+            ( "protocols",
+              Jsonx.List (List.map (fun p -> Jsonx.String p) cfg.protocols) );
+            ("include_unwrapped", Jsonx.Bool cfg.include_unwrapped);
+            ("deadlock_canary", Jsonx.Bool cfg.deadlock_canary) ] );
+      ("cells", Jsonx.List (List.map json_of_cell report.cells));
+      ( "counterexamples",
+        Jsonx.List (List.map json_of_counterexample report.counterexamples) );
+      ("gate_ok", Jsonx.Bool report.gate_ok) ]

@@ -1,0 +1,123 @@
+(** The chaos-campaign runner: an adversarial sweep over the fault
+    space.
+
+    A campaign fixes a process count, horizon, and wrapper timeout,
+    samples [seeds] random fault plans (each of [budget] events, all
+    derived from [base_seed] — same seed, same report, bit for bit),
+    and runs every plan against every {e cell}: protocol × wrapper
+    mode.  Outcomes are classified with {!Outcome.classify} and
+    recovery latencies aggregated with {!Stdext.Stats}.
+
+    Cells carry expectations that turn the sweep into a CI gate:
+    wrapped everywhere-implementations must recover from {e every}
+    generated plan (the paper's §3.1 claim, tested as a property);
+    negative controls (e.g. [lamport-unmod]) must fail at least once
+    (otherwise the campaign has lost its teeth); unwrapped correct
+    protocols are observed without gating.  A deterministic §4
+    deadlock canary (unwrapped RA under windowed request loss) is
+    included by default as a guaranteed-failing baseline.
+
+    Every gated-or-expected failure is handed to {!Shrink} and reported
+    as a minimal, seed-confirmed reproducer. *)
+
+type expectation =
+  | Expect_recover  (** gate: every run must recover *)
+  | Expect_failure  (** gate: at least one run must fail *)
+  | Observe  (** informational only *)
+
+val expectation_label : expectation -> string
+
+type config = {
+  base_seed : int;
+  seeds : int;  (** plans per cell *)
+  budget : int;  (** fault events per plan *)
+  n : int;
+  steps : int;
+  delta : int;  (** wrapper timeout for wrapped cells *)
+  protocols : string list;
+  include_unwrapped : bool;
+  deadlock_canary : bool;
+  shrink : bool;
+  shrink_max_runs : int;
+  max_counterexamples : int;
+}
+
+val default_protocols : string list
+(** [lamport; ra; lamport-unmod] — the acceptance sweep: both wrapped
+    everywhere-implementations plus the negative control. *)
+
+val config :
+  ?base_seed:int -> ?seeds:int -> ?budget:int -> ?n:int -> ?steps:int ->
+  ?delta:int -> ?protocols:string list -> ?include_unwrapped:bool ->
+  ?deadlock_canary:bool -> ?shrink:bool -> ?shrink_max_runs:int ->
+  ?max_counterexamples:int -> unit -> config
+(** Defaults: seed 1, 50 seeds, budget 6, n = 4, 4000 steps, δ = 8,
+    protocols [lamport; ra; lamport-unmod], unwrapped cells and the
+    deadlock canary included, shrinking on (300 runs, 3 counterexamples).
+    @raise Invalid_argument on an empty protocol list, [seeds <= 0], or
+    [steps < 100]. *)
+
+val resolve : string -> (module Graybox.Protocol.S) option
+(** {!Tme.Scenarios.find_protocol} extended with [ra-mutant] (the
+    kept-reply safety mutant, otherwise only reachable from the model
+    checker). *)
+
+val negative_controls : string list
+(** Protocol names whose cells expect failure rather than recovery. *)
+
+type row = {
+  row_seed : int;
+  row_plan : Tme.Scenarios.fault_spec list;
+  row_verdict : Outcome.verdict;
+  row_latency : int option;
+}
+
+type latency_stats = {
+  samples : int;
+  lat_mean : float;
+  lat_median : float;
+  lat_p95 : float;
+  lat_max : float;
+}
+
+type cell = {
+  cell_label : string;
+  cell_protocol : string;
+  cell_wrapped : bool;
+  cell_expect : expectation;
+  rows : row list;
+  counts : (Outcome.verdict * int) list;  (** one entry per {!Outcome.all} *)
+  latency : latency_stats option;  (** over recovered rows; [None] if none *)
+  cell_ok : bool;  (** the cell's expectation was met *)
+}
+
+type counterexample = {
+  cx_cell : string;
+  cx_protocol : string;
+  cx_wrapper : Graybox.Harness.wrapper_mode;
+  cx_seed : int;
+  cx_verdict : Outcome.verdict;
+  cx_shrink : Shrink.result;
+}
+
+type report = {
+  report_config : config;
+  cells : cell list;
+  counterexamples : counterexample list;
+  gate_ok : bool;
+      (** every cell met its expectation and every shrunk counterexample
+          re-failed under its original seed — the CI exit status *)
+}
+
+val run : config -> report
+
+val summary_table : report -> Stdext.Tabular.t
+(** One row per cell: verdict counts, recovery-latency median/p95, and
+    the gate verdict. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+(** Human-readable rendering ending in the ready-to-paste OCaml plan. *)
+
+val to_json : report -> Jsonx.t
+(** The machine-readable report (config, cells with per-run rows,
+    shrunk counterexamples, gate verdict). *)

@@ -1,0 +1,19 @@
+(** A minimal JSON value and serializer for machine-readable campaign
+    reports.  Hand-rolled on purpose: the repo deliberately takes no
+    dependency on a JSON library, and reports only need emission, never
+    parsing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** [to_string j] is the compact (single-line) JSON rendering.  [Float]
+    values that are NaN serialize as [null]. *)
+
+val of_int_option : int option -> t

@@ -1,0 +1,20 @@
+type verdict = Recovered | Me1_violation | Starvation | Deadlock | Unstable
+
+let all = [ Recovered; Me1_violation; Starvation; Deadlock; Unstable ]
+
+let label = function
+  | Recovered -> "recovered"
+  | Me1_violation -> "me1-violation"
+  | Starvation -> "starvation"
+  | Deadlock -> "deadlock"
+  | Unstable -> "unstable"
+
+let classify ~n (a : Graybox.Stabilize.analysis) =
+  if a.recovered then Recovered
+  else if a.me1_violations > 0 then Me1_violation
+  else
+    match a.starving with
+    | [] -> Unstable
+    | starving -> if List.length starving >= n then Deadlock else Starvation
+
+let is_failure = function Recovered -> false | _ -> true

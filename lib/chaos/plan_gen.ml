@@ -1,0 +1,141 @@
+open Stdext
+module S = Tme.Scenarios
+
+type config = { n : int; horizon : int; budget : int }
+
+let config ~n ~horizon ~budget =
+  if n < 2 then invalid_arg "Plan_gen.config: need n >= 2";
+  if horizon < 10 then invalid_arg "Plan_gen.config: need horizon >= 10";
+  if budget < 0 then invalid_arg "Plan_gen.config: need budget >= 0";
+  { n; horizon; budget }
+
+(* Faults land in the first ~60% of the horizon so the tail is long
+   enough for convergence analysis to have a suffix to judge. *)
+let latest_fault cfg = max 1 (cfg.horizon * 3 / 5)
+
+let spec_time = function
+  | S.Drop_requests { at; _ }
+  | S.Drop_any { at; _ }
+  | S.Duplicate { at; _ }
+  | S.Corrupt_messages { at; _ }
+  | S.Reorder { at; _ }
+  | S.Flush { at }
+  | S.Corrupt_state { at; _ }
+  | S.Reset_state { at; _ } -> at
+  | S.Drop_requests_window { from_t; _ }
+  | S.Partition { from_t; _ }
+  | S.Crash { from_t; _ } -> from_t
+
+let gen_procs rng n =
+  if Rng.chance rng 0.3 then Sim.Faults.Any_proc
+  else Sim.Faults.Proc (Rng.int rng n)
+
+let gen_spec rng cfg =
+  let at = Rng.int_in rng 1 (latest_fault cfg) in
+  let per_chan = Rng.int_in rng 1 3 in
+  match Rng.int rng 11 with
+  | 0 -> S.Drop_requests { at; per_chan }
+  | 1 ->
+    S.Drop_requests_window { from_t = at; until_t = at + Rng.int_in rng 1 40 }
+  | 2 -> S.Drop_any { at; per_chan }
+  | 3 -> S.Duplicate { at; per_chan }
+  | 4 -> S.Corrupt_messages { at; per_chan }
+  | 5 -> S.Reorder { at; per_chan }
+  | 6 -> S.Flush { at }
+  | 7 ->
+    S.Partition
+      { pid = Rng.int rng cfg.n; from_t = at; until_t = at + Rng.int_in rng 1 40 }
+  | 8 -> S.Corrupt_state { at; procs = gen_procs rng cfg.n }
+  | 9 -> S.Reset_state { at; procs = gen_procs rng cfg.n }
+  | _ ->
+    S.Crash
+      { procs = gen_procs rng cfg.n;
+        from_t = at;
+        until_t = at + Rng.int_in rng 1 60;
+        lose = Rng.bool rng }
+
+let generate rng cfg =
+  List.init cfg.budget (fun _ -> gen_spec rng cfg)
+  |> List.stable_sort (fun a b -> compare (spec_time a) (spec_time b))
+
+(* ------------------------------------------------------------------ *)
+(* Printing: compact labels for tables, and ready-to-paste OCaml for
+   shrunk counterexamples.                                             *)
+
+let procs_label = function
+  | Sim.Faults.Any_proc -> "any"
+  | Sim.Faults.Proc p -> "p" ^ string_of_int p
+
+let spec_label = function
+  | S.Drop_requests { at; per_chan } ->
+    Printf.sprintf "drop-requests@%d/%d" at per_chan
+  | S.Drop_requests_window { from_t; until_t } ->
+    Printf.sprintf "drop-requests@%d-%d" from_t until_t
+  | S.Drop_any { at; per_chan } -> Printf.sprintf "drop@%d/%d" at per_chan
+  | S.Duplicate { at; per_chan } -> Printf.sprintf "duplicate@%d/%d" at per_chan
+  | S.Corrupt_messages { at; per_chan } ->
+    Printf.sprintf "corrupt-msgs@%d/%d" at per_chan
+  | S.Reorder { at; per_chan } -> Printf.sprintf "reorder@%d/%d" at per_chan
+  | S.Flush { at } -> Printf.sprintf "flush@%d" at
+  | S.Partition { pid; from_t; until_t } ->
+    Printf.sprintf "partition@%d-%d(p%d)" from_t until_t pid
+  | S.Corrupt_state { at; procs } ->
+    Printf.sprintf "corrupt-state@%d(%s)" at (procs_label procs)
+  | S.Reset_state { at; procs } ->
+    Printf.sprintf "reset@%d(%s)" at (procs_label procs)
+  | S.Crash { procs; from_t; until_t; lose } ->
+    Printf.sprintf "crash@%d-%d(%s%s)" from_t until_t (procs_label procs)
+      (if lose then ",lose" else "")
+
+let plan_label plan = String.concat " " (List.map spec_label plan)
+
+let pp_procs ppf = function
+  | Sim.Faults.Any_proc -> Format.pp_print_string ppf "Sim.Faults.Any_proc"
+  | Sim.Faults.Proc p -> Format.fprintf ppf "Sim.Faults.Proc %d" p
+
+let pp_spec ppf spec =
+  match spec with
+  | S.Drop_requests { at; per_chan } ->
+    Format.fprintf ppf "Tme.Scenarios.Drop_requests { at = %d; per_chan = %d }"
+      at per_chan
+  | S.Drop_requests_window { from_t; until_t } ->
+    Format.fprintf ppf
+      "Tme.Scenarios.Drop_requests_window { from_t = %d; until_t = %d }" from_t
+      until_t
+  | S.Drop_any { at; per_chan } ->
+    Format.fprintf ppf "Tme.Scenarios.Drop_any { at = %d; per_chan = %d }" at
+      per_chan
+  | S.Duplicate { at; per_chan } ->
+    Format.fprintf ppf "Tme.Scenarios.Duplicate { at = %d; per_chan = %d }" at
+      per_chan
+  | S.Corrupt_messages { at; per_chan } ->
+    Format.fprintf ppf
+      "Tme.Scenarios.Corrupt_messages { at = %d; per_chan = %d }" at per_chan
+  | S.Reorder { at; per_chan } ->
+    Format.fprintf ppf "Tme.Scenarios.Reorder { at = %d; per_chan = %d }" at
+      per_chan
+  | S.Flush { at } -> Format.fprintf ppf "Tme.Scenarios.Flush { at = %d }" at
+  | S.Partition { pid; from_t; until_t } ->
+    Format.fprintf ppf
+      "Tme.Scenarios.Partition { pid = %d; from_t = %d; until_t = %d }" pid
+      from_t until_t
+  | S.Corrupt_state { at; procs } ->
+    Format.fprintf ppf "Tme.Scenarios.Corrupt_state { at = %d; procs = %a }" at
+      pp_procs procs
+  | S.Reset_state { at; procs } ->
+    Format.fprintf ppf "Tme.Scenarios.Reset_state { at = %d; procs = %a }" at
+      pp_procs procs
+  | S.Crash { procs; from_t; until_t; lose } ->
+    Format.fprintf ppf
+      "Tme.Scenarios.Crash { procs = %a; from_t = %d; until_t = %d; lose = %b \
+       }"
+      pp_procs procs from_t until_t lose
+
+let pp_plan ppf = function
+  | [] -> Format.pp_print_string ppf "[]"
+  | plan ->
+    Format.fprintf ppf "@[<hv 2>[ %a ]@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         pp_spec)
+      plan

@@ -1,0 +1,41 @@
+(** Randomized fault-plan generation over the protocol-independent
+    {!Tme.Scenarios.fault_spec} vocabulary.
+
+    A plan is a finite batch of transient faults — exactly the paper's
+    §3.1 fault model ("any finite number of these faults") — sampled
+    from a seeded {!Stdext.Rng} stream, so a campaign seed fully
+    determines every plan it tries.  All eleven spec kinds are drawn,
+    including the crash/recover process fault, windowed request loss
+    (the §4 deadlock injection), and process partitions. *)
+
+type config = { n : int; horizon : int; budget : int }
+
+val config : n:int -> horizon:int -> budget:int -> config
+(** [config ~n ~horizon ~budget]: plans of [budget] fault events for an
+    [n]-process run of [horizon] scheduler steps.  Fault times are kept
+    inside the first ~60% of the horizon so every plan leaves a
+    convergence tail.
+    @raise Invalid_argument on [n < 2], [horizon < 10] or negative
+    [budget]. *)
+
+val generate : Stdext.Rng.t -> config -> Tme.Scenarios.fault_spec list
+(** [generate rng cfg] samples one plan, sorted by injection time
+    (stable, so same-time events keep their draw order).  Consumes a
+    deterministic amount of [rng] per event. *)
+
+val spec_time : Tme.Scenarios.fault_spec -> int
+(** Injection time of a spec (the window start for windowed kinds). *)
+
+val spec_label : Tme.Scenarios.fault_spec -> string
+(** Compact one-token rendering, e.g. [crash@120-160(p2,lose)]. *)
+
+val plan_label : Tme.Scenarios.fault_spec list -> string
+(** Space-separated {!spec_label}s — the table/JSON rendering. *)
+
+val pp_spec : Format.formatter -> Tme.Scenarios.fault_spec -> unit
+(** Ready-to-paste OCaml syntax for one spec. *)
+
+val pp_plan : Format.formatter -> Tme.Scenarios.fault_spec list -> unit
+(** Ready-to-paste OCaml syntax for a whole plan — what the shrinker
+    prints so a minimal counterexample can be dropped straight into a
+    test or an [examples/] program. *)

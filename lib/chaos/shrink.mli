@@ -1,0 +1,44 @@
+(** Automatic counterexample shrinking: delta-debug a failing fault
+    plan down to a minimal reproducer.
+
+    The whole stack is deterministic from the scenario seed, so "does
+    this smaller plan still fail?" is decidable by re-running the
+    scenario.  The shrinker alternates two greedy passes until a fixed
+    point: deleting whole fault events, and simplifying surviving
+    events in place (counts toward 1, fault windows toward a single
+    step, [Any_proc] selectors toward one process).  Injection times are
+    never moved and list order is preserved, so every candidate run
+    stays comparable to the original execution. *)
+
+type scenario = {
+  protocol : string;  (** display name, carried into reports *)
+  proto : (module Graybox.Protocol.S);
+  wrapper : Graybox.Harness.wrapper_mode;
+  n : int;
+  seed : int;
+  steps : int;
+}
+
+val verdict : scenario -> Tme.Scenarios.fault_spec list -> Outcome.verdict
+(** [verdict sc plan] re-runs the scenario under [plan] and classifies
+    the outcome. *)
+
+val fails : scenario -> Tme.Scenarios.fault_spec list -> bool
+(** [fails sc plan] is [verdict sc plan <> Recovered]. *)
+
+type result = {
+  original : Tme.Scenarios.fault_spec list;
+  shrunk : Tme.Scenarios.fault_spec list;
+  runs : int;  (** scenario executions spent (including validation) *)
+  confirmed : bool;
+      (** the shrunk plan was re-run once more under the original seed
+          and still failed — always true for a genuinely failing input;
+          [false] means the input plan did not fail at all *)
+}
+
+val shrink :
+  ?max_runs:int -> scenario -> Tme.Scenarios.fault_spec list -> result
+(** [shrink ?max_runs sc plan] minimizes [plan].  [max_runs] (default
+    300) bounds the candidate re-executions; when the budget runs out
+    the best plan found so far is returned (still failing, still
+    confirmed). *)

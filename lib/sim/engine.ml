@@ -35,6 +35,10 @@ module Make (N : NODE) = struct
     mutable time : int;
     mutable states : N.state array;
     mutable net : N.msg Network.t;
+    crash_until : int array;
+        (* per-process recovery time; crashed iff [crash_until.(p) > time] *)
+    crash_lose : bool array;
+        (* while crashed, lose (rather than buffer) inbound deliveries *)
     mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
     metrics : Metrics.t;
   }
@@ -57,6 +61,8 @@ module Make (N : NODE) = struct
         time = 0;
         states = Array.init cfg.n init;
         net = Network.create ~n:cfg.n;
+        crash_until = Array.make cfg.n 0;
+        crash_lose = Array.make cfg.n false;
         rev_trace = [];
         metrics = Metrics.create () }
     in
@@ -73,6 +79,27 @@ module Make (N : NODE) = struct
 
   let set_state t p s = t.states.(p) <- s
   let set_network t net = t.net <- net
+  let crashed t p = t.crash_until.(p) > t.time
+
+  (* While a lose-mode crash lasts, anything queued toward the dead
+     process is lost; once a window elapses the lose flag is retired so
+     a later buffer-mode crash of the same process is not contaminated. *)
+  let apply_crash_effects t =
+    Array.iteri
+      (fun p until ->
+        if until > t.time then begin
+          if t.crash_lose.(p) then begin
+            let lost = ref 0 in
+            List.iter
+              (fun src ->
+                lost := !lost + Network.channel_length t.net ~src ~dst:p;
+                t.net <- Network.flush_channel t.net ~src ~dst:p)
+              (Pid.others ~self:p ~n:t.cfg.n);
+            if !lost > 0 then Metrics.note_dropped t.metrics !lost
+          end
+        end
+        else t.crash_lose.(p) <- false)
+      t.crash_until
 
   let dispatch t ~src ~label outbox =
     List.iter
@@ -87,21 +114,27 @@ module Make (N : NODE) = struct
 
   let enabled_moves t =
     let deliveries =
-      List.map
-        (fun (src, dst) -> (M_deliver (src, dst), t.cfg.deliver_weight))
+      List.filter_map
+        (fun (src, dst) ->
+          if crashed t dst then None
+          else Some (M_deliver (src, dst), t.cfg.deliver_weight))
         (Network.nonempty t.net)
     in
     let internals =
       List.concat_map
         (fun p ->
-          List.map
-            (fun (label, f) -> (M_internal (p, label, f), t.cfg.internal_weight))
-            (N.actions ~self:p t.states.(p)))
+          if crashed t p then []
+          else
+            List.map
+              (fun (label, f) ->
+                (M_internal (p, label, f), t.cfg.internal_weight))
+              (N.actions ~self:p t.states.(p)))
         (Pid.range t.cfg.n)
     in
     deliveries @ internals
 
   let step t =
+    apply_crash_effects t;
     let event : (N.state, N.msg) Trace.event =
       match enabled_moves t with
       | [] ->
@@ -201,6 +234,15 @@ module Make (N : NODE) = struct
      | Reset_state { proc; f } ->
        List.iter
          (fun p -> t.states.(p) <- f p)
+         (Faults.select_procs ~n:t.cfg.n proc)
+     | Crash { proc; until_t; lose_deliveries } ->
+       List.iter
+         (fun p ->
+           if until_t > t.time then begin
+             t.crash_until.(p) <- max t.crash_until.(p) until_t;
+             t.crash_lose.(p) <- t.crash_lose.(p) || lose_deliveries;
+             Metrics.note_crashed t.metrics
+           end)
          (Faults.select_procs ~n:t.cfg.n proc));
     Metrics.note_fault t.metrics;
     record t (Trace.Fault { label = Faults.label kind })

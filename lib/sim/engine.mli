@@ -78,6 +78,12 @@ module Make (N : NODE) : sig
   (** [trace t] is the chronological trace (empty unless
       [cfg.record]). *)
 
+  val crashed : t -> Pid.t -> bool
+  (** [crashed t p] holds while a {!Faults.Crash} window covers [p]: the
+      process takes no internal actions and receives no deliveries until
+      its recovery time.  In lose-deliveries mode its inbound channels
+      are drained at each step while the window lasts. *)
+
   (** {2 Mutation} *)
 
   val set_state : t -> Pid.t -> N.state -> unit

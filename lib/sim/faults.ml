@@ -15,6 +15,7 @@ type ('s, 'm) kind =
   | Flush of chan_selector
   | Mutate_state of { proc : proc_selector; f : Stdext.Rng.t -> 's -> 's }
   | Reset_state of { proc : proc_selector; f : Pid.t -> 's }
+  | Crash of { proc : proc_selector; until_t : int; lose_deliveries : bool }
 
 type ('s, 'm) event = { at : int; kind : ('s, 'm) kind }
 
@@ -28,6 +29,7 @@ let label = function
   | Flush _ -> "flush"
   | Mutate_state _ -> "mutate-state"
   | Reset_state _ -> "reset-state"
+  | Crash _ -> "crash"
 
 let at time kind = { at = time; kind }
 

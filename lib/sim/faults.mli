@@ -42,6 +42,17 @@ type ('s, 'm) kind =
   | Reset_state of { proc : proc_selector; f : Pid.t -> 's }
       (** Improper (re)initialization: replace a process's state
           wholesale, e.g. with a fresh-but-wrong initial state. *)
+  | Crash of { proc : proc_selector; until_t : int; lose_deliveries : bool }
+      (** Process failure and recovery ("processes … fail, recover"): from
+          the moment of injection until simulated time [until_t] the
+          selected processes take no internal actions and receive no
+          deliveries.  With [lose_deliveries] their inbound channels are
+          emptied for the whole crash window (messages sent to a dead
+          process are lost); otherwise deliveries merely stall and resume
+          after recovery.  State survives the crash — combine with
+          [Reset_state] for crash-with-amnesia.  A window that has already
+          elapsed ([until_t] at or before the injection time) is a
+          no-op. *)
 
 type ('s, 'm) event = { at : int; kind : ('s, 'm) kind }
 

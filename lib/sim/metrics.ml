@@ -9,6 +9,7 @@ type t = {
   mutable corrupted : int;
   mutable reordered : int;
   mutable flushed : int;
+  mutable crashes : int;
   by_label : (string, int) Hashtbl.t;
 }
 
@@ -23,6 +24,7 @@ let create () =
     corrupted = 0;
     reordered = 0;
     flushed = 0;
+    crashes = 0;
     by_label = Hashtbl.create 16 }
 
 let reset t =
@@ -36,6 +38,7 @@ let reset t =
   t.corrupted <- 0;
   t.reordered <- 0;
   t.flushed <- 0;
+  t.crashes <- 0;
   Hashtbl.reset t.by_label
 
 let note_send t ~label =
@@ -52,6 +55,7 @@ let note_duplicated t k = t.duplicated <- t.duplicated + k
 let note_corrupted t k = t.corrupted <- t.corrupted + k
 let note_reordered t k = t.reordered <- t.reordered + k
 let note_flushed t k = t.flushed <- t.flushed + k
+let note_crashed t = t.crashes <- t.crashes + 1
 
 let sent t = t.sent
 let delivered t = t.delivered
@@ -63,6 +67,7 @@ let duplicated t = t.duplicated
 let corrupted t = t.corrupted
 let reordered t = t.reordered
 let flushed t = t.flushed
+let crashes t = t.crashes
 
 let sends_with_label t label =
   Option.value ~default:0 (Hashtbl.find_opt t.by_label label)
@@ -77,10 +82,11 @@ let sends_matching t p =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>sent=%d delivered=%d internal=%d stutters=%d@,\
-     faults=%d dropped=%d duplicated=%d corrupted=%d reordered=%d flushed=%d@,\
+     faults=%d dropped=%d duplicated=%d corrupted=%d reordered=%d flushed=%d \
+     crashes=%d@,\
      sends by label: %a@]"
     t.sent t.delivered t.internal_steps t.stutters t.faults t.dropped
-    t.duplicated t.corrupted t.reordered t.flushed
+    t.duplicated t.corrupted t.reordered t.flushed t.crashes
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
        (fun ppf (l, c) -> Format.fprintf ppf "%s=%d" l c))

@@ -23,6 +23,7 @@ val note_duplicated : t -> int -> unit
 val note_corrupted : t -> int -> unit
 val note_reordered : t -> int -> unit
 val note_flushed : t -> int -> unit
+val note_crashed : t -> unit
 
 (** {2 Readers} *)
 
@@ -38,6 +39,10 @@ val duplicated : t -> int
 val corrupted : t -> int
 val reordered : t -> int
 val flushed : t -> int
+
+val crashes : t -> int
+(** [crashes t] counts process-crash injections (one per process per
+    {!Faults.Crash} application). *)
 
 val sends_with_label : t -> string -> int
 (** [sends_with_label t l] counts sends attributed to action label

@@ -11,6 +11,11 @@ type fault_spec =
   | Partition of { pid : Sim.Pid.t; from_t : int; until_t : int }
   | Corrupt_state of { at : int; procs : Sim.Faults.proc_selector }
   | Reset_state of { at : int; procs : Sim.Faults.proc_selector }
+  | Crash of
+      { procs : Sim.Faults.proc_selector;
+        from_t : int;
+        until_t : int;
+        lose : bool }
 
 let burst ~at =
   [ Corrupt_state { at; procs = Sim.Faults.Any_proc };
@@ -77,6 +82,9 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?tail_margin
       [ Sim.Faults.at at (Run.fault_corrupt_process procs) ]
     | Reset_state { at; procs } ->
       [ Sim.Faults.at at (Run.fault_reset_process params procs) ]
+    | Crash { procs; from_t; until_t; lose } ->
+      [ Sim.Faults.at from_t
+          (Sim.Faults.Crash { proc = procs; until_t; lose_deliveries = lose }) ]
   in
   let plan = List.concat_map lower faults in
   Run.Run.run ~plan ~steps engine;

@@ -24,6 +24,15 @@ type fault_spec =
           while the window lasts (process failure and recovery) *)
   | Corrupt_state of { at : int; procs : Sim.Faults.proc_selector }
   | Reset_state of { at : int; procs : Sim.Faults.proc_selector }
+  | Crash of
+      { procs : Sim.Faults.proc_selector;
+        from_t : int;
+        until_t : int;
+        lose : bool }
+      (** crash/recover ({!Sim.Faults.Crash}): the selected processes
+          take no steps during [\[from_t, until_t)]; with [lose] their
+          inbound messages are lost meanwhile, otherwise delivery merely
+          stalls until recovery *)
 
 val burst : at:int -> fault_spec list
 (** [burst ~at] is a compound transient fault: state corruption of

@@ -1,0 +1,205 @@
+(* Tests for the chaos-campaign engine: plan generation, outcome
+   classification, counterexample shrinking, and campaign determinism. *)
+
+module Rng = Stdext.Rng
+module Plan_gen = Chaos.Plan_gen
+module Outcome = Chaos.Outcome
+module Shrink = Chaos.Shrink
+module Campaign = Chaos.Campaign
+
+(* ------------------------------------------------------------------ *)
+(* Plan generation                                                     *)
+
+let test_plan_gen_budget () =
+  let cfg = Plan_gen.config ~n:4 ~horizon:2000 ~budget:7 in
+  let plan = Plan_gen.generate (Rng.create 5) cfg in
+  Alcotest.(check int) "budget events" 7 (List.length plan);
+  let empty = Plan_gen.generate (Rng.create 5) { cfg with budget = 0 } in
+  Alcotest.(check int) "zero budget" 0 (List.length empty)
+
+let test_plan_gen_deterministic () =
+  let cfg = Plan_gen.config ~n:4 ~horizon:4000 ~budget:6 in
+  let render seed =
+    Plan_gen.plan_label (Plan_gen.generate (Rng.create seed) cfg)
+  in
+  Alcotest.(check string) "same seed same plan" (render 11) (render 11);
+  (* not a constant generator: some nearby seed must differ *)
+  let base = render 1 in
+  Alcotest.(check bool) "seeds matter" true
+    (List.exists (fun s -> render s <> base) [ 2; 3; 4; 5; 6 ])
+
+let test_plan_gen_times_bounded () =
+  let cfg = Plan_gen.config ~n:4 ~horizon:1000 ~budget:40 in
+  let plan = Plan_gen.generate (Rng.create 9) cfg in
+  List.iter
+    (fun spec ->
+      let t = Plan_gen.spec_time spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "fault at %d leaves a convergence tail" t)
+        true
+        (t >= 0 && t <= cfg.Plan_gen.horizon * 3 / 5))
+    plan;
+  (* sorted by injection time *)
+  let times = List.map Plan_gen.spec_time plan in
+  Alcotest.(check (list int)) "sorted" (List.sort compare times) times
+
+let test_plan_gen_validation () =
+  Alcotest.check_raises "n < 2" (Invalid_argument "Plan_gen.config: need n >= 2")
+    (fun () -> ignore (Plan_gen.config ~n:1 ~horizon:1000 ~budget:3))
+
+(* ------------------------------------------------------------------ *)
+(* Outcome classification                                              *)
+
+let analysis ?(me1 = 0) ?(starving = []) ~recovered () =
+  { Graybox.Stabilize.trace_len = 100;
+    last_fault_index = Some 10;
+    converged_index = (if recovered then Some 20 else None);
+    recovery_steps = (if recovered then Some 10 else None);
+    me1_violations = me1;
+    starving;
+    recovered }
+
+let verdict = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Outcome.label v))
+    ( = )
+
+let test_outcome_classify () =
+  let check msg want a =
+    Alcotest.check verdict msg want (Outcome.classify ~n:4 a)
+  in
+  check "recovered" Outcome.Recovered (analysis ~recovered:true ());
+  check "me1 wins over starvation" Outcome.Me1_violation
+    (analysis ~me1:2 ~starving:[ 0; 1; 2; 3 ] ~recovered:false ());
+  check "all starving = deadlock" Outcome.Deadlock
+    (analysis ~starving:[ 0; 1; 2; 3 ] ~recovered:false ());
+  check "some starving" Outcome.Starvation
+    (analysis ~starving:[ 2 ] ~recovered:false ());
+  check "no witness" Outcome.Unstable (analysis ~recovered:false ())
+
+let test_outcome_labels () =
+  let labels = List.map Outcome.label Outcome.all in
+  Alcotest.(check (list string)) "stable labels"
+    [ "recovered"; "me1-violation"; "starvation"; "deadlock"; "unstable" ]
+    labels;
+  Alcotest.(check bool) "recovered is success" false
+    (Outcome.is_failure Outcome.Recovered);
+  Alcotest.(check bool) "deadlock is failure" true
+    (Outcome.is_failure Outcome.Deadlock)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let ra_scenario ~wrapper =
+  match Campaign.resolve "ra" with
+  | None -> Alcotest.fail "ra protocol missing"
+  | Some proto ->
+    { Shrink.protocol = "ra"; proto; wrapper; n = 4; seed = 42; steps = 1500 }
+
+let test_shrink_reduces_deadlock_plan () =
+  let sc = ra_scenario ~wrapper:Graybox.Harness.Off in
+  (* the §4 deadlock injection buried in noise the shrinker must strip *)
+  let plan =
+    [ Tme.Scenarios.Duplicate { at = 60; per_chan = 2 };
+      Tme.Scenarios.Drop_requests_window { from_t = 150; until_t = 210 };
+      Tme.Scenarios.Crash
+        { procs = Sim.Faults.Proc 1; from_t = 300; until_t = 320; lose = false };
+      Tme.Scenarios.Reorder { at = 400; per_chan = 1 } ]
+  in
+  Alcotest.(check bool) "plan fails unwrapped" true (Shrink.fails sc plan);
+  let r = Shrink.shrink sc plan in
+  Alcotest.(check bool) "confirmed" true r.Shrink.confirmed;
+  Alcotest.(check bool) "minimal reproducer"
+    true
+    (List.length r.Shrink.shrunk <= 3);
+  Alcotest.(check bool) "shrunk plan still fails" true
+    (Shrink.fails sc r.Shrink.shrunk)
+
+let test_shrink_passing_plan_not_confirmed () =
+  let sc =
+    ra_scenario
+      ~wrapper:(Graybox.Harness.On { variant = Graybox.Wrapper.Refined; delta = 8 })
+  in
+  let r = Shrink.shrink sc [ Tme.Scenarios.Flush { at = 100 } ] in
+  Alcotest.(check bool) "nothing to shrink" false r.Shrink.confirmed
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+let small_config () =
+  Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
+    ~protocols:[ "lamport" ] ~include_unwrapped:false ~deadlock_canary:false
+    ~shrink:false ()
+
+let test_campaign_deterministic () =
+  let render () =
+    Chaos.Jsonx.to_string (Campaign.to_json (Campaign.run (small_config ())))
+  in
+  Alcotest.(check string) "same seed same report" (render ()) (render ())
+
+let test_campaign_wrapped_lamport_recovers () =
+  let report = Campaign.run (small_config ()) in
+  Alcotest.(check int) "one cell" 1 (List.length report.Campaign.cells);
+  let cell = List.hd report.Campaign.cells in
+  Alcotest.(check bool) "wrapped" true cell.Campaign.cell_wrapped;
+  List.iter
+    (fun row ->
+      Alcotest.check verdict "recovers" Outcome.Recovered
+        row.Campaign.row_verdict)
+    cell.Campaign.rows;
+  Alcotest.(check bool) "gate ok" true report.Campaign.gate_ok
+
+let test_campaign_negative_control_fails () =
+  let cfg =
+    Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
+      ~protocols:[ "lamport-unmod" ] ~include_unwrapped:true
+      ~deadlock_canary:false ~shrink:false ()
+  in
+  let report = Campaign.run cfg in
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool)
+        (cell.Campaign.cell_label ^ " expects failure and gets one")
+        true
+        (cell.Campaign.cell_expect = Campaign.Expect_failure
+        && cell.Campaign.cell_ok))
+    report.Campaign.cells
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let test_jsonx_rendering () =
+  let j =
+    Chaos.Jsonx.Obj
+      [ ("s", Chaos.Jsonx.String "a\"b\n");
+        ("i", Chaos.Jsonx.Int 3);
+        ("f", Chaos.Jsonx.Float 0.5);
+        ("nan", Chaos.Jsonx.Float nan);
+        ("l", Chaos.Jsonx.List [ Chaos.Jsonx.Bool true; Chaos.Jsonx.Null ]) ]
+  in
+  Alcotest.(check string) "escaping and nan"
+    {|{"s":"a\"b\n","i":3,"f":0.5,"nan":null,"l":[true,null]}|}
+    (Chaos.Jsonx.to_string j)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "plan_gen",
+        [ Alcotest.test_case "budget" `Quick test_plan_gen_budget;
+          Alcotest.test_case "deterministic" `Quick test_plan_gen_deterministic;
+          Alcotest.test_case "times bounded" `Quick test_plan_gen_times_bounded;
+          Alcotest.test_case "validation" `Quick test_plan_gen_validation ] );
+      ( "outcome",
+        [ Alcotest.test_case "classify" `Quick test_outcome_classify;
+          Alcotest.test_case "labels" `Quick test_outcome_labels ] );
+      ( "shrink",
+        [ Alcotest.test_case "reduces deadlock plan" `Quick
+            test_shrink_reduces_deadlock_plan;
+          Alcotest.test_case "passing plan" `Quick
+            test_shrink_passing_plan_not_confirmed ] );
+      ( "campaign",
+        [ Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "wrapped lamport recovers" `Quick
+            test_campaign_wrapped_lamport_recovers;
+          Alcotest.test_case "negative control fails" `Quick
+            test_campaign_negative_control_fails ] );
+      ("jsonx", [ Alcotest.test_case "rendering" `Quick test_jsonx_rendering ])
+    ]

@@ -79,7 +79,13 @@ let test_net_reorder_at () =
   let net = Network.send net ~src:0 ~dst:1 "c" in
   let net = Network.reorder_at net ~src:0 ~dst:1 ~pos:0 in
   Alcotest.(check (list string)) "moved to back" [ "b"; "c"; "a" ]
-    (Network.contents net ~src:0 ~dst:1)
+    (Network.contents net ~src:0 ~dst:1);
+  let same = Network.reorder_at net ~src:0 ~dst:1 ~pos:7 in
+  Alcotest.(check (list string)) "out of range noop" [ "b"; "c"; "a" ]
+    (Network.contents same ~src:0 ~dst:1);
+  let same = Network.reorder_at net ~src:1 ~dst:0 ~pos:0 in
+  Alcotest.(check (list string)) "empty channel noop" []
+    (Network.contents same ~src:1 ~dst:0)
 
 let test_net_flush () =
   let net = Network.create ~n:2 in
@@ -126,6 +132,9 @@ let test_faults_selectors () =
     (Faults.select_chans ~n:3 (Faults.Chan (1, 2)));
   Alcotest.(check int) "any excludes self-loops" 6
     (List.length (Faults.select_chans ~n:3 Faults.Any_chan));
+  Alcotest.(check (list (pair int int))) "any over two procs"
+    [ (0, 1); (1, 0) ]
+    (Faults.select_chans ~n:2 Faults.Any_chan);
   Alcotest.(check (list (pair int int))) "from" [ (1, 0); (1, 2) ]
     (Faults.select_chans ~n:3 (Faults.From 1));
   Alcotest.(check (list (pair int int))) "into" [ (0, 1); (2, 1) ]
@@ -146,6 +155,19 @@ let test_faults_due () =
   Alcotest.(check int) "one left" 1 (List.length rest);
   Alcotest.(check int) "last time" 9 (Faults.last_time rest);
   Alcotest.(check int) "empty plan" (-1) (Faults.last_time [])
+
+let test_faults_due_same_time_order () =
+  (* same-time events must fire in schedule (list) order *)
+  let plan : (unit, unit) Faults.plan =
+    [ Faults.at 5 (Faults.Flush Faults.Any_chan);
+      Faults.at 5 (Faults.Drop { chan = Faults.Any_chan; count = 1; only = None });
+      Faults.at 2 (Faults.Reorder { chan = Faults.Any_chan; count = 1 }) ]
+  in
+  let fired, rest = Faults.due plan 5 in
+  Alcotest.(check (list string)) "schedule order"
+    [ "flush"; "drop"; "reorder" ]
+    (List.map Faults.label fired);
+  Alcotest.(check int) "none left" 0 (List.length rest)
 
 let test_faults_labels () =
   Alcotest.(check string) "flush" "flush" (Faults.label (Faults.Flush Faults.Any_chan));
@@ -328,6 +350,88 @@ let test_engine_reset_state_fault () =
          f = (fun p -> { Token_node.self = p; n = 2; has_token = false; passes = 0 }) });
   Alcotest.(check int) "all reset" 0 (total_passes e)
 
+(* step until the token is in flight (here: 0 -> 1 in a 2-ring) *)
+let force_in_flight e =
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "token never sent"
+    else if Network.in_flight (E.network e) = 0 then begin
+      ignore (E.step e);
+      go (budget - 1)
+    end
+  in
+  go 100
+
+let test_engine_crash_pauses_internal_actions () =
+  let e = token_engine ~n:2 ~seed:3 () in
+  (* p0 holds the token; crash it and nothing can happen *)
+  E.apply_fault e
+    (Faults.Crash { proc = Faults.Proc 0; until_t = 8; lose_deliveries = false });
+  Alcotest.(check bool) "crashed" true (E.crashed e 0);
+  Alcotest.(check bool) "peer alive" false (E.crashed e 1);
+  Alcotest.(check int) "crash counted" 1 (Metrics.crashes (E.metrics e));
+  E.run ~steps:8 e;
+  Alcotest.(check int) "stutters through the window" 8
+    (Metrics.stutters (E.metrics e));
+  Alcotest.(check bool) "recovered at until_t" false (E.crashed e 0);
+  E.run ~steps:100 e;
+  Alcotest.(check bool) "token circulates after recovery" true
+    (total_passes e > 5)
+
+let test_engine_crash_buffers_deliveries () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  force_in_flight e;
+  let until_t = E.time e + 10 in
+  E.apply_fault e
+    (Faults.Crash { proc = Faults.Proc 1; until_t; lose_deliveries = false });
+  E.run ~steps:5 e;
+  (* the token is addressed to the crashed process: delivery stalls,
+     nothing else is enabled, the message survives *)
+  Alcotest.(check int) "message buffered" 1 (Network.in_flight (E.network e));
+  Alcotest.(check int) "no deliveries" 0 (Metrics.delivered (E.metrics e));
+  E.run ~steps:100 e;
+  Alcotest.(check bool) "delivered after recovery" true
+    (Metrics.delivered (E.metrics e) > 0);
+  Alcotest.(check bool) "token alive" true (total_passes e > 1)
+
+let test_engine_crash_loses_deliveries () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  force_in_flight e;
+  let until_t = E.time e + 10 in
+  E.apply_fault e
+    (Faults.Crash { proc = Faults.Proc 1; until_t; lose_deliveries = true });
+  E.run ~steps:1 e;
+  (* the in-flight token is addressed to the dead process: lost *)
+  Alcotest.(check int) "message lost" 0 (Network.in_flight (E.network e));
+  Alcotest.(check bool) "loss counted" true (Metrics.dropped (E.metrics e) > 0);
+  E.run ~steps:50 e;
+  Alcotest.(check int) "token gone: system dead" 0
+    (Metrics.delivered (E.metrics e))
+
+let test_engine_crash_expired_window_noop () =
+  let e = token_engine ~n:2 ~seed:1 () in
+  E.run ~steps:5 e;
+  E.apply_fault e
+    (Faults.Crash { proc = Faults.Any_proc; until_t = 3; lose_deliveries = true });
+  Alcotest.(check bool) "not crashed" false (E.crashed e 0 || E.crashed e 1);
+  Alcotest.(check int) "no crash counted" 0 (Metrics.crashes (E.metrics e))
+
+let test_engine_crash_label_and_determinism () =
+  Alcotest.(check string) "label" "crash"
+    (Faults.label
+       (Faults.Crash
+          { proc = Faults.Any_proc; until_t = 1; lose_deliveries = false }));
+  let run () =
+    let e = token_engine ~n:3 ~seed:11 () in
+    let plan =
+      [ Faults.at 20
+          (Faults.Crash
+             { proc = Faults.Proc 1; until_t = 60; lose_deliveries = true }) ]
+    in
+    E.run ~plan ~steps:300 e;
+    (total_passes e, Metrics.sent (E.metrics e), Metrics.dropped (E.metrics e))
+  in
+  Alcotest.(check (triple int int int)) "same seed same run" (run ()) (run ())
+
 let test_engine_run_until () =
   let e = token_engine ~n:3 ~seed:9 () in
   let stop engine = total_passes engine >= 5 in
@@ -408,6 +512,8 @@ let () =
       ( "faults",
         [ Alcotest.test_case "selectors" `Quick test_faults_selectors;
           Alcotest.test_case "due" `Quick test_faults_due;
+          Alcotest.test_case "due same-time order" `Quick
+            test_faults_due_same_time_order;
           Alcotest.test_case "labels" `Quick test_faults_labels ] );
       ( "trace",
         [ Alcotest.test_case "helpers" `Quick test_trace_helpers;
@@ -425,6 +531,16 @@ let () =
             test_engine_fault_duplicate_token;
           Alcotest.test_case "mutate fault" `Quick test_engine_mutate_state_fault;
           Alcotest.test_case "reset fault" `Quick test_engine_reset_state_fault;
+          Alcotest.test_case "crash pauses actions" `Quick
+            test_engine_crash_pauses_internal_actions;
+          Alcotest.test_case "crash buffers deliveries" `Quick
+            test_engine_crash_buffers_deliveries;
+          Alcotest.test_case "crash loses deliveries" `Quick
+            test_engine_crash_loses_deliveries;
+          Alcotest.test_case "crash expired window" `Quick
+            test_engine_crash_expired_window_noop;
+          Alcotest.test_case "crash label/determinism" `Quick
+            test_engine_crash_label_and_determinism;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "run_until timeout" `Quick
             test_engine_run_until_timeout;
