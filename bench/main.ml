@@ -14,6 +14,12 @@
 
 open Stdext
 
+(* Worker domains for the seed sweeps and the perf campaign; set by
+   --jobs N (default: the whole machine).  Every table prints the same
+   numbers for every value — the sweeps are seed-deterministic and
+   Pool.map preserves input order. *)
+let jobs = ref (Pool.default_jobs ())
+
 let seeds = [ 101; 202; 303 ]
 
 let ra = Option.get (Tme.Scenarios.find_protocol "ra")
@@ -109,19 +115,22 @@ let t2 () =
     Tabular.create
       ("fault class" :: List.map (fun (name, _, _) -> name) configs)
   in
-  List.iter
-    (fun (fname, faults) ->
-      let cells =
-        List.map
-          (fun (_, proto, wrapper) ->
-            let recovered, latency = coverage proto ~wrapper faults in
-            if recovered then
-              Printf.sprintf "ok(%s)" (cell_opt_float latency)
-            else "STUCK")
-          configs
-      in
-      Tabular.add_row table (fname :: cells))
-    fault_classes;
+  let rows =
+    Pool.map ~jobs:!jobs
+      (fun (fname, faults) ->
+        let cells =
+          List.map
+            (fun (_, proto, wrapper) ->
+              let recovered, latency = coverage proto ~wrapper faults in
+              if recovered then
+                Printf.sprintf "ok(%s)" (cell_opt_float latency)
+              else "STUCK")
+            configs
+        in
+        fname :: cells)
+      fault_classes
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.print
     ~title:
       "T2: recovery per fault class (3 seeds each; ok(latency in steps) or \
@@ -138,7 +147,8 @@ let t3 () =
         "ra+W wrapper msgs"; "lamport+W recovery"; "lamport+W svc p50";
         "lamport+W svc p95"; "lamport+W wrapper msgs" ]
   in
-  List.iter
+  let rows =
+    Pool.map ~jobs:!jobs
     (fun n ->
       let steps = 6000 + (1500 * n) in
       let measure proto =
@@ -172,17 +182,18 @@ let t3 () =
       in
       let ra_lat, ra_p50, ra_p95, ra_w = measure ra in
       let lam_lat, lam_p50, lam_p95, lam_w = measure lamport in
-      Tabular.add_row table
-        [ string_of_int n;
-          cell_opt_float ra_lat;
-          Tabular.cell_float ~decimals:0 ra_p50;
-          Tabular.cell_float ~decimals:0 ra_p95;
-          Tabular.cell_float ~decimals:0 ra_w;
-          cell_opt_float lam_lat;
-          Tabular.cell_float ~decimals:0 lam_p50;
-          Tabular.cell_float ~decimals:0 lam_p95;
-          Tabular.cell_float ~decimals:0 lam_w ])
-    [ 2; 3; 5; 8; 12 ];
+      [ string_of_int n;
+        cell_opt_float ra_lat;
+        Tabular.cell_float ~decimals:0 ra_p50;
+        Tabular.cell_float ~decimals:0 ra_p95;
+        Tabular.cell_float ~decimals:0 ra_w;
+        cell_opt_float lam_lat;
+        Tabular.cell_float ~decimals:0 lam_p50;
+        Tabular.cell_float ~decimals:0 lam_p95;
+        Tabular.cell_float ~decimals:0 lam_w ])
+    [ 2; 3; 5; 8; 12 ]
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.print
     ~title:
       "T3: recovery latency, post-fault service-latency percentiles, and \
@@ -224,18 +235,20 @@ let t4 () =
       List.for_all (fun r -> r.Tme.Scenarios.analysis.recovered) faulty,
       mean_opt (List.map (fun r -> r.Tme.Scenarios.recovery_latency) faulty) )
   in
-  List.iter
-    (fun delta ->
-      let clean, faulty, recovered, latency =
-        measure Graybox.Wrapper.Refined delta
-      in
-      Tabular.add_row table
+  let rows =
+    Pool.map ~jobs:!jobs
+      (fun delta ->
+        let clean, faulty, recovered, latency =
+          measure Graybox.Wrapper.Refined delta
+        in
         [ (if delta = 0 then "W (refined)" else Printf.sprintf "W'(%d)" delta);
           Tabular.cell_float clean;
           Tabular.cell_float faulty;
           Tabular.cell_bool recovered;
           cell_opt_float latency ])
-    [ 0; 1; 2; 4; 8; 16; 32; 64 ];
+      [ 0; 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.add_sep table;
   let clean, faulty, recovered, latency =
     measure Graybox.Wrapper.Unrefined 4
@@ -260,7 +273,8 @@ let t5 () =
     Tabular.create
       [ "n"; "ra"; "2(n-1)"; "lamport"; "3(n-1)"; "central"; "wrapper W'(16)" ]
   in
-  List.iter
+  let rows =
+    Pool.map ~jobs:!jobs
     (fun n ->
       let per_entry proto ~wrapper =
         let runs =
@@ -293,15 +307,16 @@ let t5 () =
       let _, wrap_m =
         per_entry ra ~wrapper:(Tme.Scenarios.wrapped ~delta:16 ())
       in
-      Tabular.add_row table
-        [ string_of_int n;
-          Tabular.cell_float ra_m;
-          Tabular.cell_int (2 * (n - 1));
-          Tabular.cell_float lam_m;
-          Tabular.cell_int (3 * (n - 1));
-          Tabular.cell_float cen_m;
-          Tabular.cell_float wrap_m ])
-    [ 3; 5; 8 ];
+      [ string_of_int n;
+        Tabular.cell_float ra_m;
+        Tabular.cell_int (2 * (n - 1));
+        Tabular.cell_float lam_m;
+        Tabular.cell_int (3 * (n - 1));
+        Tabular.cell_float cen_m;
+        Tabular.cell_float wrap_m ])
+    [ 3; 5; 8 ]
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.print
     ~title:
       "T5: protocol messages per CS entry, fault-free (3 seeds); wrapper \
@@ -432,7 +447,7 @@ let t8 () =
       [ "configuration"; "recovered"; "recovery steps"; "resets";
         "ill-formed at end" ]
   in
-  let run ~wrapper ~corrupt label =
+  let run (wrapper, corrupt, label) =
     let outcomes =
       List.map
         (fun seed ->
@@ -442,19 +457,22 @@ let t8 () =
             ~seed ~steps:5000)
         seeds
     in
-    Tabular.add_row table
-      [ label;
-        Tabular.cell_bool
-          (List.for_all (fun o -> o.Rvc.System.recovered) outcomes);
-        cell_mean_opt (List.map (fun o -> o.Rvc.System.recovery_steps) outcomes);
-        Tabular.cell_float ~decimals:0
-          (Stats.mean_int (List.map (fun o -> o.Rvc.System.resets) outcomes));
-        Tabular.cell_float ~decimals:1
-          (Stats.mean_int (List.map (fun o -> o.Rvc.System.ill_at_end) outcomes)) ]
+    [ label;
+      Tabular.cell_bool
+        (List.for_all (fun o -> o.Rvc.System.recovered) outcomes);
+      cell_mean_opt (List.map (fun o -> o.Rvc.System.recovery_steps) outcomes);
+      Tabular.cell_float ~decimals:0
+        (Stats.mean_int (List.map (fun o -> o.Rvc.System.resets) outcomes));
+      Tabular.cell_float ~decimals:1
+        (Stats.mean_int (List.map (fun o -> o.Rvc.System.ill_at_end) outcomes)) ]
   in
-  run ~wrapper:true ~corrupt:false "wrapped, fault-free (overflow recycling)";
-  run ~wrapper:true ~corrupt:true "wrapped, all clocks corrupted at t=500";
-  run ~wrapper:false ~corrupt:true "unwrapped, all clocks corrupted at t=500";
+  let rows =
+    Pool.map ~jobs:!jobs run
+      [ (true, false, "wrapped, fault-free (overflow recycling)");
+        (true, true, "wrapped, all clocks corrupted at t=500");
+        (false, true, "unwrapped, all clocks corrupted at t=500") ]
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.print
     ~title:"T8: resettable vector clocks (level-1 reset wrapper; 3 seeds)"
     table
@@ -473,20 +491,24 @@ let t9 () =
     Tabular.create
       ("fault class (all with W'(4))" :: List.map fst variants)
   in
-  List.iter
-    (fun (fname, faults) ->
-      let cells =
-        List.map
-          (fun (_, proto) ->
-            let recovered, latency =
-              coverage proto ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()) faults
-            in
-            if recovered then Printf.sprintf "ok(%s)" (cell_opt_float latency)
-            else "STUCK")
-          variants
-      in
-      Tabular.add_row table (fname :: cells))
-    fault_classes;
+  let rows =
+    Pool.map ~jobs:!jobs
+      (fun (fname, faults) ->
+        let cells =
+          List.map
+            (fun (_, proto) ->
+              let recovered, latency =
+                coverage proto ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+                  faults
+              in
+              if recovered then Printf.sprintf "ok(%s)" (cell_opt_float latency)
+              else "STUCK")
+            variants
+        in
+        fname :: cells)
+      fault_classes
+  in
+  List.iter (Tabular.add_row table) rows;
   Tabular.print
     ~title:
       "T9: which of the paper's Lamport modifications rescues which fault \
@@ -503,15 +525,17 @@ let t9 () =
     (fun (label, proto) ->
       let ok =
         List.length
-          (List.filter
-             (fun seed ->
-               (Tme.Scenarios.run proto ~n:4 ~seed ~steps:9000 ~passive:[ 3 ]
-                  ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
-                  ~faults:
-                    [ Tme.Scenarios.Corrupt_state
-                        { at = 800; procs = Sim.Faults.Any_proc } ])
-                 .analysis.recovered)
-             passive_seeds)
+          (List.filter Fun.id
+             (Pool.map ~jobs:!jobs
+                (fun seed ->
+                  (Tme.Scenarios.run proto ~n:4 ~seed ~steps:9000
+                     ~passive:[ 3 ]
+                     ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
+                     ~faults:
+                       [ Tme.Scenarios.Corrupt_state
+                           { at = 800; procs = Sim.Faults.Any_proc } ])
+                    .analysis.recovered)
+                passive_seeds))
       in
       Tabular.add_row table2
         [ label; Printf.sprintf "%d/%d" ok (List.length passive_seeds) ])
@@ -533,7 +557,7 @@ let t10 () =
       [ "system"; "stabilization designed..."; "recovered"; "recovery steps" ]
   in
   let kstate_recoveries =
-    List.map
+    Pool.map ~jobs:!jobs
       (fun seed ->
         (Kstate.run ~corrupt_at:500 ~n:5 ~k:6 ~seed ~steps:4000 ())
           .Kstate.recovery_steps)
@@ -544,7 +568,7 @@ let t10 () =
       Tabular.cell_bool (List.for_all Option.is_some kstate_recoveries);
       cell_mean_opt kstate_recoveries ];
   let tme_recoveries =
-    List.map
+    Pool.map ~jobs:!jobs
       (fun seed ->
         (Tme.Scenarios.run ra ~n:5 ~seed ~steps:10000
            ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ())
@@ -596,16 +620,219 @@ let t11 () =
     table
 
 (* ------------------------------------------------------------------ *)
+(* perf: the tracked engine/campaign benchmark (BENCH_engine.json)     *)
+
+(* A token-passing ring: one send per action, channels mostly empty —
+   stresses the per-step scheduler bookkeeping with shallow queues. *)
+module Ring_node = struct
+  type state = { self : int; n : int; count : int }
+  type msg = Ping
+
+  let receive ~self:_ ~from:_ Ping s = ({ s with count = s.count + 1 }, [])
+
+  let actions ~self:_ _ =
+    [ ("gossip",
+       fun s ->
+         ( { s with count = s.count + 1 },
+           [ ((s.self + 1) mod s.n, Ping) ] )) ]
+end
+
+(* A broadcaster: every internal action sends to all peers, so most
+   channels stay nonempty and queues run deep — the regime where a
+   per-step O(n^2) channel scan or an eager trace snapshot is ruinous. *)
+module Cast_node = struct
+  type state = { self : int; n : int; got : int }
+  type msg = Cast
+
+  let receive ~self:_ ~from:_ Cast s = ({ s with got = s.got + 1 }, [])
+
+  let actions ~self:_ _ =
+    [ ("cast",
+       fun s ->
+         ( s,
+           List.filter_map
+             (fun p -> if p = s.self then None else Some (p, Cast))
+             (List.init s.n (fun i -> i)) )) ]
+end
+
+module Ring_engine = Sim.Engine.Make (Ring_node)
+module Cast_engine = Sim.Engine.Make (Cast_node)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+type perf_row = {
+  workload : string;
+  pn : int;
+  precord : bool;
+  psteps : int;
+  steps_per_sec : float;
+}
+
+let perf_engine_rows () =
+  let runner workload ~record n =
+    match workload with
+    | "ring" ->
+      fun steps ->
+        let e =
+          Ring_engine.create
+            (Ring_engine.config ~record ~n ~seed:42 ())
+            ~init:(fun self -> { Ring_node.self; n; count = 0 })
+        in
+        Ring_engine.run ~steps e
+    | "cast" ->
+      (* deliver_weight 1 (= internal_weight) keeps sends ahead of
+         deliveries, so in-flight traffic grows into the hundreds *)
+      fun steps ->
+        let e =
+          Cast_engine.create
+            (Cast_engine.config ~record ~deliver_weight:1 ~n ~seed:42 ())
+            ~init:(fun self -> { Cast_node.self; n; got = 0 })
+        in
+        Cast_engine.run ~steps e
+    | "ra-scenario" ->
+      fun steps ->
+        ignore
+          (Tme.Scenarios.run ra ~n ~seed:42 ~steps ~record
+             ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()))
+    | w -> invalid_arg ("perf: unknown workload " ^ w)
+  in
+  let measure (workload, record, n) =
+    let run = runner workload ~record n in
+    run 2000 (* warm-up: code and minor heap *);
+    let steps =
+      match (workload, record) with
+      | "ring", false -> 200_000
+      | "ring", true | "cast", _ -> 50_000
+      | _ -> 20_000
+    in
+    let dt = wall (fun () -> run steps) in
+    { workload; pn = n; precord = record; psteps = steps;
+      steps_per_sec = float_of_int steps /. dt }
+  in
+  (* one config per row; rows are independent, so sweep them in the pool *)
+  let grid =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun record -> List.map (fun n -> (workload, record, n)) [ 3; 5; 8 ])
+          [ false; true ])
+      [ "ring"; "cast" ]
+    @ List.map (fun n -> ("ra-scenario", false, n)) [ 3; 5; 8 ]
+  in
+  (* timing under contention is unfair: measure serially even when
+     --jobs > 1 so the steps/sec numbers are comparable run to run *)
+  List.map measure grid
+
+let perf_campaign () =
+  (* a small but real sweep: every default cell, shrinking off so the
+     number is dominated by row execution, not counterexample search *)
+  let cfg jobs =
+    Chaos.Campaign.config ~base_seed:7 ~seeds:12 ~budget:4 ~n:3 ~steps:1500
+      ~delta:4 ~shrink:false ~jobs ()
+  in
+  let serial = wall (fun () -> ignore (Chaos.Campaign.run (cfg 1))) in
+  let parallel =
+    if !jobs = 1 then serial
+    else wall (fun () -> ignore (Chaos.Campaign.run (cfg !jobs)))
+  in
+  (serial, parallel)
+
+let perf () =
+  let rows = perf_engine_rows () in
+  let serial, parallel = perf_campaign () in
+  let table =
+    Tabular.create [ "workload"; "n"; "record"; "steps"; "steps/sec" ]
+  in
+  List.iter
+    (fun r ->
+      Tabular.add_row table
+        [ r.workload; string_of_int r.pn; Tabular.cell_bool r.precord;
+          string_of_int r.psteps;
+          Tabular.cell_float ~decimals:0 r.steps_per_sec ])
+    rows;
+  Tabular.print ~title:"PERF: engine steps/sec (single domain)" table;
+  let ctable =
+    Tabular.create [ "campaign (5 cells x 12 seeds)"; "wall-clock s"; "speedup" ]
+  in
+  Tabular.add_row ctable
+    [ "serial (--jobs 1)"; Tabular.cell_float serial; "1.0" ];
+  Tabular.add_row ctable
+    [ Printf.sprintf "parallel (--jobs %d)" !jobs;
+      Tabular.cell_float parallel;
+      Tabular.cell_float ~decimals:1 (serial /. parallel) ];
+  Tabular.print ~title:"PERF: chaos-campaign wall-clock" ctable;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-engine/1");
+          ("engine",
+           List
+             (List.map
+                (fun r ->
+                  Obj
+                    [ ("workload", String r.workload);
+                      ("n", Int r.pn);
+                      ("record", Bool r.precord);
+                      ("steps", Int r.psteps);
+                      ("steps_per_sec", Float r.steps_per_sec) ])
+                rows));
+          ("campaign",
+           Obj
+             [ ("seeds", Int 12); ("budget", Int 4); ("n", Int 3);
+               ("steps", Int 1500);
+               ("serial_sec", Float serial);
+               ("parallel_sec", Float parallel);
+               ("parallel_jobs", Int !jobs);
+               ("speedup", Float (serial /. parallel)) ]) ])
+  in
+  Out_channel.with_open_text "BENCH_engine.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_engine.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
-    ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11) ]
+    ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
+    ("perf", perf) ]
 
 let () =
+  let usage () =
+    Printf.eprintf
+      "usage: main.exe [--jobs N] [table ...]  (tables: %s)\n"
+      (String.concat ", " (List.map fst all_tables));
+    exit 2
+  in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> jobs := n
+    | Some n ->
+      Printf.eprintf "--jobs: need at least 1 worker, got %d\n" n;
+      exit 2
+    | None ->
+      Printf.eprintf "--jobs: not a number: %s\n" s;
+      exit 2
+  in
+  let rec parse = function
+    | [] -> []
+    | "--jobs" :: v :: rest -> set_jobs v; parse rest
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs: missing argument\n";
+      exit 2
+    | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+      set_jobs (String.sub arg 7 (String.length arg - 7));
+      parse rest
+    | arg :: _ when String.starts_with ~prefix:"-" arg -> usage ()
+    | arg :: rest -> arg :: parse rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_tables
+    match parse (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all_tables
+    | names -> names
   in
   List.iter
     (fun name ->

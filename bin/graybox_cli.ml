@@ -417,18 +417,31 @@ let chaos_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Report failures without shrinking them.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep (default: the number of cores). \
+             The report is identical for every value; $(docv) = 1 runs \
+             serially.")
+  in
   let action seed seeds budget n steps delta protocols json no_unwrapped
-      no_canary no_shrink =
+      no_canary no_shrink jobs =
     let unknown =
       List.filter (fun p -> Chaos.Campaign.resolve p = None) protocols
     in
+    let jobs = Option.value jobs ~default:(Stdext.Pool.default_jobs ()) in
     if unknown <> [] then
       `Error (false, "unknown protocols: " ^ String.concat ", " unknown)
+    else if jobs < 1 then
+      `Error (false, Printf.sprintf "--jobs: need at least 1 worker, got %d" jobs)
     else begin try
       let cfg =
         Chaos.Campaign.config ~base_seed:seed ~seeds ~budget ~n ~steps ~delta
           ~protocols ~include_unwrapped:(not no_unwrapped)
-          ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ()
+          ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ~jobs ()
       in
       let report = Chaos.Campaign.run cfg in
       Stdext.Tabular.print
@@ -463,7 +476,7 @@ let chaos_cmd =
       ret
         (const action $ seed_arg $ seeds_arg $ budget_arg $ n_arg
        $ chaos_steps_arg $ delta_arg $ protocols_arg $ json_arg
-       $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg))
+       $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

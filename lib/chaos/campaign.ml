@@ -21,6 +21,7 @@ type config = {
   shrink : bool;
   shrink_max_runs : int;
   max_counterexamples : int;
+  jobs : int;
 }
 
 let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
@@ -28,12 +29,13 @@ let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
 let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
     ?(delta = 8) ?(protocols = default_protocols) ?(include_unwrapped = true)
     ?(deadlock_canary = true) ?(shrink = true) ?(shrink_max_runs = 300)
-    ?(max_counterexamples = 3) () =
+    ?(max_counterexamples = 3) ?(jobs = 1) () =
   if seeds <= 0 then invalid_arg "Campaign.config: need seeds > 0";
   if steps < 100 then invalid_arg "Campaign.config: need steps >= 100";
   if protocols = [] then invalid_arg "Campaign.config: need a protocol";
+  if jobs < 1 then invalid_arg "Campaign.config: need jobs >= 1";
   { base_seed; seeds; budget; n; steps; delta; protocols; include_unwrapped;
-    deadlock_canary; shrink; shrink_max_runs; max_counterexamples }
+    deadlock_canary; shrink; shrink_max_runs; max_counterexamples; jobs }
 
 (* Protocols that are not everywhere-implementations of Lspec: the
    wrapper is not expected to rescue them (the paper's negative
@@ -138,8 +140,7 @@ let cell_ok expect rows =
     List.exists (fun r -> Outcome.is_failure r.row_verdict) rows
   | Observe -> true
 
-let make_cell ~cfg ~label ~protocol ~wrapped ~expect ~proto ~wrapper seeded_plans =
-  let rows = List.map (run_row ~cfg ~proto ~wrapper) seeded_plans in
+let make_cell ~label ~protocol ~wrapped ~expect rows =
   let counts =
     List.map
       (fun v ->
@@ -229,7 +230,7 @@ let counterexamples_of cfg cells =
     in
     candidates
     |> List.filteri (fun i _ -> i < cfg.max_counterexamples)
-    |> List.map (fun c ->
+    |> Pool.map ~jobs:cfg.jobs (fun c ->
            let r =
              List.find (fun r -> Outcome.is_failure r.row_verdict) c.rows
            in
@@ -253,13 +254,43 @@ let counterexamples_of cfg cells =
                Shrink.shrink ~max_runs:cfg.shrink_max_runs scenario r.row_plan })
   end
 
+(* Every (cell, seeded plan) run is an isolated deterministic function
+   of the config, so the whole sweep flattens into one work list for
+   {!Pool.map} — parallelism crosses cell boundaries, keeping all
+   domains busy even when cells have few rows.  [Pool.map] returns
+   results in input order, so the report (and its JSON) is identical
+   for every [jobs] value. *)
 let run cfg =
-  let cells =
-    List.map
-      (fun (label, protocol, wrapped, expect, proto, wrapper, seeded) ->
-        make_cell ~cfg ~label ~protocol ~wrapped ~expect ~proto ~wrapper seeded)
-      (cells_of_config cfg)
+  let specs = cells_of_config cfg in
+  let tasks =
+    List.concat_map
+      (fun (_, _, _, _, proto, wrapper, seeded) ->
+        List.map (fun sp -> (proto, wrapper, sp)) seeded)
+      specs
   in
+  let rows =
+    Pool.map ~jobs:cfg.jobs
+      (fun (proto, wrapper, sp) -> run_row ~cfg ~proto ~wrapper sp)
+      tasks
+  in
+  let cells, leftover =
+    List.fold_left
+      (fun (acc, rows) (label, protocol, wrapped, expect, _, _, seeded) ->
+        let rec take k xs =
+          if k = 0 then ([], xs)
+          else
+            match xs with
+            | x :: rest ->
+              let taken, rest = take (k - 1) rest in
+              (x :: taken, rest)
+            | [] -> assert false (* |rows| = sum of cell sizes *)
+        in
+        let cell_rows, rows = take (List.length seeded) rows in
+        (make_cell ~label ~protocol ~wrapped ~expect cell_rows :: acc, rows))
+      ([], rows) specs
+  in
+  assert (leftover = []);
+  let cells = List.rev cells in
   let counterexamples = counterexamples_of cfg cells in
   let gate_ok =
     List.for_all (fun c -> c.cell_ok) cells

@@ -40,6 +40,10 @@ type config = {
   shrink : bool;
   shrink_max_runs : int;
   max_counterexamples : int;
+  jobs : int;
+      (** worker domains for the sweep (and shrinking); the report is
+          identical for every value ({!Stdext.Pool.map} preserves input
+          order and each run is an isolated function of the config) *)
 }
 
 val default_protocols : string list
@@ -50,12 +54,13 @@ val config :
   ?base_seed:int -> ?seeds:int -> ?budget:int -> ?n:int -> ?steps:int ->
   ?delta:int -> ?protocols:string list -> ?include_unwrapped:bool ->
   ?deadlock_canary:bool -> ?shrink:bool -> ?shrink_max_runs:int ->
-  ?max_counterexamples:int -> unit -> config
+  ?max_counterexamples:int -> ?jobs:int -> unit -> config
 (** Defaults: seed 1, 50 seeds, budget 6, n = 4, 4000 steps, δ = 8,
     protocols [lamport; ra; lamport-unmod], unwrapped cells and the
-    deadlock canary included, shrinking on (300 runs, 3 counterexamples).
-    @raise Invalid_argument on an empty protocol list, [seeds <= 0], or
-    [steps < 100]. *)
+    deadlock canary included, shrinking on (300 runs, 3 counterexamples),
+    [jobs = 1] (serial).
+    @raise Invalid_argument on an empty protocol list, [seeds <= 0],
+    [steps < 100], or [jobs < 1]. *)
 
 val resolve : string -> (module Graybox.Protocol.S) option
 (** {!Tme.Scenarios.find_protocol} extended with [ra-mutant] (the

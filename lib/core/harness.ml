@@ -105,72 +105,97 @@ module Make (P : Protocol.S) = struct
       let node = { node with proto } in
       (node, wrap_sends node sends)
 
-    let client_actions node =
-      match (view node).View.mode with
-      | View.Thinking when List.mem node.self node.params.passive -> []
-      | View.Thinking when node.think_left > 0 ->
-        [ ("think",
-           fun node ->
-             ({ node with think_left = node.think_left - 1 }, [])) ]
-      | View.Thinking ->
-        [ ("request-cs",
-           fun node ->
+    (* The action closures below capture nothing — each reads
+       everything from the node it is applied to — so the singleton
+       action lists are allocated once at functor instantiation and
+       [actions] allocates nothing beyond the occasional append.  The
+       scheduler calls [actions] for every process at every step, so
+       this is the simulator's hottest allocation site. *)
+
+    let act_think =
+      [ ("think", fun node -> ({ node with think_left = node.think_left - 1 }, []))
+      ]
+
+    let act_request_cs =
+      [ ("request-cs",
+         fun node ->
+           let node = tick_ovc node in
+           let proto, sends = P.request_cs node.proto in
+           let node = { node with proto; req_vc = node.ovc } in
+           (node, wrap_sends node sends)) ]
+
+    let act_enter_cs =
+      [ ("enter-cs",
+         fun node ->
+           match P.try_enter node.proto with
+           | None -> (node, [])  (* guard raced with nothing: keep state *)
+           | Some (proto, sends) ->
              let node = tick_ovc node in
-             let proto, sends = P.request_cs node.proto in
-             let node = { node with proto; req_vc = node.ovc } in
-             (node, wrap_sends node sends)) ]
-      | View.Hungry ->
-        (match P.try_enter node.proto with
-         | None -> []
-         | Some _ ->
-           [ ("enter-cs",
-              fun node ->
-                match P.try_enter node.proto with
-                | None -> (node, [])  (* guard raced with nothing: keep state *)
-                | Some (proto, sends) ->
-                  let node = tick_ovc node in
-                  let node =
-                    { node with
-                      proto;
-                      entries = node.entries + 1;
-                      eat_left = draw_eat node.params node.client_rng }
-                  in
-                  (node, wrap_sends node sends)) ])
-      | View.Eating when node.eat_left > 0 ->
-        [ ("eat", fun node -> ({ node with eat_left = node.eat_left - 1 }, [])) ]
-      | View.Eating ->
-        [ ("release-cs",
-           fun node ->
-             let node = tick_ovc node in
-             let proto, sends = P.release_cs node.proto in
              let node =
                { node with
                  proto;
-                 think_left = draw_think node.params node.client_rng }
+                 entries = node.entries + 1;
+                 eat_left = draw_eat node.params node.client_rng }
              in
              (node, wrap_sends node sends)) ]
 
-    let wrapper_actions node =
+    let act_eat =
+      [ ("eat", fun node -> ({ node with eat_left = node.eat_left - 1 }, [])) ]
+
+    let act_release_cs =
+      [ ("release-cs",
+         fun node ->
+           let node = tick_ovc node in
+           let proto, sends = P.release_cs node.proto in
+           let node =
+             { node with
+               proto;
+               think_left = draw_think node.params node.client_rng }
+           in
+           (node, wrap_sends node sends)) ]
+
+    let act_wrapper_tick =
+      [ ("wrapper-tick", fun node -> ({ node with timer = node.timer - 1 }, []))
+      ]
+
+    let act_wrapper_fire =
+      [ (Wrapper.action_label,
+         fun node ->
+           match node.params.wrapper with
+           | Off -> (node, []) (* unreachable: guarded by [wrapper_actions] *)
+           | On { variant; delta } ->
+             let v = view node in
+             let sends = Wrapper.fire variant v ~n:node.params.n in
+             let node = { node with timer = delta } in
+             (node, wrap_sends node sends)) ]
+
+    let client_actions v node =
+      match v.View.mode with
+      | View.Thinking when List.mem node.self node.params.passive -> []
+      | View.Thinking when node.think_left > 0 -> act_think
+      | View.Thinking -> act_request_cs
+      | View.Hungry ->
+        (match P.try_enter node.proto with
+         | None -> []
+         | Some _ -> act_enter_cs)
+      | View.Eating when node.eat_left > 0 -> act_eat
+      | View.Eating -> act_release_cs
+
+    let wrapper_actions v node =
       match node.params.wrapper with
       | Off -> []
       | On { variant; delta } ->
-        let v = view node in
         if not (View.hungry v) then []
-        else if node.timer > 0 then
-          [ ("wrapper-tick",
-             fun node -> ({ node with timer = node.timer - 1 }, [])) ]
+        else if node.timer > 0 then act_wrapper_tick
         else
           let sends = Wrapper.fire variant v ~n:node.params.n in
-          if sends = [] && delta = 0 then []
-          else
-            [ (Wrapper.action_label,
-               fun node ->
-                 let v = view node in
-                 let sends = Wrapper.fire variant v ~n:node.params.n in
-                 let node = { node with timer = delta } in
-                 (node, wrap_sends node sends)) ]
+          if sends = [] && delta = 0 then [] else act_wrapper_fire
 
-    let actions ~self:_ node = client_actions node @ wrapper_actions node
+    let actions ~self:_ node =
+      let v = view node in
+      match wrapper_actions v node with
+      | [] -> client_actions v node
+      | w -> (match client_actions v node with [] -> w | c -> c @ w)
   end
 
   module Run = Sim.Engine.Make (Node)

@@ -13,7 +13,9 @@ let local snap j k = View.local_req (view_of snap j) k
 
 let channel (snap : (View.t, Msg.t) Sim.Trace.snapshot) ~src ~dst =
   match
-    List.find_opt (fun (s, d, _) -> s = src && d = dst) snap.channels
+    List.find_opt
+      (fun (s, d, _) -> s = src && d = dst)
+      (Sim.Trace.channels snap)
   with
   | Some (_, _, ms) -> ms
   | None -> []
@@ -193,8 +195,8 @@ let communication_fifo ~n:_ tr =
       in
       let chans =
         List.sort_uniq compare
-          (List.map (fun (s, d, _) -> (s, d)) prev.Sim.Trace.channels
-          @ List.map (fun (s, d, _) -> (s, d)) next.Sim.Trace.channels)
+          (List.map (fun (s, d, _) -> (s, d)) (Sim.Trace.channels prev)
+          @ List.map (fun (s, d, _) -> (s, d)) (Sim.Trace.channels next))
       in
       List.for_all
         (fun (src, dst) ->
@@ -213,7 +215,7 @@ let init_spec ~n tr =
   | [] -> Temporal.Holds
   | first :: _ ->
     let ok =
-      first.Sim.Trace.channels = []
+      Sim.Trace.channels first = []
       && List.for_all
            (fun j ->
              let v = view_of first j in

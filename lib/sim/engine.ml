@@ -39,18 +39,44 @@ module Make (N : NODE) = struct
         (* per-process recovery time; crashed iff [crash_until.(p) > time] *)
     crash_lose : bool array;
         (* while crashed, lose (rather than buffer) inbound deliveries *)
+    acts : (string * (N.state -> N.state * (Pid.t * N.msg) list)) list array;
+        (* per-process enabled actions.  [N.actions] is a pure function
+           of (self, state) — every node implementation computes its
+           action list from the state alone — so the list is cached
+           across steps and recomputed only when the process's state or
+           crash status changed ([acts_dirty]). *)
+    acts_dirty : bool array;
+    crashed_now : bool array;
+        (* crash status at the last refresh; [crashed] depends on
+           [time], so a flip must dirty the cache even though no state
+           write happened *)
+    deliv : int array;
+        (* scratch: channel indices (src * n + dst) of the deliverable
+           messages found by [refresh_moves], so the chosen delivery is
+           an array lookup rather than a second fold *)
+    mutable crash_faults_seen : bool;
+        (* no Crash fault has ever been applied: every live channel is
+           deliverable, so the per-step crash bookkeeping (the
+           crash-effects scan and the deliverable-channel filter) can
+           be skipped entirely *)
     mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
     metrics : Metrics.t;
   }
 
+  (* The network is persistent, so a snapshot just captures the current
+     version; the channel lists materialize lazily if an analysis reads
+     them.  Recording is therefore O(n) (the states copy) per step
+     instead of O(channels). *)
   let record t event =
-    if t.cfg.record then
+    if t.cfg.record then begin
+      let net = t.net in
       t.rev_trace <-
         { Trace.time = t.time;
           event;
           states = Array.copy t.states;
-          channels = Network.snapshot t.net }
+          channels = lazy (Network.snapshot net) }
         :: t.rev_trace
+    end
 
   let create cfg ~init =
     let master = Rng.create cfg.seed in
@@ -63,6 +89,11 @@ module Make (N : NODE) = struct
         net = Network.create ~n:cfg.n;
         crash_until = Array.make cfg.n 0;
         crash_lose = Array.make cfg.n false;
+        acts = Array.make cfg.n [];
+        acts_dirty = Array.make cfg.n true;
+        crashed_now = Array.make cfg.n false;
+        deliv = Array.make (cfg.n * cfg.n) 0;
+        crash_faults_seen = false;
         rev_trace = [];
         metrics = Metrics.create () }
     in
@@ -77,7 +108,9 @@ module Make (N : NODE) = struct
   let metrics t = t.metrics
   let trace t = List.rev t.rev_trace
 
-  let set_state t p s = t.states.(p) <- s
+  let set_state t p s =
+    t.states.(p) <- s;
+    t.acts_dirty.(p) <- true
   let set_network t net = t.net <- net
   let crashed t p = t.crash_until.(p) > t.time
 
@@ -85,6 +118,7 @@ module Make (N : NODE) = struct
      process is lost; once a window elapses the lose flag is retired so
      a later buffer-mode crash of the same process is not contaminated. *)
   let apply_crash_effects t =
+    if t.crash_faults_seen then
     Array.iteri
       (fun p until ->
         if until > t.time then begin
@@ -108,63 +142,126 @@ module Make (N : NODE) = struct
         t.net <- Network.send t.net ~src ~dst m)
       outbox
 
-  type move =
-    | M_deliver of Pid.t * Pid.t
-    | M_internal of Pid.t * string * (N.state -> N.state * (Pid.t * N.msg) list)
+  (* Move selection without materializing the move list.  The virtual
+     move sequence is: every nonempty channel with a live destination
+     (in (src, dst) order), then every enabled internal action
+     (ascending pid, each process's actions in list order) — exactly
+     the [deliveries @ internals] list earlier versions built per
+     step.  A move is addressed by its position in that sequence, and
+     the weighted draw consumes the RNG exactly as [Rng.pick_weighted]
+     did on the materialized list, so schedules are seed-for-seed
+     unchanged while the per-step allocation drops to the [N.actions]
+     calls alone. *)
+  let refresh_moves t =
+    let d =
+      if not t.crash_faults_seen then
+        (* no crashes ever: every live channel is deliverable, and the
+           scratch index is not needed ([nth_delivery] walks the live
+           set directly) *)
+        Network.live_count t.net
+      else begin
+        let d = ref 0 in
+        Network.fold_nonempty
+          (fun () ~src ~dst ->
+            if not (crashed t dst) then begin
+              t.deliv.(!d) <- (src * t.cfg.n) + dst;
+              incr d
+            end)
+          () t.net;
+        !d
+      end
+    in
+    let i = ref 0 in
+    for p = 0 to t.cfg.n - 1 do
+      let c = crashed t p in
+      if c <> t.crashed_now.(p) then begin
+        t.crashed_now.(p) <- c;
+        t.acts_dirty.(p) <- true
+      end;
+      if t.acts_dirty.(p) then begin
+        t.acts.(p) <- (if c then [] else N.actions ~self:p t.states.(p));
+        t.acts_dirty.(p) <- false
+      end;
+      i := !i + List.length t.acts.(p)
+    done;
+    (d, !i)
 
-  let enabled_moves t =
-    let deliveries =
-      List.filter_map
-        (fun (src, dst) ->
-          if crashed t dst then None
-          else Some (M_deliver (src, dst), t.cfg.deliver_weight))
-        (Network.nonempty t.net)
+  exception Nth_chan of Pid.t * Pid.t
+
+  let nth_delivery t k =
+    if t.crash_faults_seen then begin
+      let i = t.deliv.(k) in
+      (i / t.cfg.n, i mod t.cfg.n)
+    end
+    else
+      (* walk to the k-th live channel; happens once per step, only
+         for the chosen move *)
+      let k = ref k in
+      try
+        Network.fold_nonempty
+          (fun () ~src ~dst ->
+            if !k = 0 then raise (Nth_chan (src, dst)) else decr k)
+          () t.net;
+        assert false (* k < live_count *)
+      with Nth_chan (src, dst) -> (src, dst)
+
+  let nth_internal t k =
+    let rec go p k =
+      let len = List.length t.acts.(p) in
+      if k < len then (p, List.nth t.acts.(p) k) else go (p + 1) (k - len)
     in
-    let internals =
-      List.concat_map
-        (fun p ->
-          if crashed t p then []
-          else
-            List.map
-              (fun (label, f) ->
-                (M_internal (p, label, f), t.cfg.internal_weight))
-              (N.actions ~self:p t.states.(p)))
-        (Pid.range t.cfg.n)
-    in
-    deliveries @ internals
+    go 0 k
 
   let step t =
     apply_crash_effects t;
+    let d, i = refresh_moves t in
     let event : (N.state, N.msg) Trace.event =
-      match enabled_moves t with
-      | [] ->
+      if d + i = 0 then begin
         Metrics.note_stutter t.metrics;
         Trace.Stutter
-      | moves ->
+      end
+      else begin
         let chosen =
           match t.cfg.policy with
-          | Weighted_random -> Rng.pick_weighted t.sched_rng moves
-          | Round_robin -> fst (List.nth moves (t.time mod List.length moves))
+          | Weighted_random ->
+            (* nonpositive weights are excluded from the total and can
+               never be drawn — [pick_weighted]'s skip rule *)
+            let dw = max 0 t.cfg.deliver_weight in
+            let iw = max 0 t.cfg.internal_weight in
+            let total = (dw * d) + (iw * i) in
+            if total <= 0 then
+              invalid_arg "Rng.pick_weighted: no positive weight";
+            let stop = Rng.int t.sched_rng total in
+            if stop < dw * d then `Deliver (stop / dw)
+            else `Internal ((stop - (dw * d)) / iw)
+          | Round_robin ->
+            let idx = t.time mod (d + i) in
+            if idx < d then `Deliver idx else `Internal (idx - d)
         in
-        (match chosen with
-         | M_deliver (src, dst) ->
-           (match Network.deliver t.net ~src ~dst with
-            | None -> Trace.Stutter (* cannot happen: channel was nonempty *)
-            | Some (msg, net) ->
-              t.net <- net;
-              Metrics.note_delivery t.metrics;
-              let state', outbox =
-                N.receive ~self:dst ~from:src msg t.states.(dst)
-              in
-              t.states.(dst) <- state';
-              dispatch t ~src:dst ~label:"deliver" outbox;
-              Trace.Deliver { src; dst; msg })
-         | M_internal (p, label, f) ->
-           Metrics.note_internal t.metrics;
-           let state', outbox = f t.states.(p) in
-           t.states.(p) <- state';
-           dispatch t ~src:p ~label outbox;
-           Trace.Internal { pid = p; label })
+        match chosen with
+        | `Deliver k ->
+          let src, dst = nth_delivery t k in
+          (match Network.deliver t.net ~src ~dst with
+           | None -> Trace.Stutter (* cannot happen: channel was nonempty *)
+           | Some (msg, net) ->
+             t.net <- net;
+             Metrics.note_delivery t.metrics;
+             let state', outbox =
+               N.receive ~self:dst ~from:src msg t.states.(dst)
+             in
+             t.states.(dst) <- state';
+             t.acts_dirty.(dst) <- true;
+             dispatch t ~src:dst ~label:"deliver" outbox;
+             Trace.Deliver { src; dst; msg })
+        | `Internal k ->
+          let p, (label, f) = nth_internal t k in
+          Metrics.note_internal t.metrics;
+          let state', outbox = f t.states.(p) in
+          t.states.(p) <- state';
+          t.acts_dirty.(p) <- true;
+          dispatch t ~src:p ~label outbox;
+          Trace.Internal { pid = p; label }
+      end
     in
     t.time <- t.time + 1;
     record t event;
@@ -229,13 +326,18 @@ module Make (N : NODE) = struct
        Metrics.note_flushed t.metrics !flushed
      | Mutate_state { proc; f } ->
        List.iter
-         (fun p -> t.states.(p) <- f t.fault_rng t.states.(p))
+         (fun p ->
+           t.states.(p) <- f t.fault_rng t.states.(p);
+           t.acts_dirty.(p) <- true)
          (Faults.select_procs ~n:t.cfg.n proc)
      | Reset_state { proc; f } ->
        List.iter
-         (fun p -> t.states.(p) <- f p)
+         (fun p ->
+           t.states.(p) <- f p;
+           t.acts_dirty.(p) <- true)
          (Faults.select_procs ~n:t.cfg.n proc)
      | Crash { proc; until_t; lose_deliveries } ->
+       t.crash_faults_seen <- true;
        List.iter
          (fun p ->
            if until_t > t.time then begin

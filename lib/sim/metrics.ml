@@ -10,7 +10,9 @@ type t = {
   mutable reordered : int;
   mutable flushed : int;
   mutable crashes : int;
-  by_label : (string, int) Hashtbl.t;
+  by_label : (string, int ref) Hashtbl.t;
+      (* counters are cells so the hot path is one lookup, no
+         re-insertion *)
 }
 
 let create () =
@@ -43,8 +45,9 @@ let reset t =
 
 let note_send t ~label =
   t.sent <- t.sent + 1;
-  let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_label label) in
-  Hashtbl.replace t.by_label label (prev + 1)
+  match Hashtbl.find t.by_label label with
+  | r -> incr r
+  | exception Not_found -> Hashtbl.add t.by_label label (ref 1)
 
 let note_delivery t = t.delivered <- t.delivered + 1
 let note_internal t = t.internal_steps <- t.internal_steps + 1
@@ -70,10 +73,10 @@ let flushed t = t.flushed
 let crashes t = t.crashes
 
 let sends_with_label t label =
-  Option.value ~default:0 (Hashtbl.find_opt t.by_label label)
+  match Hashtbl.find_opt t.by_label label with Some r -> !r | None -> 0
 
 let labels t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_label []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.by_label []
   |> List.sort compare
 
 let sends_matching t p =

@@ -1,6 +1,21 @@
 open Stdext
+module Iset = Set.Make (Int)
 
-type 'm t = { n : int; chans : 'm Fqueue.t array (* index src * n + dst *) }
+(* The channel matrix lives in a persistent array (one diff node per
+   update instead of an O(n^2) copy per message), and two incremental
+   indexes ride along with every version: the set of nonempty channel
+   indices — so [nonempty] enumerates live channels instead of
+   rescanning all n^2 — and the total queued-message count, making
+   [in_flight]/[is_empty] O(1).  Both are pure fields of the version,
+   so persistence is preserved: an old [t] still answers for its own
+   contents. *)
+type 'm t = {
+  n : int;
+  chans : 'm Fqueue.t Parray.t; (* index src * n + dst *)
+  live : Iset.t; (* indices of nonempty channels *)
+  nlive : int; (* |live|, maintained incrementally (Set.cardinal is O(n)) *)
+  msgs : int; (* total queued messages *)
+}
 
 let idx t ~src ~dst =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -9,85 +24,107 @@ let idx t ~src ~dst =
 
 let create ~n =
   if n <= 0 then invalid_arg "Network.create: need n > 0";
-  { n; chans = Array.make (n * n) Fqueue.empty }
+  { n;
+    chans = Parray.make (n * n) Fqueue.empty;
+    live = Iset.empty;
+    nlive = 0;
+    msgs = 0 }
 
 let size t = t.n
 
 let update t i q =
-  let chans = Array.copy t.chans in
-  chans.(i) <- q;
-  { t with chans }
+  let old = Parray.get t.chans i in
+  let was = Fqueue.is_empty old and now = Fqueue.is_empty q in
+  let live, nlive =
+    if was = now then (t.live, t.nlive) (* emptiness unchanged *)
+    else if now then (Iset.remove i t.live, t.nlive - 1)
+    else (Iset.add i t.live, t.nlive + 1)
+  in
+  { t with
+    chans = Parray.set t.chans i q;
+    live;
+    nlive;
+    msgs = t.msgs - Fqueue.length old + Fqueue.length q }
 
 let send t ~src ~dst m =
   let i = idx t ~src ~dst in
-  update t i (Fqueue.push m t.chans.(i))
+  update t i (Fqueue.push m (Parray.get t.chans i))
 
 let deliver t ~src ~dst =
   let i = idx t ~src ~dst in
-  match Fqueue.pop t.chans.(i) with
+  match Fqueue.pop (Parray.get t.chans i) with
   | None -> None
   | Some (m, q) -> Some (m, update t i q)
 
-let peek t ~src ~dst = Fqueue.peek t.chans.(idx t ~src ~dst)
+let peek t ~src ~dst = Fqueue.peek (Parray.get t.chans (idx t ~src ~dst))
 
-let contents t ~src ~dst = Fqueue.to_list t.chans.(idx t ~src ~dst)
+let contents t ~src ~dst = Fqueue.to_list (Parray.get t.chans (idx t ~src ~dst))
 
-let channel_length t ~src ~dst = Fqueue.length t.chans.(idx t ~src ~dst)
+let channel_length t ~src ~dst =
+  Fqueue.length (Parray.get t.chans (idx t ~src ~dst))
 
+(* [Iset.elements] is ascending, and index order is (src, dst)
+   lexicographic order — the order the scheduler has always seen. *)
 let nonempty t =
-  let acc = ref [] in
-  for src = t.n - 1 downto 0 do
-    for dst = t.n - 1 downto 0 do
-      if not (Fqueue.is_empty t.chans.((src * t.n) + dst)) then
-        acc := (src, dst) :: !acc
-    done
-  done;
-  !acc
+  List.map (fun i -> (i / t.n, i mod t.n)) (Iset.elements t.live)
 
-let in_flight t = Array.fold_left (fun acc q -> acc + Fqueue.length q) 0 t.chans
+let fold_nonempty f acc t =
+  Iset.fold (fun i acc -> f acc ~src:(i / t.n) ~dst:(i mod t.n)) t.live acc
 
-let is_empty t = in_flight t = 0
+let live_count t = t.nlive
+
+let in_flight t = t.msgs
+
+let is_empty t = t.msgs = 0
 
 let drop_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos t.chans.(i) with
+  match Fqueue.remove_at pos (Parray.get t.chans i) with
   | None -> t
   | Some (_, q) -> update t i q
 
 let duplicate_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos t.chans.(i) with
+  match Fqueue.remove_at pos (Parray.get t.chans i) with
   | None -> t
   | Some (m, q) -> update t i (Fqueue.insert_at pos m (Fqueue.insert_at pos m q))
 
 let corrupt_at t ~src ~dst ~pos ~f =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos t.chans.(i) with
+  match Fqueue.remove_at pos (Parray.get t.chans i) with
   | None -> t
   | Some (m, q) -> update t i (Fqueue.insert_at pos (f m) q)
 
 let reorder_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos t.chans.(i) with
+  match Fqueue.remove_at pos (Parray.get t.chans i) with
   | None -> t
   | Some (m, q) -> update t i (Fqueue.push m q)
 
 let flush_channel t ~src ~dst = update t (idx t ~src ~dst) Fqueue.empty
 
-let flush_all t = { t with chans = Array.make (t.n * t.n) Fqueue.empty }
+let flush_all t =
+  { t with
+    chans = Parray.make (t.n * t.n) Fqueue.empty;
+    live = Iset.empty;
+    nlive = 0;
+    msgs = 0 }
 
-let map f t = { t with chans = Array.map (Fqueue.map f) t.chans }
+(* [map] preserves queue lengths, so both indexes carry over. *)
+let map f t =
+  { t with
+    chans =
+      Parray.init (t.n * t.n) (fun i -> Fqueue.map f (Parray.get t.chans i)) }
 
 let fold_messages f acc t =
-  let acc = ref acc in
-  for src = 0 to t.n - 1 do
-    for dst = 0 to t.n - 1 do
-      List.iter
-        (fun m -> acc := f !acc ~src ~dst m)
-        (Fqueue.to_list t.chans.((src * t.n) + dst))
-    done
-  done;
-  !acc
+  Iset.fold
+    (fun i acc ->
+      let src = i / t.n and dst = i mod t.n in
+      List.fold_left
+        (fun acc m -> f acc ~src ~dst m)
+        acc
+        (Fqueue.to_list (Parray.get t.chans i)))
+    t.live acc
 
 let snapshot t =
   List.map

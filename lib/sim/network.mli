@@ -3,9 +3,12 @@
 
     The structure is persistent so that the engine can snapshot channel
     contents into traces and so fault injection is a pure
-    transformation.  Fault primitives (drop / duplicate / corrupt /
-    flush) are defined here; {e when} they fire is decided by
-    {!Faults}. *)
+    transformation.  Internally it is a {!Stdext.Parray} plus an
+    incremental nonempty-channel index: updates cost one diff node
+    (not an n{^2} copy), {!nonempty} is O(live channels) and
+    {!in_flight} is O(1).  Fault primitives (drop / duplicate /
+    corrupt / flush) are defined here; {e when} they fire is decided
+    by {!Faults}. *)
 
 type 'm t
 
@@ -32,6 +35,15 @@ val channel_length : 'm t -> src:Pid.t -> dst:Pid.t -> int
 val nonempty : 'm t -> (Pid.t * Pid.t) list
 (** [nonempty net] lists channels that currently hold messages, in
     (src, dst) lexicographic order. *)
+
+val fold_nonempty :
+  ('acc -> src:Pid.t -> dst:Pid.t -> 'acc) -> 'acc -> 'm t -> 'acc
+(** [fold_nonempty f acc net] folds over the nonempty channels in the
+    same (src, dst) order as {!nonempty}, without materializing the
+    list — the scheduler's per-step path. *)
+
+val live_count : 'm t -> int
+(** [live_count net] is the number of nonempty channels, in O(1). *)
 
 val in_flight : 'm t -> int
 (** [in_flight net] is the total number of queued messages. *)

@@ -9,10 +9,12 @@ type ('s, 'm) snapshot = {
   time : int;
   event : ('s, 'm) event;
   states : 's array;
-  channels : (Pid.t * Pid.t * 'm list) list;
+  channels : (Pid.t * Pid.t * 'm list) list Lazy.t;
 }
 
 type ('s, 'm) t = ('s, 'm) snapshot list
+
+let channels snap = Lazy.force snap.channels
 
 let map_event : ('s, 'm) event -> ('v, 'm) event = function
   | Init -> Init
@@ -44,7 +46,10 @@ let map_msgs f tr =
         event = map_event snap.event;
         states = snap.states;
         channels =
-          List.map (fun (src, dst, ms) -> (src, dst, List.map f ms)) snap.channels })
+          lazy
+            (List.map
+               (fun (src, dst, ms) -> (src, dst, List.map f ms))
+               (Lazy.force snap.channels)) })
     tr
 
 let states_seq tr = List.map (fun snap -> snap.states) tr

@@ -17,10 +17,18 @@ type ('s, 'm) snapshot = {
   time : int;
   event : ('s, 'm) event;
   states : 's array;
-  channels : (Pid.t * Pid.t * 'm list) list;
+  channels : (Pid.t * Pid.t * 'm list) list Lazy.t;
+      (** materialized on first access: the engine's channel matrix is
+          a persistent structure, so recording a snapshot is O(1) and
+          the per-channel lists are built only for analyses that read
+          them (memoized thereafter) *)
 }
 
 type ('s, 'm) t = ('s, 'm) snapshot list
+
+val channels : ('s, 'm) snapshot -> (Pid.t * Pid.t * 'm list) list
+(** [channels snap] forces and returns the nonempty-channel contents,
+    in (src, dst) lexicographic order. *)
 
 val map_states : ('s -> 'v) -> ('s, 'm) t -> ('v, 'm) t
 (** [map_states f tr] maps every process state, e.g. projecting

@@ -1,0 +1,65 @@
+(* Persistent arrays via version trees: the newest version owns the
+   flat array and every older version is a chain of (index, old value)
+   diffs hanging off it.  Reading an old version reverses the chain so
+   that version becomes the owner ("rerooting"); the previous owner
+   turns into a diff.  All mutation is internal — observable behaviour
+   is purely functional. *)
+
+type 'a t = 'a data ref
+and 'a data = Arr of 'a array | Diff of int * 'a * 'a t
+
+let make n x = ref (Arr (Array.make n x))
+let init n f = ref (Arr (Array.init n f))
+
+let reroot t =
+  match !t with
+  | Arr a -> a
+  | Diff _ ->
+    (* Diff nodes from [t] to the current owner, nearest-owner first;
+       tail-recursive so long chains cannot blow the stack. *)
+    let rec collect acc node =
+      match !node with
+      | Arr a -> (acc, a)
+      | Diff (_, _, next) -> collect (node :: acc) next
+    in
+    let path, a = collect [] t in
+    List.iter
+      (fun node ->
+        match !node with
+        | Arr _ -> assert false
+        | Diff (i, v, next) ->
+          let old = a.(i) in
+          a.(i) <- v;
+          next := Diff (i, old, node);
+          node := Arr a)
+      path;
+    a
+
+let length t =
+  let rec go node =
+    match !node with Arr a -> Array.length a | Diff (_, _, next) -> go next
+  in
+  go t
+
+let get t i = match !t with Arr a -> a.(i) | Diff _ -> (reroot t).(i)
+
+let set t i v =
+  let a = reroot t in
+  let old = a.(i) in
+  if old == v then t
+  else begin
+    a.(i) <- v;
+    let res = ref (Arr a) in
+    t := Diff (i, old, res);
+    res
+  end
+
+let to_list t = Array.to_list (reroot t)
+
+let foldi f acc t =
+  let a = reroot t in
+  let acc = ref acc in
+  for i = 0 to Array.length a - 1 do
+    acc := f i !acc a.(i)
+  done;
+  !acc

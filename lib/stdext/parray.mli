@@ -1,0 +1,35 @@
+(** Persistent arrays with O(1) access on the newest version
+    (Baker's trick, as popularized by Conchon & Filliatre).
+
+    A [set] allocates one small diff node instead of copying the
+    backing array; reading any version {e reroots} the backing array to
+    that version, so the most recently touched version always pays
+    array speed.  Old versions stay valid — reading one costs the
+    length of the diff chain back to it.
+
+    This is what lets {!Sim.Network} keep its persistent interface
+    while dropping the O(n{^2}) copy it used to pay per message.
+
+    Not thread-safe across domains: rerooting mutates shared nodes.
+    Confine each value (and all its versions) to one domain. *)
+
+type 'a t
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a persistent array of [n] copies of [x]. *)
+
+val init : int -> (int -> 'a) -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** O(1) on the version touched last; O(chain) on older versions. *)
+
+val set : 'a t -> int -> 'a -> 'a t
+(** [set t i x] is a new version with [x] at [i]; [t] is unchanged.
+    Returns [t] itself when [x] is physically the current element. *)
+
+val to_list : 'a t -> 'a list
+
+val foldi : (int -> 'acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [foldi f acc t] folds left over indices [0 .. length - 1]. *)

@@ -1,0 +1,39 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Empty | Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.map: need jobs >= 1";
+  match xs with
+  | [] -> []
+  | xs when jobs = 1 -> List.map f xs
+  | xs ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    (* Each worker claims indices off the shared counter until the
+       input is exhausted; a raise is captured into its slot so one bad
+       element cannot strand the other workers. *)
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            (match f input.(i) with
+             | v -> Done v
+             | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let helpers =
+      List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Empty -> assert false)

@@ -1,0 +1,27 @@
+(** A fixed-size domain pool for embarrassingly parallel sweeps.
+
+    Campaign rows and bench seed sweeps are seed-deterministic and
+    share no state, so they parallelize with no coordination beyond a
+    work-stealing counter.  [map] keeps the sequential contract:
+    results come back in input order and the first (by input position)
+    exception re-raises in the caller, so [map ~jobs:k f xs] is
+    observably [List.map f xs] for pure [f] — only faster. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the whole machine. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on up to
+    [jobs] domains (the caller's domain included) and returns the
+    results in input order.
+
+    [~jobs:1] runs exactly [List.map f xs] on the calling domain: no
+    domain is spawned, making the serial path bit-for-bit identical to
+    pre-pool code.  If one or more applications raise, the exception of
+    the smallest input index re-raises (with its backtrace) after all
+    workers have drained.
+
+    [f] must be safe to run concurrently with itself ([jobs >= 2]
+    executes elements on different domains).
+
+    @raise Invalid_argument when [jobs < 1]. *)

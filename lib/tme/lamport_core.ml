@@ -51,6 +51,7 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
   type state = {
     self : Sim.Pid.t;
     n : int;
+    peers : Sim.Pid.t list;  (* [others ~self ~n], computed once *)
     mode : View.mode;
     clock : Logical_clock.t;
     req : Timestamp.t;
@@ -60,11 +61,12 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
 
   let name = C.name
 
-  let peers s = Sim.Pid.others ~self:s.self ~n:s.n
+  let peers s = s.peers
 
   let init ~n self =
     { self;
       n;
+      peers = Sim.Pid.others ~self ~n;
       mode = View.Thinking;
       clock = Logical_clock.create ~pid:self;
       req = Timestamp.zero ~pid:self;

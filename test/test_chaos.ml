@@ -148,6 +148,26 @@ let test_campaign_wrapped_lamport_recovers () =
     cell.Campaign.rows;
   Alcotest.(check bool) "gate ok" true report.Campaign.gate_ok
 
+let test_campaign_parallel_matches_serial () =
+  (* the tentpole determinism claim: a multi-cell sweep (with a failing
+     negative control, so shrinking runs too) renders to byte-identical
+     JSON whatever the worker count *)
+  let cfg jobs =
+    Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
+      ~protocols:[ "lamport"; "lamport-unmod" ] ~include_unwrapped:true
+      ~deadlock_canary:true ~jobs ()
+  in
+  let render jobs =
+    Chaos.Jsonx.to_string (Campaign.to_json (Campaign.run (cfg jobs)))
+  in
+  Alcotest.(check string) "parallel report == serial report" (render 1)
+    (render 3)
+
+let test_campaign_jobs_validation () =
+  Alcotest.check_raises "jobs = 0 rejected"
+    (Invalid_argument "Campaign.config: need jobs >= 1") (fun () ->
+      ignore (Campaign.config ~jobs:0 ()))
+
 let test_campaign_negative_control_fails () =
   let cfg =
     Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
@@ -200,6 +220,10 @@ let () =
           Alcotest.test_case "wrapped lamport recovers" `Quick
             test_campaign_wrapped_lamport_recovers;
           Alcotest.test_case "negative control fails" `Quick
-            test_campaign_negative_control_fails ] );
+            test_campaign_negative_control_fails;
+          Alcotest.test_case "parallel report == serial" `Quick
+            test_campaign_parallel_matches_serial;
+          Alcotest.test_case "jobs validation" `Quick
+            test_campaign_jobs_validation ] );
       ("jsonx", [ Alcotest.test_case "rendering" `Quick test_jsonx_rendering ])
     ]

@@ -147,7 +147,7 @@ let prop_wrapper_sends_own_request =
 
 let snap ?(event = Sim.Trace.Stutter) time states channels :
     (View.t, Msg.t) Sim.Trace.snapshot =
-  { Sim.Trace.time; event; states; channels }
+  { Sim.Trace.time; event; states; channels = lazy channels }
 
 let two_views m0 m1 =
   [| mk_view ~self:0 ~mode:m0 ~req:(ts 1 0) [ (1, ts 2 1) ];

@@ -1,0 +1,71 @@
+(* Stdext.Pool: the domain pool must be observably List.map. *)
+
+open Stdext
+
+let test_ordering () =
+  let xs = List.init 200 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order under parallel execution"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_matches_list_map_uneven_work () =
+  (* uneven per-item cost shuffles completion order; results must not be *)
+  let work x =
+    let rec spin k acc = if k = 0 then acc else spin (k - 1) (acc + x) in
+    spin (x mod 7 * 1000) x
+  in
+  let xs = List.init 64 (fun i -> i + 1) in
+  Alcotest.(check (list int))
+    "parallel equals serial" (List.map work xs) (Pool.map ~jobs:3 work xs)
+
+let test_jobs1_is_serial () =
+  (* evaluation-order side effects prove jobs:1 is List.map on the
+     calling domain, not a one-worker pool *)
+  let log = ref [] in
+  let f x =
+    log := x :: !log;
+    x + 1
+  in
+  let ys = Pool.map ~jobs:1 f [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] ys;
+  Alcotest.(check (list int)) "strict left-to-right" [ 3; 2; 1 ] !log
+
+let test_edges () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~jobs:4 succ [ 7 ]);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 1; 2 ]
+    (Pool.map ~jobs:16 succ [ 0; 1 ])
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Alcotest.check_raises "smallest failing input index wins" (Boom 2)
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:3
+           (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+           [ 1; 2; 3; 4; 5; 6 ]))
+
+let test_jobs_validation () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs = %d rejected" jobs)
+        (Invalid_argument "Pool.map: need jobs >= 1")
+        (fun () -> ignore (Pool.map ~jobs Fun.id [ 1 ])))
+    [ 0; -1 ]
+
+let () =
+  Alcotest.run "pool"
+    [ ( "map",
+        [ Alcotest.test_case "input ordering" `Quick test_ordering;
+          Alcotest.test_case "matches List.map (uneven work)" `Quick
+            test_matches_list_map_uneven_work;
+          Alcotest.test_case "jobs=1 is serial" `Quick test_jobs1_is_serial;
+          Alcotest.test_case "edge cases" `Quick test_edges;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation ] )
+    ]

@@ -284,6 +284,45 @@ let prop_stats_mean_bounds =
       let m = Stats.mean xs in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Parray                                                              *)
+
+let test_parray_basics () =
+  let a = Parray.init 4 (fun i -> i * 10) in
+  Alcotest.(check int) "length" 4 (Parray.length a);
+  Alcotest.(check (list int)) "init" [ 0; 10; 20; 30 ] (Parray.to_list a);
+  let b = Parray.set a 2 99 in
+  Alcotest.(check int) "new version" 99 (Parray.get b 2);
+  Alcotest.(check int) "old version unchanged" 20 (Parray.get a 2);
+  Alcotest.(check (list int)) "foldi order" [ 30; 99; 10; 0 ]
+    (Parray.foldi (fun _ acc x -> x :: acc) [] b)
+
+let test_parray_set_same_element_is_noop () =
+  let a = Parray.make 3 "x" in
+  Alcotest.(check bool) "physically equal" true (Parray.set a 1 "x" == a)
+
+let prop_parray_versions_survive_rerooting =
+  (* apply a random write sequence, keep every intermediate version,
+     then read them back newest-first and oldest-first: reads reroot
+     the backing array, and no version may be disturbed by it *)
+  qtest "all versions readable in any order"
+    QCheck2.Gen.(list_size (1 -- 40) (pair (0 -- 4) (0 -- 9)))
+    (fun writes ->
+      let model v = List.init 5 (Array.get v) in
+      let p0 = Parray.make 5 0 in
+      let versions, _ =
+        List.fold_left
+          (fun (acc, (p, m)) (i, x) ->
+            let p = Parray.set p i x in
+            let m = Array.copy m in
+            m.(i) <- x;
+            ((p, model m) :: acc, (p, m)))
+          ([ (p0, List.init 5 (fun _ -> 0)) ], (p0, Array.make 5 0))
+          writes
+      in
+      let ok (p, expected) = Parray.to_list p = expected in
+      List.for_all ok versions && List.for_all ok (List.rev versions))
+
 let () =
   Alcotest.run "stdext"
     [ ( "rng",
@@ -321,6 +360,11 @@ let () =
         [ Alcotest.test_case "alignment" `Quick test_tabular_alignment;
           Alcotest.test_case "short rows" `Quick test_tabular_short_rows_padded;
           Alcotest.test_case "cells" `Quick test_tabular_cells ] );
+      ( "parray",
+        [ Alcotest.test_case "basics" `Quick test_parray_basics;
+          Alcotest.test_case "set same element" `Quick
+            test_parray_set_same_element_is_noop;
+          prop_parray_versions_survive_rerooting ] );
       ( "stats",
         [ Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "median" `Quick test_stats_median;
