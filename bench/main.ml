@@ -794,11 +794,111 @@ let perf () =
   print_endline "wrote BENCH_engine.json"
 
 (* ------------------------------------------------------------------ *)
+(* mcheck: the tracked model-checker benchmark (BENCH_mcheck.json)      *)
+
+let mcheck_bench () =
+  let stats_of = function
+    | Mcheck.Ok s -> (s, false)
+    | Mcheck.Violation { stats; _ } -> (stats, true)
+  in
+  let measure (label, proto, n, depth, everywhere, jobs) =
+    let check () =
+      if everywhere then
+        Mcheck.check_me1_everywhere proto ~n ~jobs ~max_depth:depth
+          ~max_states:1_000_000 ()
+      else
+        Mcheck.check_me1 proto ~n ~jobs ~max_depth:depth
+          ~max_states:1_000_000 ()
+    in
+    let r = check () in
+    let dt = wall (fun () -> ignore (check ())) in
+    let stats, violated = stats_of r in
+    (label, n, depth, everywhere, jobs, stats, violated, dt, r)
+  in
+  (* the n=3 depth-16 workload (>=100k states) runs once serially and
+     once with --jobs workers: the checker promises identical results
+     for every jobs value, so the bench asserts it on each run *)
+  let grid =
+    [ ("ra", ra, 2, 30, false, 1);
+      ("ra", ra, 3, 14, false, 1);
+      ("ra", ra, 3, 16, false, 1);
+      ("ra", ra, 3, 16, false, !jobs);
+      (* depth 17 reaches the stale-reply hazard (see EXPERIMENTS.md):
+         tracked here so the counterexample's cost stays visible *)
+      ("ra", ra, 3, 17, false, 1);
+      ("ra", ra, 2, 6, true, 1);
+      ("ra-mutant", (module Tme.Ra_mutant : Graybox.Protocol.S), 2, 12, false, 1) ]
+  in
+  let rows = List.map measure grid in
+  (match
+     List.filter
+       (fun (label, n, depth, ew, _, _, _, _, _) ->
+         label = "ra" && n = 3 && depth = 16 && not ew)
+       rows
+   with
+   | [ (_, _, _, _, _, s1, _, _, r1); (_, _, _, _, _, s2, _, _, r2) ] ->
+     if not (s1 = s2 && r1 = r2) then
+       failwith "mcheck bench: results differ across --jobs values"
+   | _ -> ());
+  let table =
+    Tabular.create
+      [ "workload"; "mode"; "jobs"; "explored"; "visited"; "verdict";
+        "sec"; "states/sec" ]
+  in
+  List.iter
+    (fun (label, n, depth, ew, j, (s : Mcheck.stats), violated, dt, _) ->
+      Tabular.add_row table
+        [ Printf.sprintf "%s n=%d d=%d" label n depth;
+          (if ew then "everywhere" else "init");
+          string_of_int j;
+          string_of_int s.Mcheck.explored;
+          string_of_int s.Mcheck.visited;
+          (if violated then "VIOLATED" else "safe");
+          Tabular.cell_float dt;
+          Tabular.cell_float ~decimals:0 (float_of_int s.Mcheck.explored /. dt) ])
+    rows;
+  Tabular.print
+    ~title:
+      (Printf.sprintf
+         "MCHECK: exhaustive-checker throughput (identical results asserted \
+          for --jobs 1 and --jobs %d)"
+         !jobs)
+    table;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-mcheck/1");
+          ("rows",
+           List
+             (List.map
+                (fun (label, n, depth, ew, j, (s : Mcheck.stats), violated,
+                      dt, _) ->
+                  Obj
+                    [ ("protocol", String label);
+                      ("n", Int n);
+                      ("depth", Int depth);
+                      ("mode", String (if ew then "everywhere" else "init"));
+                      ("jobs", Int j);
+                      ("explored", Int s.Mcheck.explored);
+                      ("visited", Int s.Mcheck.visited);
+                      ("truncated", Bool s.Mcheck.truncated);
+                      ("violation", Bool violated);
+                      ("sec", Float dt);
+                      ("states_per_sec",
+                       Float (float_of_int s.Mcheck.explored /. dt)) ])
+                rows)) ])
+  in
+  Out_channel.with_open_text "BENCH_mcheck.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_mcheck.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
-    ("perf", perf) ]
+    ("perf", perf); ("mcheck", mcheck_bench) ]
 
 let () =
   let usage () =

@@ -322,9 +322,9 @@ let synth_cmd =
     Term.(ret (const action $ const ()))
 
 (* ------------------------------------------------------------------ *)
-(* mc                                                                  *)
+(* mcheck                                                              *)
 
-let mc_cmd =
+let mcheck_cmd =
   let depth_arg =
     Arg.(value & opt int 20 & info [ "depth" ] ~docv:"D" ~doc:"BFS depth bound.")
   in
@@ -332,7 +332,27 @@ let mc_cmd =
     Arg.(value & opt int 2 & info [ "n" ] ~docv:"N"
            ~doc:"Number of processes (keep small: exhaustive search).")
   in
-  let action protocol n depth =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"JOBS"
+             ~doc:
+               "Worker domains for frontier expansion.  Every value \
+                returns identical results.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~docv:"K"
+             ~doc:"Hard bound on the visited-state set.")
+  in
+  let everywhere_arg =
+    Arg.(value & flag
+         & info [ "everywhere" ]
+             ~doc:
+               "Also seed the frontier with perturbed states (corrupted \
+                processes, arbitrary in-flight messages): check the \
+                invariant from everywhere, not just from Init.")
+  in
+  let action protocol n depth jobs max_states everywhere =
     let proto =
       if protocol = "ra-mutant" then
         Result.Ok (module Tme.Ra_mutant : Graybox.Protocol.S)
@@ -341,23 +361,55 @@ let mc_cmd =
     match proto with
     | Error e -> `Error (false, e)
     | Result.Ok proto ->
-      (match Mcheck.check_me1 proto ~n ~max_depth:depth () with
+      let t0 = Unix.gettimeofday () in
+      let result =
+        if everywhere then
+          Mcheck.check_me1_everywhere proto ~n ~jobs ~max_depth:depth
+            ~max_states ()
+        else
+          Mcheck.check_me1 proto ~n ~jobs ~max_depth:depth ~max_states ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let print_stats (s : Mcheck.stats) =
+        Printf.printf
+          "  invariant       : %s (%s mode)\n\
+          \  states explored : %d\n\
+          \  states visited  : %d\n\
+          \  depth reached   : %d (truncated: %b)\n\
+          \  throughput      : %.0f states/s (%.3fs, %d job%s)\n"
+          s.Mcheck.name
+          (if everywhere then "everywhere" else "init")
+          s.Mcheck.explored s.Mcheck.visited s.Mcheck.depth_reached
+          s.Mcheck.truncated
+          (float_of_int s.Mcheck.explored /. dt)
+          dt jobs
+          (if jobs = 1 then "" else "s")
+      in
+      (match result with
        | Mcheck.Ok stats ->
-         Printf.printf
-           "safe: no ME1 violation under any schedule within depth %d\n            states explored : %d (truncated: %b)\n"
-           depth stats.Mcheck.explored stats.Mcheck.truncated
+         Printf.printf "safe: no %s violation under any schedule within depth %d\n"
+           stats.Mcheck.name depth;
+         print_stats stats;
+         `Ok 0
        | Mcheck.Violation { trace; stats; _ } ->
-         Printf.printf "VIOLATION after exploring %d states:\n  %s\n"
-           stats.Mcheck.explored
-           (String.concat "\n  " trace));
-      `Ok 0
+         Printf.printf "VIOLATION (%s) after exploring %d states:\n  %s\n"
+           stats.Mcheck.name stats.Mcheck.explored
+           (String.concat "\n  " trace);
+         print_stats stats;
+         `Ok 1)
   in
-  let term = Term.(ret (const action $ protocol_arg $ mc_n_arg $ depth_arg)) in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ mc_n_arg $ depth_arg $ jobs_arg
+       $ max_states_arg $ everywhere_arg))
+  in
   Cmd.v
-    (Cmd.info "mc"
+    (Cmd.info "mcheck"
        ~doc:
          "Exhaustively model-check mutual exclusion under every schedule \
-          (try --protocol ra-mutant)")
+          (try --protocol ra-mutant, and --everywhere to start from \
+          perturbed states)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -493,4 +545,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd;
-            mc_cmd; chaos_cmd ]))
+            mcheck_cmd; chaos_cmd ]))

@@ -51,5 +51,15 @@ module type S = sig
       legitimate restart state (the fault injector may also use
       {!init}). *)
 
+  val perturb : n:int -> state -> state list
+  (** Everywhere-mode model-checking hook ([Mcheck.check_everywhere]):
+      a {e bounded, deterministic} enumeration of transiently corrupted
+      variants of [state] — mode flips no message explains, phantom
+      bookkeeping, improper restarts.  Where {!corrupt} draws one
+      arbitrary corruption for the randomized fault injector, this list
+      seeds {e exhaustive} exploration from non-initial states (the
+      paper's [C ⇒ A] as opposed to [C ⇒ A]init), so it must be small
+      (O(10) states) and identical on every call. *)
+
   val pp : Format.formatter -> state -> unit
 end

@@ -123,4 +123,14 @@ let corrupt rng s = Store.corrupt rng s
 
 let reset ~n self = Store.set_mode (init ~n self) v_mode View.Hungry
 
+(* Everywhere-mode seeds: mirrors Ra_core.perturb over the store —
+   mode flips and phantom received-sets, timestamps kept legitimate. *)
+let perturb ~n s =
+  let all_received = Sim.Pid.Set.of_list (peers s) in
+  [ Store.set_mode s v_mode View.Hungry;
+    Store.set_mode s v_mode View.Eating;
+    Store.set_set (Store.set_mode s v_mode View.Hungry) v_received all_received;
+    Store.set_set s v_received all_received;
+    reset ~n (Store.self s) ]
+
 let pp = Store.pp

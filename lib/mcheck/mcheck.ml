@@ -1,5 +1,43 @@
+(* High-throughput explicit-state checker over Protocol.S.
+
+   Three design decisions carry the throughput (see mcheck.mli for the
+   user-facing contract):
+
+   - process states and messages are hash-consed into small integer
+     ids, and a global state is a flat int array: the interned id of
+     every process, then every channel as a length-prefixed run of
+     interned message ids.  Dedup hashing is an FNV fold over that
+     array, equality is an int compare against an arena slice, and
+     successor keys are spliced directly out of the parent's array
+     into reusable scratch buffers — the steady-state hot path
+     allocates nothing per successor and never deep-traverses (let
+     alone marshals) a process state.  Deep hashing happens once per
+     *distinct* process state or message, at intern time.
+
+   - transitions are memoized on ids: delivering message [m] to
+     process state [s] always yields the same successor, so after the
+     first occurrence the checker replays it as an int-keyed lookup,
+     never re-running the protocol.  Per-process views are cached at
+     intern time, so predicate checks are pointer reads.
+
+   - the BFS is level-synchronous with parent-pointer traces.  With
+     [jobs = 1] each level runs as a single serial sweep.  With
+     [jobs > 1] each level's predicate checks and successor
+     expansions fan out over a domain pool (strictly read-only
+     against the visited table and the intern/memo tables), and a
+     serial merge phase inserts results in frontier order; memo
+     misses are recomputed serially there.  Results — including
+     stats — are identical for every ~jobs value because admissions
+     always happen serially in frontier order.  Per-state memory is
+     O(1): queue entries carry a compact (parent, label) pair, and
+     the counterexample path is rebuilt only on violation. *)
+
+module Vec = Stdext.Vec
+
 type stats = {
+  name : string;
   explored : int;
+  visited : int;
   frontier_peak : int;
   depth_reached : int;
   truncated : bool;
@@ -9,125 +47,830 @@ type 'v result =
   | Ok of stats
   | Violation of { trace : string list; witness : 'v; stats : stats }
 
-let explore (module P : Graybox.Protocol.S) ~n ~max_depth ~max_states ~name
-    predicate =
-  ignore name;
-  let module M = struct
-    type global = { procs : P.state array; chans : Graybox.Msg.t list array }
-  end in
-  let open M in
-  let initial = { procs = Array.init n (P.init ~n); chans = Array.make (n * n) [] } in
-  let digest g = Digest.string (Marshal.to_string (g.procs, g.chans) []) in
-  let views g = Array.map P.view g.procs in
-  let send g ~src sends =
-    if sends = [] then g
+(* Compact action labels; rendered to strings only when a trace is
+   reconstructed, so the hot path never sprintf-allocates. *)
+type label =
+  | L_root
+  | L_seed of string
+  | L_request of int
+  | L_enter of int
+  | L_release of int
+  | L_deliver of int * int
+
+let label_to_string = function
+  | L_root -> "init"
+  | L_seed tag -> tag
+  | L_request p -> Printf.sprintf "request(%d)" p
+  | L_enter p -> Printf.sprintf "enter(%d)" p
+  | L_release p -> Printf.sprintf "release(%d)" p
+  | L_deliver (src, dst) -> Printf.sprintf "deliver(%d->%d)" src dst
+
+(* Hot-path label encoding: client and delivery labels fit a packed
+   int (kind in bits 12+, operands in two 6-bit fields), so
+   enumerating a successor allocates nothing; the variant is
+   materialized only for states actually admitted.  Seed labels
+   (L_root / L_seed) never flow through the hot path. *)
+let il_request p = (1 lsl 12) lor p
+let il_enter p = (2 lsl 12) lor p
+let il_release p = (3 lsl 12) lor p
+let il_deliver src dst = (4 lsl 12) lor (src lsl 6) lor dst
+
+let decode_ilabel il =
+  let a = (il lsr 6) land 63 and b = il land 63 in
+  match il lsr 12 with
+  | 1 -> L_request b
+  | 2 -> L_enter b
+  | 3 -> L_release b
+  | _ -> L_deliver (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* The visited set: an open-addressing hash table over int-array keys
+   stored back-to-back in a growable int arena.  Slots interleave
+   (id + 1, hash) pairs so a probe costs one cache line before the
+   arena compare.  One probe sequence answers "seen before?" and
+   inserts in the same pass ([find_or_add]); [mem] is read-only and
+   safe to call from several domains while no insert is in flight.
+   Ids are assigned in insertion order. *)
+
+module Keyset = struct
+  type t = {
+    mutable slots : int array;  (* 2i: state id + 1 (0 = empty); 2i+1: hash *)
+    mutable mask : int;  (* slot-pair count - 1, a power of 2 *)
+    mutable count : int;
+    mutable arena : int array;  (* concatenated keys *)
+    mutable arena_len : int;
+    offs : int Vec.t;  (* id -> offset of its key in [arena] *)
+    lens : int Vec.t;  (* id -> key length *)
+  }
+
+  let create () =
+    { slots = Array.make (2 * 8192) 0;
+      mask = 8191;
+      count = 0;
+      arena = Array.make 65536 0;
+      arena_len = 0;
+      offs = Vec.create ();
+      lens = Vec.create () }
+
+  let count t = t.count
+  let len t id = Vec.get t.lens id
+
+  let read t id (buf : int array) =
+    Array.blit t.arena (Vec.get t.offs id) buf 0 (Vec.get t.lens id)
+
+  let hash_key (k : int array) klen =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to klen - 1 do
+      h := (!h * 0x01000193) lxor k.(i)
+    done;
+    !h land max_int
+
+  let key_equal t id (k : int array) klen =
+    Vec.get t.lens id = klen
+    &&
+    let off = Vec.get t.offs id in
+    let arena = t.arena in
+    let rec eq i = i = klen || (arena.(off + i) = k.(i) && eq (i + 1)) in
+    eq 0
+
+  let mem t k klen =
+    let h = hash_key k klen in
+    let rec probe i =
+      match t.slots.(2 * i) with
+      | 0 -> false
+      | s ->
+        (t.slots.((2 * i) + 1) = h && key_equal t (s - 1) k klen)
+        || probe ((i + 1) land t.mask)
+    in
+    probe (h land t.mask)
+
+  let grow_slots t =
+    let pairs = (t.mask + 1) * 2 in
+    let slots = Array.make (2 * pairs) 0 in
+    let mask = pairs - 1 in
+    for i = 0 to t.mask do
+      match t.slots.(2 * i) with
+      | 0 -> ()
+      | s ->
+        let h = t.slots.((2 * i) + 1) in
+        let rec place j =
+          if slots.(2 * j) = 0 then begin
+            slots.(2 * j) <- s;
+            slots.((2 * j) + 1) <- h
+          end
+          else place ((j + 1) land mask)
+        in
+        place (h land mask)
+    done;
+    t.slots <- slots;
+    t.mask <- mask
+
+  let append_arena t (k : int array) klen =
+    if t.arena_len + klen > Array.length t.arena then begin
+      let arena =
+        Array.make (max (Array.length t.arena * 2) (t.arena_len + klen)) 0
+      in
+      Array.blit t.arena 0 arena 0 t.arena_len;
+      t.arena <- arena
+    end;
+    Array.blit k 0 t.arena t.arena_len klen;
+    t.arena_len <- t.arena_len + klen
+
+  (* [Some id] if the key was already present; [None] after inserting
+     it with the next id ([count t - 1] afterwards).  Only the first
+     [klen] elements of [k] are read, so a scratch buffer works. *)
+  let find_or_add t k klen =
+    if 2 * (t.count + 1) > t.mask then grow_slots t;
+    let h = hash_key k klen in
+    let rec probe i =
+      match t.slots.(2 * i) with
+      | 0 ->
+        t.slots.(2 * i) <- t.count + 1;
+        t.slots.((2 * i) + 1) <- h;
+        t.count <- t.count + 1;
+        Vec.push t.offs t.arena_len;
+        Vec.push t.lens klen;
+        append_arena t k klen;
+        None
+      | s ->
+        if t.slots.((2 * i) + 1) = h && key_equal t (s - 1) k klen then
+          Some (s - 1)
+        else probe ((i + 1) land t.mask)
+    in
+    probe (h land t.mask)
+end
+
+module Search (P : Graybox.Protocol.S) = struct
+  (* Deep-traversal parameters so states holding maps and sets hash on
+     their full contents, not just the first ten nodes; paid once per
+     distinct process state. *)
+  module StateH = Hashtbl.Make (struct
+    type t = P.state
+
+    let equal (a : P.state) b = a = b
+    let hash s = Hashtbl.hash_param 64 256 s
+  end)
+
+  module MsgH = Hashtbl.Make (struct
+    type t = Graybox.Msg.t
+
+    let equal (a : Graybox.Msg.t) b = a = b
+    let hash m = Hashtbl.hash_param 64 256 m
+  end)
+
+  (* A memoized transition: successor process id plus sends as
+     (dst, msg id) pairs. *)
+  type memo = (int * (int * int) list) option ref
+
+  (* Interners and transition memos.  All writes happen in the serial
+     phases (seeding, serial sweep, merge, replay); parallel expansion
+     only reads. *)
+  type ctx = {
+    n : int;
+    proc_id : int StateH.t;
+    proc_of : P.state Vec.t;
+    view_of : Graybox.View.t Vec.t;  (* cached per interned process *)
+    msg_id : int MsgH.t;
+    msg_of : Graybox.Msg.t Vec.t;
+    (* client-action memos, dense by process id; [m_enter]'s inner
+       option is [try_enter]'s own: [Some None] = computed, disabled *)
+    m_request : memo Vec.t;
+    m_enter : (int * (int * int) list) option option ref Vec.t;
+    m_release : memo Vec.t;
+    (* delivery memo: open-addressing map from the packed int of
+       [deliver_key] to an index into [d_res]; slots interleave
+       (key + 1, index) so a hit costs one probe and zero allocation *)
+    mutable d_slots : int array;
+    mutable d_mask : int;
+    mutable d_count : int;
+    d_res : (int * (int * int) list) Vec.t;
+  }
+
+  let make_ctx ~n =
+    if n < 1 || n > 64 then invalid_arg "Mcheck: need 1 <= n <= 64";
+    { n;
+      proc_id = StateH.create 1024;
+      proc_of = Vec.create ();
+      view_of = Vec.create ();
+      msg_id = MsgH.create 256;
+      msg_of = Vec.create ();
+      m_request = Vec.create ();
+      m_enter = Vec.create ();
+      m_release = Vec.create ();
+      d_slots = Array.make (2 * 4096) 0;
+      d_mask = 4095;
+      d_count = 0;
+      d_res = Vec.create () }
+
+  let intern_proc ctx s =
+    match StateH.find_opt ctx.proc_id s with
+    | Some id -> id
+    | None ->
+      let id = Vec.length ctx.proc_of in
+      Vec.push ctx.proc_of s;
+      Vec.push ctx.view_of (P.view s);
+      Vec.push ctx.m_request (ref None);
+      Vec.push ctx.m_enter (ref None);
+      Vec.push ctx.m_release (ref None);
+      StateH.add ctx.proc_id s id;
+      id
+
+  let intern_msg ctx m =
+    match MsgH.find_opt ctx.msg_id m with
+    | Some id -> id
+    | None ->
+      let id = Vec.length ctx.msg_of in
+      if id >= 1 lsl 20 then
+        failwith "Mcheck: more than 2^20 distinct messages";
+      Vec.push ctx.msg_of m;
+      MsgH.add ctx.msg_id m id;
+      id
+
+  (* Injective packing: mid < 2^20 (guarded in intern_msg), src < 64
+     (guarded in make_ctx), pid below 2^37 (beyond any intern count
+     reachable under the visited-set bound). *)
+  let deliver_key pid ~src mid = (pid lsl 26) lor (mid lsl 6) lor src
+
+  (* Fibonacci scramble; take bits from the middle, the low bits of a
+     multiplicative hash are weak. *)
+  let dhash dk = (dk * 0x9e3779b97f4a7c1) lsr 20
+
+  (* -1 if absent, else the index into [d_res].  Read-only: safe from
+     several domains while no [deliver_add] is in flight. *)
+  let deliver_find ctx dk =
+    let mask = ctx.d_mask in
+    let slots = ctx.d_slots in
+    let rec probe i =
+      let k = slots.(2 * i) in
+      if k = 0 then -1
+      else if k = dk + 1 then slots.((2 * i) + 1)
+      else probe ((i + 1) land mask)
+    in
+    probe (dhash dk land mask)
+
+  let deliver_add ctx dk r =
+    if 2 * (ctx.d_count + 1) > ctx.d_mask then begin
+      let pairs = (ctx.d_mask + 1) * 2 in
+      let slots = Array.make (2 * pairs) 0 in
+      let mask = pairs - 1 in
+      for i = 0 to ctx.d_mask do
+        let k = ctx.d_slots.(2 * i) in
+        if k <> 0 then begin
+          let rec place j =
+            if slots.(2 * j) = 0 then begin
+              slots.(2 * j) <- k;
+              slots.((2 * j) + 1) <- ctx.d_slots.((2 * i) + 1)
+            end
+            else place ((j + 1) land mask)
+          in
+          place (dhash (k - 1) land mask)
+        end
+      done;
+      ctx.d_slots <- slots;
+      ctx.d_mask <- mask
+    end;
+    let idx = Vec.length ctx.d_res in
+    Vec.push ctx.d_res r;
+    let mask = ctx.d_mask in
+    let rec place j =
+      if ctx.d_slots.(2 * j) = 0 then begin
+        ctx.d_slots.(2 * j) <- dk + 1;
+        ctx.d_slots.((2 * j) + 1) <- idx
+      end
+      else place ((j + 1) land mask)
+    in
+    place (dhash dk land mask);
+    ctx.d_count <- ctx.d_count + 1
+
+  let intern_sends ctx sends =
+    List.map (fun (dst, m) -> (dst, intern_msg ctx m)) sends
+
+  let initial ctx =
+    let n = ctx.n in
+    let k = Array.make (n + (n * n)) 0 in
+    for p = 0 to n - 1 do
+      k.(p) <- intern_proc ctx (P.init ~n p)
+    done;
+    k
+
+  (* Reusable per-sweep buffers: parent key, successor key, views,
+     channel offsets.  A scratch belongs to exactly one sequential
+     sweep (the serial BFS, one parallel chunk, a replay). *)
+  type scratch = {
+    mutable kbuf : int array;
+    mutable sbuf : int array;
+    vbuf : Graybox.View.t array;
+    offs : int array;
+  }
+
+  let make_scratch ctx =
+    { kbuf = Array.make 256 0;
+      sbuf = Array.make 256 0;
+      vbuf = Array.make ctx.n (Vec.get ctx.view_of 0);
+      offs = Array.make (ctx.n * ctx.n) 0 }
+
+  let ensure_kbuf st l =
+    if Array.length st.kbuf < l then
+      st.kbuf <- Array.make (max l (2 * Array.length st.kbuf)) 0
+
+  let ensure_sbuf st l =
+    if Array.length st.sbuf < l then
+      st.sbuf <- Array.make (max l (2 * Array.length st.sbuf)) 0
+
+  (* The views of the state in [st.kbuf], into [st.vbuf].  The array
+     is reused across states; predicates must not retain it. *)
+  let views_into ctx st =
+    for p = 0 to ctx.n - 1 do
+      st.vbuf.(p) <- Vec.get ctx.view_of st.kbuf.(p)
+    done
+
+  let fill_offsets ctx st =
+    let n = ctx.n in
+    let off = ref n in
+    for ci = 0 to (n * n) - 1 do
+      st.offs.(ci) <- !off;
+      off := !off + 1 + st.kbuf.(!off)
+    done
+
+  (* ---------------- successor key splicing ---------------- *)
+
+  let rec count_adds src n ci = function
+    | [] -> 0
+    | (dst, _) :: tl ->
+      (if (src * n) + dst = ci then 1 else 0) + count_adds src n ci tl
+
+  let rec put_adds (s : int array) pos src n ci = function
+    | [] -> pos
+    | (dst, mid) :: tl ->
+      if (src * n) + dst = ci then begin
+        s.(pos) <- mid;
+        put_adds s (pos + 1) src n ci tl
+      end
+      else put_adds s pos src n ci tl
+
+  (* Write into [st.sbuf] the successor key for: process [p] stepping
+     to [pid'], optionally consuming the front message of channel
+     [pop] (-1 for none), sending [sends'] from [src].  Returns the
+     successor key length.  Channel contents move by int blits only. *)
+  let splice ctx st klen ~p ~pid' ~pop ~src ~sends' =
+    let n = ctx.n in
+    let k = st.kbuf in
+    match (sends', pop) with
+    | [], -1 ->
+      ensure_sbuf st klen;
+      Array.blit k 0 st.sbuf 0 klen;
+      st.sbuf.(p) <- pid';
+      klen
+    | _ ->
+      let slen =
+        klen + List.length sends' - (if pop >= 0 then 1 else 0)
+      in
+      ensure_sbuf st slen;
+      let s = st.sbuf in
+      Array.blit k 0 s 0 n;
+      s.(p) <- pid';
+      let pos = ref n in
+      for ci = 0 to (n * n) - 1 do
+        let off = st.offs.(ci) in
+        let len = k.(off) in
+        let drop = if ci = pop then 1 else 0 in
+        s.(!pos) <- len - drop + count_adds src n ci sends';
+        incr pos;
+        for j = drop to len - 1 do
+          s.(!pos) <- k.(off + 1 + j);
+          incr pos
+        done;
+        pos := put_adds s !pos src n ci sends'
+      done;
+      slen
+
+  (* Serial transition computation: decode, run the protocol, intern
+     and memoize.  Must not race with parallel expansion. *)
+  let compute_client ctx pid cell step =
+    match !cell with
+    | Some r -> r
+    | None ->
+      let s', sends = step (Vec.get ctx.proc_of pid) in
+      let r = (intern_proc ctx s', intern_sends ctx sends) in
+      cell := Some r;
+      r
+
+  let compute_enter ctx pid cell =
+    match !cell with
+    | Some r -> r
+    | None ->
+      let r =
+        match P.try_enter (Vec.get ctx.proc_of pid) with
+        | None -> None
+        | Some (s', sends) ->
+          Some (intern_proc ctx s', intern_sends ctx sends)
+      in
+      cell := Some r;
+      r
+
+  let compute_deliver ctx pid ~src mid =
+    let dk = deliver_key pid ~src mid in
+    let idx = deliver_find ctx dk in
+    if idx >= 0 then Vec.get ctx.d_res idx
     else begin
-      let chans = Array.copy g.chans in
-      List.iter
-        (fun (dst, m) ->
-          let i = (src * n) + dst in
-          chans.(i) <- chans.(i) @ [ m ])
-        sends;
-      { g with chans }
+      let s', sends =
+        P.on_message ~from:src (Vec.get ctx.msg_of mid)
+          (Vec.get ctx.proc_of pid)
+      in
+      let r = (intern_proc ctx s', intern_sends ctx sends) in
+      deliver_add ctx dk r;
+      r
     end
-  in
-  let with_proc g p state' =
-    let procs = Array.copy g.procs in
-    procs.(p) <- state';
-    { g with procs }
-  in
-  let successors g =
-    let client =
+
+  (* The maximally nondeterministic client (request / enter / release
+     whenever the view allows) interleaved with every FIFO delivery.
+     Iterates the successors of the state in [st.kbuf] (length
+     [klen]), calling [f label slen] with each successor key in
+     [st.sbuf] — valid only during [f] — in a fixed order (client
+     actions by process, then deliveries by channel), so every sweep
+     enumerates identically.
+
+     [rw = true]: serial context — memo misses run the protocol and
+     cache the result; [miss] is never called.
+     [rw = false]: parallel context — the ctx is read-only and a memo
+     miss invokes [miss label] instead; the serial merge recomputes
+     that parent via the [rw = true] path.  Both paths build keys
+     with [splice], so the results are identical. *)
+  let iter_successors ctx ~rw st klen ~miss ~f =
+    let n = ctx.n in
+    fill_offsets ctx st;
+    let emit il p pop src (pid', sends') =
+      f il (splice ctx st klen ~p ~pid' ~pop ~src ~sends')
+    in
+    for p = 0 to n - 1 do
+      let pid = st.kbuf.(p) in
+      let v = Vec.get ctx.view_of pid in
+      if Graybox.View.thinking v then begin
+        let cell = Vec.get ctx.m_request pid in
+        if rw then emit (il_request p) p (-1) p (compute_client ctx pid cell P.request_cs)
+        else
+          match !cell with
+          | Some r -> emit (il_request p) p (-1) p r
+          | None -> miss (il_request p)
+      end;
+      if Graybox.View.hungry v then begin
+        let cell = Vec.get ctx.m_enter pid in
+        if rw then (
+          match compute_enter ctx pid cell with
+          | None -> ()  (* entry not enabled *)
+          | Some r -> emit (il_enter p) p (-1) p r)
+        else
+          match !cell with
+          | Some None -> ()  (* computed: entry not enabled *)
+          | Some (Some r) -> emit (il_enter p) p (-1) p r
+          | None -> miss (il_enter p)
+      end;
+      if Graybox.View.eating v then begin
+        let cell = Vec.get ctx.m_release pid in
+        if rw then emit (il_release p) p (-1) p (compute_client ctx pid cell P.release_cs)
+        else
+          match !cell with
+          | Some r -> emit (il_release p) p (-1) p r
+          | None -> miss (il_release p)
+      end
+    done;
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        let ci = (src * n) + dst in
+        let off = st.offs.(ci) in
+        if st.kbuf.(off) > 0 then begin
+          let mid = st.kbuf.(off + 1) in
+          let pid = st.kbuf.(dst) in
+          if rw then
+            emit (il_deliver src dst) dst ci dst (compute_deliver ctx pid ~src mid)
+          else begin
+            let idx = deliver_find ctx (deliver_key pid ~src mid) in
+            if idx >= 0 then
+              emit (il_deliver src dst) dst ci dst (Vec.get ctx.d_res idx)
+            else miss (il_deliver src dst)
+          end
+        end
+      done
+    done
+
+  (* ---------------- everywhere-mode seeding ---------------- *)
+
+  (* Arbitrary in-flight messages: every kind, stamped low so they look
+     like plausible leftovers rather than clock corruption (which would
+     defeat any timestamp-ordered protocol, correct or not). *)
+  let inflight_msgs src =
+    let ts c = Clocks.Timestamp.make ~clock:c ~pid:src in
+    [ Graybox.Msg.Request (ts 1);
+      Graybox.Msg.Reply (ts 1);
+      Graybox.Msg.Release (ts 1);
+      Graybox.Msg.Request (ts 7) ]
+
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+
+  let everywhere_seeds ~max_seeds ctx =
+    let n = ctx.n in
+    let base = initial ctx in
+    let corrupted =
       List.concat_map
         (fun p ->
-          let v = P.view g.procs.(p) in
-          let request =
-            if Graybox.View.thinking v then
-              [ ( Printf.sprintf "request(%d)" p,
-                  let s, sends = P.request_cs g.procs.(p) in
-                  send (with_proc g p s) ~src:p sends ) ]
-            else []
-          in
-          let enter =
-            if Graybox.View.hungry v then
-              match P.try_enter g.procs.(p) with
-              | Some (s, sends) ->
-                [ ( Printf.sprintf "enter(%d)" p,
-                    send (with_proc g p s) ~src:p sends ) ]
-              | None -> []
-            else []
-          in
-          let release =
-            if Graybox.View.eating v then
-              [ ( Printf.sprintf "release(%d)" p,
-                  let s, sends = P.release_cs g.procs.(p) in
-                  send (with_proc g p s) ~src:p sends ) ]
-            else []
-          in
-          request @ enter @ release)
+          List.mapi
+            (fun i s' ->
+              let k = Array.copy base in
+              k.(p) <- intern_proc ctx s';
+              (L_seed (Printf.sprintf "corrupt(%d#%d)" p i), k))
+            (P.perturb ~n (Vec.get ctx.proc_of base.(p))))
         (List.init n Fun.id)
     in
-    let deliveries =
+    (* [base]'s channels are all empty, so channel [ci]'s length slot
+       sits at [n + ci]: insert one message by splitting there. *)
+    let inflight =
       List.concat_map
         (fun src ->
-          List.filter_map
+          List.concat_map
             (fun dst ->
-              match g.chans.((src * n) + dst) with
-              | [] -> None
-              | m :: rest ->
-                let chans = Array.copy g.chans in
-                chans.((src * n) + dst) <- rest;
-                let g' = { g with chans } in
-                let s, sends = P.on_message ~from:src m g'.procs.(dst) in
-                Some
-                  ( Printf.sprintf "deliver(%d->%d)" src dst,
-                    send (with_proc g' dst s) ~src:dst sends ))
+              if src = dst then []
+              else
+                List.map
+                  (fun m ->
+                    let ci = (src * n) + dst in
+                    let k = Array.make (Array.length base + 1) 0 in
+                    Array.blit base 0 k 0 (n + ci);
+                    k.(n + ci) <- 1;
+                    k.(n + ci + 1) <- intern_msg ctx m;
+                    Array.blit base (n + ci + 1) k (n + ci + 2)
+                      (Array.length base - (n + ci + 1));
+                    ( L_seed
+                        (Printf.sprintf "inflight(%d->%d,%s)" src dst
+                           (Graybox.Msg.to_string m)),
+                      k ))
+                  (inflight_msgs src))
             (List.init n Fun.id))
         (List.init n Fun.id)
     in
-    client @ deliveries
-  in
-  let visited = Hashtbl.create 4096 in
-  let queue = Queue.create () in
-  Hashtbl.replace visited (digest initial) ();
-  Queue.add (initial, [], 0) queue;
-  let explored = ref 0 in
-  let frontier_peak = ref 1 in
-  let depth_reached = ref 0 in
-  let truncated = ref false in
-  let violation = ref None in
-  while (not (Queue.is_empty queue)) && !violation = None do
-    let g, rev_trace, depth = Queue.pop queue in
-    incr explored;
-    if depth > !depth_reached then depth_reached := depth;
-    let vs = views g in
-    if not (predicate vs) then
-      violation := Some (List.rev rev_trace, vs)
-    else if depth >= max_depth || !explored + Queue.length queue > max_states
-    then truncated := true
-    else
-      List.iter
-        (fun (label, g') ->
-          let d = digest g' in
-          if not (Hashtbl.mem visited d) then begin
-            Hashtbl.replace visited d ();
-            Queue.add (g', label :: rev_trace, depth + 1) queue;
-            frontier_peak := max !frontier_peak (Queue.length queue)
-          end)
-        (successors g)
-  done;
-  let stats =
-    { explored = !explored;
-      frontier_peak = !frontier_peak;
-      depth_reached = !depth_reached;
-      truncated = !truncated }
-  in
-  match !violation with
-  | None -> Ok stats
-  | Some (trace, witness) -> Violation { trace; witness; stats }
+    (L_root, base) :: take max_seeds (corrupted @ inflight)
 
-let check_invariant proto ~n ?(max_depth = 30) ?(max_states = 200_000) ~name p =
-  explore proto ~n ~max_depth ~max_states ~name p
+  (* ---------------- the level-synchronous BFS ---------------- *)
+
+  (* Packed-int labels (see [decode_ilabel]). *)
+  type succ =
+    | S_new of int * int array
+        (* memo-built key, not visited at expansion time *)
+    | S_miss of int  (* transition not memoized yet *)
+
+  type expansion =
+    | E_violation of Graybox.View.t array
+    | E_depth_capped
+    | E_succs of succ list
+
+  let chunk size xs =
+    let rec split i acc = function
+      | tl when i = size -> (List.rev acc, tl)
+      | [] -> (List.rev acc, [])
+      | x :: tl -> split (i + 1) (x :: acc) tl
+    in
+    let rec go = function
+      | [] -> []
+      | xs ->
+        let c, rest = split 0 [] xs in
+        c :: go rest
+    in
+    go xs
+
+  let run ~n ~jobs ~max_depth ~max_states ~name ~seeds predicate =
+    if jobs < 1 then invalid_arg "Mcheck: need jobs >= 1";
+    if max_states < 1 then invalid_arg "Mcheck: need max_states >= 1";
+    let ctx = make_ctx ~n in
+    let table = Keyset.create () in
+    let parents : (int * label) Vec.t = Vec.create () in
+    let truncated = ref false in
+    (* max_states is a hard bound on the visited set: once reached, no
+       new state is admitted (already-admitted ones are still checked
+       and expanded, so the bound never abandons admitted work). *)
+    let admit key klen ~parent ~label =
+      if Keyset.count table >= max_states then begin
+        if not (Keyset.mem table key klen) then truncated := true;
+        None
+      end
+      else
+        match Keyset.find_or_add table key klen with
+        | Some _ -> None
+        | None ->
+          Vec.push parents (parent, label);
+          Some (Keyset.count table - 1)
+    in
+    (* Same, for the hot path: the label variant is built only when
+       the probe admits the state. *)
+    let admit_il key klen ~parent ~il =
+      if Keyset.count table >= max_states then begin
+        if not (Keyset.mem table key klen) then truncated := true;
+        None
+      end
+      else
+        match Keyset.find_or_add table key klen with
+        | Some _ -> None
+        | None ->
+          Vec.push parents (parent, decode_ilabel il);
+          Some (Keyset.count table - 1)
+    in
+    let roots =
+      List.filter_map
+        (fun (label, key) ->
+          admit key (Array.length key) ~parent:(-1) ~label)
+        (seeds ctx)
+    in
+    let st = make_scratch ctx in
+    let explored = ref 0 in
+    let frontier_peak = ref 0 in
+    let depth_reached = ref 0 in
+    let violation = ref None in
+    let frontier = ref roots in
+    let depth = ref 0 in
+    let next = ref [] in
+    (* Load the state [id] into [st.kbuf] (returning its length) and
+       its views into [st.vbuf]. *)
+    let load id =
+      let klen = Keyset.len table id in
+      ensure_kbuf st klen;
+      Keyset.read table id st.kbuf;
+      views_into ctx st;
+      klen
+    in
+    (* Expand the non-violating state [id] (already loaded, length
+       [klen]) serially, admitting fresh successors in order. *)
+    let expand_serial id klen d =
+      if d >= max_depth then truncated := true
+      else
+        iter_successors ctx ~rw:true st klen
+          ~miss:(fun _ -> assert false)
+          ~f:(fun il slen ->
+            match admit_il st.sbuf slen ~parent:id ~il with
+            | Some id' -> next := id' :: !next
+            | None -> ())
+    in
+    while !frontier <> [] && !violation = None do
+      let level = !frontier in
+      let width = List.length level in
+      if width > !frontier_peak then frontier_peak := width;
+      depth_reached := !depth;
+      let d = !depth in
+      next := [];
+      if jobs = 1 then begin
+        (* Serial sweep: predicate, then expand, state by state in
+           frontier order; stops at the first violation. *)
+        let rec sweep idx = function
+          | [] -> ()
+          | id :: rest ->
+            let klen = load id in
+            if not (predicate st.vbuf) then begin
+              explored := !explored + idx + 1;
+              violation := Some (id, Array.copy st.vbuf)
+            end
+            else begin
+              expand_serial id klen d;
+              if rest = [] then explored := !explored + width
+              else sweep (idx + 1) rest
+            end
+        in
+        sweep 0 level
+      end
+      else begin
+        (* Parallel expansion: read-only against the visited table and
+           the intern/memo tables.  A [Keyset.mem] pre-filter drops
+           successors already visited in previous levels, shrinking
+           the serial merge; within-level duplicates are caught by the
+           merge's own probe, so results do not depend on it. *)
+        let expand_chunk ids =
+          let st = make_scratch ctx in
+          List.map
+            (fun id ->
+              let klen = Keyset.len table id in
+              ensure_kbuf st klen;
+              Keyset.read table id st.kbuf;
+              views_into ctx st;
+              if not (predicate st.vbuf) then E_violation (Array.copy st.vbuf)
+              else if d >= max_depth then E_depth_capped
+              else begin
+                let succs = ref [] in
+                iter_successors ctx ~rw:false st klen
+                  ~miss:(fun il -> succs := S_miss il :: !succs)
+                  ~f:(fun il slen ->
+                    if not (Keyset.mem table st.sbuf slen) then
+                      succs :=
+                        S_new (il, Array.sub st.sbuf 0 slen) :: !succs);
+                E_succs (List.rev !succs)
+              end)
+            ids
+        in
+        let results =
+          List.concat
+            (Stdext.Pool.map ~jobs expand_chunk
+               (chunk (max 1 ((width + (4 * jobs) - 1) / (4 * jobs))) level))
+        in
+        (* Merge serially in frontier order.  [merge_one] commits one
+           non-violating state's successors; a parent with a memo miss
+           is recomputed serially so the next occurrence anywhere is a
+           memo hit. *)
+        let merge_one id r =
+          match r with
+          | E_violation _ -> assert false
+          | E_depth_capped -> truncated := true
+          | E_succs succs ->
+            if
+              List.exists
+                (function S_miss _ -> true | S_new _ -> false)
+                succs
+            then begin
+              let klen = load id in
+              expand_serial id klen d
+            end
+            else
+              List.iter
+                (function
+                  | S_miss _ -> assert false
+                  | S_new (il, key) -> (
+                    match
+                      admit_il key (Array.length key) ~parent:id ~il
+                    with
+                    | Some id' -> next := id' :: !next
+                    | None -> ()))
+                succs
+        in
+        (* First violation in frontier order wins; the states before
+           it still commit their successors, exactly as the serial
+           sweep would have, so stats match for every ~jobs. *)
+        let rec merge idx ids rs =
+          match (ids, rs) with
+          | [], [] -> ()
+          | id :: _, E_violation vs :: _ ->
+            explored := !explored + idx + 1;
+            violation := Some (id, vs)
+          | id :: ids, r :: rs ->
+            merge_one id r;
+            if ids = [] then explored := !explored + width
+            else merge (idx + 1) ids rs
+          | _ -> assert false
+        in
+        merge 0 level results
+      end;
+      frontier := List.rev !next;
+      incr depth
+    done;
+    let stats =
+      { name;
+        explored = !explored;
+        visited = Keyset.count table;
+        frontier_peak = !frontier_peak;
+        depth_reached = !depth_reached;
+        truncated = !truncated }
+    in
+    match !violation with
+    | None -> Ok stats
+    | Some (id, witness) ->
+      (* Parent-pointer walk: the only place a trace is materialized. *)
+      let rec build acc id =
+        let parent, label = Vec.get parents id in
+        let acc =
+          match label with L_root -> acc | l -> label_to_string l :: acc
+        in
+        if parent < 0 then acc else build acc parent
+      in
+      Violation { trace = build [] id; witness; stats }
+
+  (* Materialized successor list, for replay: (label string, key). *)
+  let successor_list ctx k =
+    let st = make_scratch ctx in
+    let klen = Array.length k in
+    ensure_kbuf st klen;
+    Array.blit k 0 st.kbuf 0 klen;
+    let acc = ref [] in
+    iter_successors ctx ~rw:true st klen
+      ~miss:(fun _ -> assert false)
+      ~f:(fun il slen ->
+        acc :=
+          (label_to_string (decode_ilabel il), Array.sub st.sbuf 0 slen)
+          :: !acc);
+    List.rev !acc
+
+  let views ctx (k : int array) =
+    Array.init ctx.n (fun p -> Vec.get ctx.view_of k.(p))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let explore (module P : Graybox.Protocol.S) ~n ~jobs ~max_depth ~max_states
+    ~name predicate =
+  let module S = Search (P) in
+  S.run ~n ~jobs ~max_depth ~max_states ~name
+    ~seeds:(fun ctx -> [ (L_root, S.initial ctx) ])
+    predicate
+
+let check_invariant proto ~n ?(jobs = 1) ?(max_depth = 30)
+    ?(max_states = 200_000) ~name p =
+  explore proto ~n ~jobs ~max_depth ~max_states ~name p
 
 let me1 views =
   Array.fold_left
@@ -135,5 +878,30 @@ let me1 views =
     0 views
   <= 1
 
-let check_me1 proto ~n ?max_depth ?max_states () =
-  check_invariant proto ~n ?max_depth ?max_states ~name:"ME1" me1
+let check_me1 proto ~n ?jobs ?max_depth ?max_states () =
+  check_invariant proto ~n ?jobs ?max_depth ?max_states ~name:"ME1" me1
+
+let check_everywhere (module P : Graybox.Protocol.S) ~n ?(jobs = 1)
+    ?(max_depth = 30) ?(max_states = 200_000) ?(max_seeds = 256) ~name p =
+  let module S = Search (P) in
+  S.run ~n ~jobs ~max_depth ~max_states ~name
+    ~seeds:(S.everywhere_seeds ~max_seeds)
+    p
+
+let check_me1_everywhere proto ~n ?jobs ?max_depth ?max_states ?max_seeds () =
+  check_everywhere proto ~n ?jobs ?max_depth ?max_states ?max_seeds ~name:"ME1"
+    me1
+
+let replay (module P : Graybox.Protocol.S) ~n trace =
+  let module S = Search (P) in
+  let ctx = S.make_ctx ~n in
+  let rec go k = function
+    | [] -> Some (S.views ctx k)
+    | l :: tl -> (
+      match
+        List.find_opt (fun (l', _) -> l' = l) (S.successor_list ctx k)
+      with
+      | Some (_, k') -> go k' tl
+      | None -> None)
+  in
+  go (S.initial ctx) trace

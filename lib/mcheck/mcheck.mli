@@ -8,17 +8,41 @@
     time, an eating process may release at any time — so the explored
     behaviours over-approximate every client the harness can express.
 
-    At small scale (two or three processes, depth a few dozen) this is
-    an exhaustive safety check: if mutual exclusion can be violated
-    within the bound under {e any} schedule, the checker returns a
-    counterexample trace.  The test suite demonstrates discrimination:
-    the shipped protocols pass, while a mutant Ricart–Agrawala that
-    replies while eating (a bug this repository actually had during
-    development) is caught with a concrete interleaving. *)
+    The checker is built for throughput.  Process states and messages
+    are hash-consed to small integer ids (deep hashing paid once per
+    {e distinct} value, never per state), a global state is a flat int
+    array probed against an arena-backed visited set in a single pass,
+    successor keys are spliced from the parent's by int blits into
+    reusable scratch buffers, and transitions are memoized on ids — in
+    steady state a successor costs no allocation and no protocol call.
+    Queue entries carry a compact parent pointer instead of a trace
+    (the counterexample path is rebuilt only on violation), so
+    per-state memory is O(1), and each BFS level's expansion can fan
+    out over a domain pool.  Results — including [stats] — are
+    {e identical for every [jobs] value}: parallelism changes
+    wall-clock, never the answer.
+
+    Two exploration modes mirror the paper's central distinction
+    (Figure 1 / Theorem 1) between [C ⇒ A]init and [C ⇒ A]:
+
+    - {!check_me1} / {!check_invariant} explore from the proper
+      initial states — the [init] side;
+    - {!check_everywhere} additionally seeds the frontier with a
+      bounded enumeration of {e perturbed} states (per-process
+      corruptions from {!Graybox.Protocol.S.perturb}, plus arbitrary
+      in-flight messages), so an implementation that is only correct
+      from initial states is exposed within a handful of steps even
+      where the init-mode check at the same depth finds nothing.  The
+      test suite demonstrates the discrimination on a mutant
+      Ricart–Agrawala and on Lamport's unmodified program. *)
+
+
 
 type stats = {
-  explored : int;  (** distinct global states visited *)
-  frontier_peak : int;
+  name : string;  (** the invariant this exploration checked *)
+  explored : int;  (** states whose predicate was evaluated *)
+  visited : int;  (** distinct states admitted to the visited set *)
+  frontier_peak : int;  (** widest BFS level *)
   depth_reached : int;
   truncated : bool;  (** hit the depth or state bound before closure *)
 }
@@ -27,20 +51,54 @@ type 'v result =
   | Ok of stats
       (** no reachable violation within the bounds *)
   | Violation of { trace : string list; witness : 'v; stats : stats }
-      (** [trace] is the action-label path from the initial state *)
+      (** [trace] is the action-label path from the initial state; in
+          everywhere mode its first element names the seeding
+          perturbation (["corrupt(p#i)"] or ["inflight(src->dst,m)"]) *)
 
 val check_me1 :
-  (module Graybox.Protocol.S) -> n:int -> ?max_depth:int -> ?max_states:int ->
-  unit -> Graybox.View.t array result
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
+  ?max_states:int -> unit -> Graybox.View.t array result
 (** [check_me1 proto ~n ()] explores the protocol with [n] processes
     from its initial states under every interleaving of client steps
     and FIFO deliveries, checking mutual exclusion (at most one eater)
     in every reachable state.  Default bounds: [max_depth = 30],
-    [max_states = 200_000]. *)
+    [max_states = 200_000]; [max_states] is a hard bound on the
+    visited set.  [jobs] (default 1) sets the expansion domain count;
+    every value returns the same result. *)
 
 val check_invariant :
-  (module Graybox.Protocol.S) -> n:int -> ?max_depth:int -> ?max_states:int ->
-  name:string -> (Graybox.View.t array -> bool) ->
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
+  ?max_states:int -> name:string -> (Graybox.View.t array -> bool) ->
   Graybox.View.t array result
 (** [check_invariant proto ~n ~name p] checks an arbitrary view-level
-    state predicate the same way. *)
+    state predicate the same way.  [p] must be pure — with [jobs > 1]
+    it runs on several domains at once — and must not retain its
+    argument array, which is reused between states (the [witness] of a
+    {!Violation} is a private copy).  [name] is echoed in [stats.name]
+    so reports can say which invariant failed. *)
+
+val check_me1_everywhere :
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
+  ?max_states:int -> ?max_seeds:int -> unit -> Graybox.View.t array result
+(** Like {!check_me1}, but the frontier is seeded with perturbed
+    states — every {!Graybox.Protocol.S.perturb} corruption of every
+    process, plus single arbitrary in-flight messages on every channel
+    — capped at [max_seeds] (default 256) seeds beyond the initial
+    state.  This is the paper's everywhere-exploration: a protocol
+    that merely implements the spec from Init generally fails it. *)
+
+val check_everywhere :
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
+  ?max_states:int -> ?max_seeds:int -> name:string ->
+  (Graybox.View.t array -> bool) -> Graybox.View.t array result
+(** Everywhere-mode {!check_invariant}. *)
+
+val replay :
+  (module Graybox.Protocol.S) -> n:int -> string list ->
+  Graybox.View.t array option
+(** [replay proto ~n trace] re-executes an init-mode counterexample
+    trace (the labels of a {!Violation}) from the initial state and
+    returns the views it ends in, or [None] if some label does not
+    name an enabled transition — the independent check that a reported
+    trace really is an execution.  Everywhere-mode traces start from a
+    perturbed seed and cannot be replayed from Init. *)

@@ -1,0 +1,23 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  Array.unsafe_get v.data i
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    (* [x] doubles as the filler for the fresh slots; it is overwritten
+       or out of [len]-range, so it never leaks. *)
+    let data = Array.make (if cap = 0 then 16 else 2 * cap) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let to_list v = List.init v.len (fun i -> Array.unsafe_get v.data i)

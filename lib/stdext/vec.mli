@@ -1,0 +1,24 @@
+(** Growable arrays (amortized O(1) push, O(1) random access).
+
+    The model checker's visited table maps dense state ids to states
+    and parent pointers; a [Vec.t] gives it array-speed indexed reads
+    while discovery keeps appending.  Reads are safe from concurrent
+    domains as long as no push runs at the same time — the checker
+    alternates a parallel read-only expansion phase with a serial
+    merge phase that does all the pushing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th pushed element.
+    @raise Invalid_argument when [i] is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x]; amortized O(1). *)
+
+val to_list : 'a t -> 'a list
+(** [to_list v] lists elements in push order. *)

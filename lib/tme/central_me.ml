@@ -100,6 +100,17 @@ let corrupt rng s =
 
 let reset ~n self = init ~n self
 
+(* Everywhere-mode seeds: a stolen grant, a phantom mode, a coordinator
+   that believes a grant is outstanding when none is. *)
+let perturb ~n s =
+  let base =
+    [ { s with mode = View.Hungry };
+      { s with mode = View.Eating };
+      { s with mode = View.Hungry; granted = true };
+      reset ~n s.self ]
+  in
+  if s.self = coordinator then { s with busy = true } :: base else base
+
 let pp ppf s =
   Format.fprintf ppf "central[%d %a req=%a granted=%b busy=%b |q|=%d]" s.self
     View.pp_mode s.mode Timestamp.pp s.req s.granted s.busy

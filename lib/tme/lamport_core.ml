@@ -243,6 +243,27 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     let s = init ~n self in
     { s with mode = View.Hungry; queue = [ Timestamp.zero ~pid:self ] }
 
+  (* Everywhere-mode seeds: a mode no message explains, phantom grants
+     (replies recorded that were never sent), a phantom queue entry for
+     a peer that never requested — precisely the corruptions the
+     paper's modifications 1–3 are about. *)
+  let perturb ~n:_ s =
+    let phantom_grants =
+      List.fold_left
+        (fun m k -> Sim.Pid.Map.add k (Timestamp.make ~clock:5 ~pid:k) m)
+        Sim.Pid.Map.empty (peers s)
+    in
+    let phantom_entry =
+      match peers s with
+      | [] -> []
+      | k :: _ -> [ Timestamp.make ~clock:2 ~pid:k ]
+    in
+    [ { s with mode = View.Hungry };
+      { s with mode = View.Eating };
+      { s with mode = View.Hungry; grant = phantom_grants };
+      { s with queue = sort_queue (phantom_entry @ s.queue) };
+      reset ~n:s.n s.self ]
+
   let pp ppf s =
     Format.fprintf ppf "%s[%d %a req=%a lc=%d q=[%a] g={%a}]" C.name s.self
       View.pp_mode s.mode Timestamp.pp s.req

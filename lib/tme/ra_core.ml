@@ -169,6 +169,21 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     let s = init ~n self in
     { s with mode = View.Hungry }
 
+  (* Everywhere-mode seeds: corruptions of the variables no message has
+     justified — a mode nobody was told about, a received-set full of
+     requests never sent.  Timestamps are left legitimate (zero-ish):
+     the paper's reply rule intentionally replies to *earlier* requests
+     even while eating, so clock corruption defeats any timestamp
+     protocol; what separates the mutant is its behaviour on *later*
+     requests, which these seeds expose within a handful of steps. *)
+  let perturb ~n:_ s =
+    let all_received = Sim.Pid.Set.of_list (peers s) in
+    [ { s with mode = View.Hungry };
+      { s with mode = View.Eating };
+      { s with mode = View.Hungry; received = all_received };
+      { s with received = all_received };
+      reset ~n:s.n s.self ]
+
   let pp ppf s =
     Format.fprintf ppf "ra[%d %a req=%a lc=%d recv={%a}]" s.self View.pp_mode
       s.mode Timestamp.pp s.req

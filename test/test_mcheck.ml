@@ -64,8 +64,94 @@ let test_custom_invariant () =
 let test_stats_sane () =
   match Mcheck.check_me1 ra ~n:2 ~max_depth:10 () with
   | Mcheck.Ok stats ->
+    Alcotest.(check string) "invariant name" "ME1" stats.Mcheck.name;
     Alcotest.(check bool) "depth reached" true (stats.Mcheck.depth_reached <= 10);
     Alcotest.(check bool) "peak >= 1" true (stats.Mcheck.frontier_peak >= 1)
+  | Mcheck.Violation _ -> Alcotest.fail "ra is safe"
+
+(* -- parallel frontier expansion ----------------------------------- *)
+
+let test_parallel_equals_serial () =
+  (* same violation, same trace, same stats, for every jobs value --
+     on a workload that actually finds a counterexample *)
+  let run jobs = Mcheck.check_me1 mutant ~n:2 ~jobs ~max_depth:20 () in
+  match (run 1, run 3) with
+  | ( Mcheck.Violation { trace = t1; witness = w1; stats = s1 },
+      Mcheck.Violation { trace = t3; witness = w3; stats = s3 } ) ->
+    Alcotest.(check (list string)) "same trace" t1 t3;
+    Alcotest.(check bool) "same stats" true (s1 = s3);
+    Alcotest.(check bool) "same witness" true (w1 = w3)
+  | _ -> Alcotest.fail "the mutant must violate ME1 at every jobs value"
+
+let test_parallel_equals_serial_safe () =
+  (* and identical stats on a safe exploration *)
+  let run jobs = Mcheck.check_me1 ra ~n:3 ~jobs ~max_depth:10 () in
+  Alcotest.(check bool) "identical results" true (run 1 = run 3)
+
+(* -- counterexample replay ----------------------------------------- *)
+
+let test_replay_witness () =
+  match Mcheck.check_me1 mutant ~n:2 ~max_depth:20 () with
+  | Mcheck.Ok _ -> Alcotest.fail "the mutant must violate ME1"
+  | Mcheck.Violation { trace; witness; _ } ->
+    (match Mcheck.replay mutant ~n:2 trace with
+     | None -> Alcotest.fail "the reported trace must be executable"
+     | Some views ->
+       Alcotest.(check bool) "replay reaches the witness views" true
+         (views = witness))
+
+let test_replay_rejects_garbage () =
+  Alcotest.(check bool) "bogus trace rejected" true
+    (Mcheck.replay mutant ~n:2 [ "enter(0)" ] = None)
+
+(* -- everywhere mode ------------------------------------------------ *)
+
+let m1 = (module Tme.Lamport_ablation.M1 : Graybox.Protocol.S)
+
+let test_everywhere_discriminates () =
+  (* at depth 4 the mutant looks safe from Init... *)
+  (match Mcheck.check_me1 mutant ~n:2 ~max_depth:4 () with
+   | Mcheck.Ok _ -> ()
+   | Mcheck.Violation _ -> Alcotest.fail "depth 4 from Init cannot double-enter");
+  (* ...but not from a perturbed state *)
+  match Mcheck.check_me1_everywhere mutant ~n:2 ~max_depth:4 () with
+  | Mcheck.Ok _ ->
+    Alcotest.fail "everywhere mode must catch the mutant at depth 4"
+  | Mcheck.Violation { trace; _ } ->
+    (* the trace names the seeding perturbation *)
+    Alcotest.(check bool) "seed named" true
+      (match trace with
+       | l :: _ ->
+         String.starts_with ~prefix:"corrupt(" l
+         || String.starts_with ~prefix:"inflight(" l
+       | [] -> false)
+
+let test_everywhere_lamport_unmodified_program () =
+  (* Lamport's program without the modifications is correct from Init
+     but not self-stabilizing: everywhere mode exposes it shallowly *)
+  match Mcheck.check_me1_everywhere m1 ~n:2 ~max_depth:4 () with
+  | Mcheck.Ok _ -> Alcotest.fail "lamport-m1 must fail from a perturbed state"
+  | Mcheck.Violation _ -> ()
+
+let test_everywhere_ra_shallow_safe () =
+  (* RA recovers from the same shallow perturbations: no violation at
+     depth 4 (it is not everywhere-safe at larger depth, which is the
+     point of the wrapper -- see EXPERIMENTS.md) *)
+  match Mcheck.check_me1_everywhere ra ~n:2 ~max_depth:4 () with
+  | Mcheck.Ok stats ->
+    Alcotest.(check bool) "explored seeds" true (stats.Mcheck.explored > 50)
+  | Mcheck.Violation { trace; _ } ->
+    Alcotest.failf "ra violated at depth 4 from: %s" (String.concat " ; " trace)
+
+(* -- bounds --------------------------------------------------------- *)
+
+let test_max_states_hard_bound () =
+  match Mcheck.check_me1 ra ~n:3 ~max_depth:30 ~max_states:500 () with
+  | Mcheck.Ok stats ->
+    Alcotest.(check bool) "visited bounded" true (stats.Mcheck.visited <= 500);
+    Alcotest.(check bool) "truncated reported" true stats.Mcheck.truncated;
+    Alcotest.(check bool) "explored <= visited" true
+      (stats.Mcheck.explored <= stats.Mcheck.visited)
   | Mcheck.Violation _ -> Alcotest.fail "ra is safe"
 
 let () =
@@ -86,4 +172,23 @@ let () =
           Alcotest.test_case "depth bound respected" `Quick
             test_mutant_ok_at_n1_depths;
           Alcotest.test_case "custom invariant" `Quick test_custom_invariant;
-          Alcotest.test_case "stats" `Quick test_stats_sane ] ) ]
+          Alcotest.test_case "stats" `Quick test_stats_sane ] );
+      ( "parallel",
+        [ Alcotest.test_case "jobs 1 = jobs 3 (violation)" `Quick
+            test_parallel_equals_serial;
+          Alcotest.test_case "jobs 1 = jobs 3 (safe)" `Quick
+            test_parallel_equals_serial_safe ] );
+      ( "replay",
+        [ Alcotest.test_case "witness reproduced" `Quick test_replay_witness;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_replay_rejects_garbage ] );
+      ( "everywhere",
+        [ Alcotest.test_case "mutant caught at depth 4" `Quick
+            test_everywhere_discriminates;
+          Alcotest.test_case "lamport-m1 caught at depth 4" `Quick
+            test_everywhere_lamport_unmodified_program;
+          Alcotest.test_case "ra safe at depth 4" `Quick
+            test_everywhere_ra_shallow_safe ] );
+      ( "bounds",
+        [ Alcotest.test_case "max_states is hard" `Quick
+            test_max_states_hard_bound ] ) ]

@@ -285,6 +285,45 @@ let prop_stats_mean_bounds =
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "first" 0 (Vec.get v 0);
+  Alcotest.(check int) "middle" 150 (Vec.get v 50);
+  Alcotest.(check int) "last" 297 (Vec.get v 99)
+
+let test_vec_to_list_order () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "push order" [ "a"; "b"; "c" ] (Vec.to_list v)
+
+let test_vec_out_of_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "get past end"
+    (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let prop_vec_grows_like_list =
+  (* pushes survive the internal doublings: a Vec fed any sequence
+     reads back exactly as the list of its pushes *)
+  qtest "to_list = pushes" QCheck2.Gen.(list_size (0 -- 600) int)
+    (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs
+      && Vec.length v = List.length xs
+      && List.for_all2 (fun i x -> Vec.get v i = x)
+           (List.init (List.length xs) Fun.id)
+           xs)
+
+(* ------------------------------------------------------------------ *)
 (* Parray                                                              *)
 
 let test_parray_basics () =
@@ -360,6 +399,11 @@ let () =
         [ Alcotest.test_case "alignment" `Quick test_tabular_alignment;
           Alcotest.test_case "short rows" `Quick test_tabular_short_rows_padded;
           Alcotest.test_case "cells" `Quick test_tabular_cells ] );
+      ( "vec",
+        [ Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "to_list order" `Quick test_vec_to_list_order;
+          Alcotest.test_case "out of bounds" `Quick test_vec_out_of_bounds;
+          prop_vec_grows_like_list ] );
       ( "parray",
         [ Alcotest.test_case "basics" `Quick test_parray_basics;
           Alcotest.test_case "set same element" `Quick
