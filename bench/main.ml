@@ -894,11 +894,148 @@ let mcheck_bench () =
   print_endline "wrote BENCH_mcheck.json"
 
 (* ------------------------------------------------------------------ *)
+(* observe: the streaming-observation benchmark (BENCH_observe.json)   *)
+
+let observe_bench () =
+  (* 1. Per-step cost and allocation of the two analysis paths on the
+     same faulty scenario.  Gc.allocated_bytes is per-domain, so both
+     measurements run serially in this domain regardless of --jobs. *)
+  let n = 4 and steps = 20_000 in
+  let scenario_rows =
+    let faults = Tme.Scenarios.burst ~at:2_000 in
+    let measure streaming =
+      let run () =
+        ignore
+          (Tme.Scenarios.run ra ~n ~seed:42 ~steps ~faults ~streaming
+             ~wrapper:(Tme.Scenarios.wrapped ~delta:4 ()))
+      in
+      run () (* warm-up *);
+      let a0 = Gc.allocated_bytes () in
+      let dt = wall run in
+      let bytes = Gc.allocated_bytes () -. a0 in
+      (float_of_int steps /. dt, bytes /. float_of_int steps)
+    in
+    List.map
+      (fun (label, streaming) ->
+        let sps, bps = measure streaming in
+        (label, sps, bps))
+      [ ("record+analyse", false); ("streaming", true) ]
+  in
+  let table =
+    Tabular.create
+      [ "ra+W'(4) analysis path"; "steps/sec"; "bytes alloc/step" ]
+  in
+  List.iter
+    (fun (label, sps, bps) ->
+      Tabular.add_row table
+        [ label;
+          Tabular.cell_float ~decimals:0 sps;
+          Tabular.cell_float ~decimals:0 bps ])
+    scenario_rows;
+  (match scenario_rows with
+   | [ (_, _, rec_bps); (_, _, str_bps) ] ->
+     Tabular.add_sep table;
+     Tabular.add_row table
+       [ "allocation ratio (record/streaming)";
+         Tabular.cell_float ~decimals:1 (rec_bps /. str_bps); "" ]
+   | _ -> ());
+  Tabular.print
+    ~title:
+      (Printf.sprintf
+         "OBSERVE: trace-then-analyse vs streaming observers (ra, n=%d, %d \
+          steps, burst fault)"
+         n steps)
+    table;
+  (* 2. Early exit on permanent deadlock: the streaming path stops at
+     quiescence, the recorded path always runs the full horizon. *)
+  let canary_horizon = 8_000 in
+  let canary_faults =
+    [ Tme.Scenarios.Drop_requests_window { from_t = 400; until_t = 460 } ]
+  in
+  let canary streaming =
+    Tme.Scenarios.run ra ~n ~seed:42 ~steps:canary_horizon
+      ~faults:canary_faults ~streaming
+  in
+  let c_rec = canary false and c_str = canary true in
+  if c_str.Tme.Scenarios.analysis <> c_rec.Tme.Scenarios.analysis then
+    failwith "observe bench: streaming and recorded analyses differ";
+  let ctable =
+    Tabular.create [ "deadlock canary"; "engine steps"; "horizon" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      Tabular.add_row ctable
+        [ label;
+          string_of_int r.Tme.Scenarios.sim_steps;
+          string_of_int canary_horizon ])
+    [ ("record+analyse", c_rec); ("streaming (early exit)", c_str) ];
+  Tabular.print
+    ~title:
+      "OBSERVE: steps actually executed on a deadlocked run (identical \
+       analyses asserted)"
+    ctable;
+  (* 3. A real campaign sweep, recorded vs streaming, at --jobs. *)
+  let campaign streaming =
+    let cfg =
+      Chaos.Campaign.config ~base_seed:7 ~seeds:12 ~budget:4 ~n:3 ~steps:1500
+        ~delta:4 ~shrink:false ~jobs:!jobs ~streaming ()
+    in
+    wall (fun () -> ignore (Chaos.Campaign.run cfg))
+  in
+  let camp_rec = campaign false in
+  let camp_str = campaign true in
+  let wtable =
+    Tabular.create
+      [ Printf.sprintf "campaign (5 cells x 12 seeds, --jobs %d)" !jobs;
+        "wall-clock s"; "speedup" ]
+  in
+  Tabular.add_row wtable
+    [ "record+analyse"; Tabular.cell_float camp_rec; "1.0" ];
+  Tabular.add_row wtable
+    [ "streaming";
+      Tabular.cell_float camp_str;
+      Tabular.cell_float ~decimals:1 (camp_rec /. camp_str) ];
+  Tabular.print ~title:"OBSERVE: chaos-campaign wall-clock by analysis path"
+    wtable;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-observe/1");
+          ("scenario",
+           List
+             (List.map
+                (fun (label, sps, bps) ->
+                  Obj
+                    [ ("path", String label);
+                      ("n", Int n);
+                      ("steps", Int steps);
+                      ("steps_per_sec", Float sps);
+                      ("bytes_per_step", Float bps) ])
+                scenario_rows));
+          ("deadlock_canary",
+           Obj
+             [ ("horizon", Int canary_horizon);
+               ("recorded_steps", Int c_rec.Tme.Scenarios.sim_steps);
+               ("streaming_steps", Int c_str.Tme.Scenarios.sim_steps) ]);
+          ("campaign",
+           Obj
+             [ ("seeds", Int 12); ("budget", Int 4); ("n", Int 3);
+               ("steps", Int 1500); ("jobs", Int !jobs);
+               ("recorded_sec", Float camp_rec);
+               ("streaming_sec", Float camp_str);
+               ("speedup", Float (camp_rec /. camp_str)) ]) ])
+  in
+  Out_channel.with_open_text "BENCH_observe.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_observe.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
-    ("perf", perf); ("mcheck", mcheck_bench) ]
+    ("perf", perf); ("mcheck", mcheck_bench); ("observe", observe_bench) ]
 
 let () =
   let usage () =

@@ -109,6 +109,14 @@ let resolve_protocol name =
       (Printf.sprintf "unknown protocol %S (try: %s)" name
          (String.concat ", " (List.map fst Tme.Scenarios.protocols)))
 
+let streaming_arg =
+  let doc =
+    "Analyse the run online with engine observers instead of recording a \
+     trace (same results, less memory, early exit on permanent deadlock); \
+     $(docv)=false restores the record-then-analyse path."
+  in
+  Arg.(value & opt bool true & info [ "streaming" ] ~docv:"BOOL" ~doc)
+
 let wrapper_mode delta unrefined =
   match delta with
   | None -> Graybox.Harness.Off
@@ -122,12 +130,13 @@ let wrapper_mode delta unrefined =
 (* run                                                                 *)
 
 let run_cmd =
-  let action protocol n seed steps delta unrefined faults =
+  let action protocol n seed steps delta unrefined faults streaming =
     match resolve_protocol protocol with
     | Error e -> `Error (false, e)
     | Ok proto ->
       let r =
-        Tme.Scenarios.run proto ~n ~seed ~steps
+        Tme.Scenarios.run proto ~n ~seed ~steps ~streaming
+          ~live_monitors:streaming
           ~wrapper:(wrapper_mode delta unrefined)
           ~faults:(List.concat faults)
       in
@@ -139,6 +148,14 @@ let run_cmd =
       (match r.recovery_latency with
        | Some l -> Printf.printf "service round     : %d steps\n" l
        | None -> print_endline "service round     : incomplete");
+      if r.sim_steps < r.steps then
+        Printf.printf "early exit        : permanently quiescent at step %d/%d\n"
+          r.sim_steps r.steps;
+      (match r.live_spec with
+       | None -> ()
+       | Some report ->
+         print_endline "-- TME_Spec online monitors --";
+         print_endline (Unityspec.Report.to_string report));
       (* exit nonzero on a non-recovering run so `run` can gate CI *)
       `Ok (if r.analysis.Graybox.Stabilize.recovered then 0 else 1)
   in
@@ -146,7 +163,7 @@ let run_cmd =
     Term.(
       ret
         (const action $ protocol_arg $ n_arg $ seed_arg $ steps_arg
-       $ wrapper_arg $ unrefined_arg $ faults_arg))
+       $ wrapper_arg $ unrefined_arg $ faults_arg $ streaming_arg))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a scenario and report stabilization")
@@ -480,20 +497,16 @@ let chaos_cmd =
              serially.")
   in
   let action seed seeds budget n steps delta protocols json no_unwrapped
-      no_canary no_shrink jobs =
-    let unknown =
-      List.filter (fun p -> Chaos.Campaign.resolve p = None) protocols
-    in
+      no_canary no_shrink jobs streaming =
     let jobs = Option.value jobs ~default:(Stdext.Pool.default_jobs ()) in
-    if unknown <> [] then
-      `Error (false, "unknown protocols: " ^ String.concat ", " unknown)
-    else if jobs < 1 then
+    if jobs < 1 then
       `Error (false, Printf.sprintf "--jobs: need at least 1 worker, got %d" jobs)
     else begin try
       let cfg =
         Chaos.Campaign.config ~base_seed:seed ~seeds ~budget ~n ~steps ~delta
           ~protocols ~include_unwrapped:(not no_unwrapped)
-          ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ~jobs ()
+          ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ~jobs
+          ~streaming ()
       in
       let report = Chaos.Campaign.run cfg in
       Stdext.Tabular.print
@@ -520,6 +533,11 @@ let chaos_cmd =
         (if report.Chaos.Campaign.gate_ok then "ok" else "FAILED");
       `Ok (if report.Chaos.Campaign.gate_ok then 0 else 1)
     with
+    | Chaos.Campaign.Unknown_protocol name ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown protocol %S (known: %s)" name
+            (String.concat ", " (Chaos.Campaign.known_protocols ())) )
     | Invalid_argument msg | Sys_error msg -> `Error (false, msg)
     end
   in
@@ -528,7 +546,8 @@ let chaos_cmd =
       ret
         (const action $ seed_arg $ seeds_arg $ budget_arg $ n_arg
        $ chaos_steps_arg $ delta_arg $ protocols_arg $ json_arg
-       $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg $ jobs_arg))
+       $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg $ jobs_arg
+       $ streaming_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

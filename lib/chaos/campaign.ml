@@ -22,6 +22,7 @@ type config = {
   shrink_max_runs : int;
   max_counterexamples : int;
   jobs : int;
+  streaming : bool;
 }
 
 let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
@@ -29,18 +30,21 @@ let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
 let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
     ?(delta = 8) ?(protocols = default_protocols) ?(include_unwrapped = true)
     ?(deadlock_canary = true) ?(shrink = true) ?(shrink_max_runs = 300)
-    ?(max_counterexamples = 3) ?(jobs = 1) () =
+    ?(max_counterexamples = 3) ?(jobs = 1) ?(streaming = true) () =
   if seeds <= 0 then invalid_arg "Campaign.config: need seeds > 0";
   if steps < 100 then invalid_arg "Campaign.config: need steps >= 100";
   if protocols = [] then invalid_arg "Campaign.config: need a protocol";
   if jobs < 1 then invalid_arg "Campaign.config: need jobs >= 1";
   { base_seed; seeds; budget; n; steps; delta; protocols; include_unwrapped;
-    deadlock_canary; shrink; shrink_max_runs; max_counterexamples; jobs }
+    deadlock_canary; shrink; shrink_max_runs; max_counterexamples; jobs;
+    streaming }
 
 (* Protocols that are not everywhere-implementations of Lspec: the
    wrapper is not expected to rescue them (the paper's negative
    controls), so their cells are never gated on recovery. *)
 let negative_controls = [ "lamport-unmod"; "lamport-m1"; "lamport-m12"; "ra-mutant" ]
+
+exception Unknown_protocol of string
 
 let resolve name =
   match S.find_protocol name with
@@ -48,6 +52,8 @@ let resolve name =
   | None ->
     if name = "ra-mutant" then Some (module Tme.Ra_mutant : Graybox.Protocol.S)
     else None
+
+let known_protocols () = List.map fst S.protocols @ [ "ra-mutant" ]
 
 type row = {
   row_seed : int;
@@ -105,7 +111,8 @@ let plans cfg =
 
 let run_row ~cfg ~proto ~wrapper (seed, plan) =
   let r =
-    S.run proto ~wrapper ~faults:plan ~n:cfg.n ~seed ~steps:cfg.steps
+    S.run proto ~wrapper ~faults:plan ~streaming:cfg.streaming ~n:cfg.n ~seed
+      ~steps:cfg.steps
   in
   { row_seed = seed;
     row_plan = plan;
@@ -169,7 +176,7 @@ let cells_of_config cfg =
     List.concat_map
       (fun name ->
         match resolve name with
-        | None -> failwith ("Campaign: unknown protocol " ^ name)
+        | None -> raise (Unknown_protocol name)
         | Some proto ->
           let negative = List.mem name negative_controls in
           let wrapped_cell =

@@ -44,6 +44,11 @@ type config = {
       (** worker domains for the sweep (and shrinking); the report is
           identical for every value ({!Stdext.Pool.map} preserves input
           order and each run is an isolated function of the config) *)
+  streaming : bool;
+      (** analyse runs online with engine observers instead of
+          recording traces (default); the report is byte-identical
+          either way — streaming only drops the per-run trace
+          allocation and exits deadlocked runs early *)
 }
 
 val default_protocols : string list
@@ -54,18 +59,26 @@ val config :
   ?base_seed:int -> ?seeds:int -> ?budget:int -> ?n:int -> ?steps:int ->
   ?delta:int -> ?protocols:string list -> ?include_unwrapped:bool ->
   ?deadlock_canary:bool -> ?shrink:bool -> ?shrink_max_runs:int ->
-  ?max_counterexamples:int -> ?jobs:int -> unit -> config
+  ?max_counterexamples:int -> ?jobs:int -> ?streaming:bool -> unit -> config
 (** Defaults: seed 1, 50 seeds, budget 6, n = 4, 4000 steps, δ = 8,
     protocols [lamport; ra; lamport-unmod], unwrapped cells and the
     deadlock canary included, shrinking on (300 runs, 3 counterexamples),
-    [jobs = 1] (serial).
+    [jobs = 1] (serial), streaming analysis on.
     @raise Invalid_argument on an empty protocol list, [seeds <= 0],
     [steps < 100], or [jobs < 1]. *)
+
+exception Unknown_protocol of string
+(** Raised by {!run} when a configured protocol name does not
+    {!resolve}; carries the unknown name. *)
 
 val resolve : string -> (module Graybox.Protocol.S) option
 (** {!Tme.Scenarios.find_protocol} extended with [ra-mutant] (the
     kept-reply safety mutant, otherwise only reachable from the model
     checker). *)
+
+val known_protocols : unit -> string list
+(** Every name {!resolve} accepts — the registry plus [ra-mutant]; for
+    error messages. *)
 
 val negative_controls : string list
 (** Protocol names whose cells expect failure rather than recovery. *)

@@ -143,6 +143,207 @@ let analyse ?(tail_margin = 300) (tr : vtrace) =
       recovered = converged_index <> None }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Streaming analysis                                                  *)
+
+module Online = struct
+  (* Incremental restatement of [analyse] + [service_round_latency].
+     The offline pipeline needs the whole trace because [converged_index]
+     is defined backwards (the earliest suffix on which the criteria
+     hold); but every criterion only ever marks *bad* indices — an ME1
+     violation, or a hungry/eating interval that closes unresolved —
+     and the suffix start is just [max bad index + 1].  So the fold
+     tracks the largest known-bad index, the open interval per process,
+     the trailing hungry run, and the post-fault service round; the
+     final record is provably equal to the offline one on the same
+     snapshot sequence (asserted over the protocol grid in the test
+     suite). *)
+
+  type t = {
+    tail_margin : int;
+    mutable len : int;  (** snapshots fed so far *)
+    mutable n : int;
+    (* per-process interval tracking, mirroring [resolution_ok] *)
+    mutable ivals : (int * View.mode) option array;
+        (** open interval per process: start index and kind *)
+    mutable hungry_run : int array;  (** trailing Hungry run length *)
+    mutable prev_eating : bool array;
+    (* convergence: the largest index known to violate the criteria *)
+    mutable last_bad : int;  (** -1 when nothing bad was seen *)
+    mutable suffix_time : int;  (** engine time at index [last_bad + 1] *)
+    mutable suffix_pending : bool;
+        (** [last_bad + 1] not seen yet (the violation was at the
+            latest snapshot) *)
+    (* fault base *)
+    mutable base : int;
+    mutable base_time : int;
+    mutable have_fault : bool;
+    mutable me1_bad : int;  (** ME1-violating snapshots since [base] *)
+    (* service round since [base] ([service_round_latency]) *)
+    mutable served : bool array;
+    mutable remaining : int;
+    mutable round_latency : int option;
+  }
+
+  let create ?(tail_margin = 300) () =
+    { tail_margin;
+      len = 0;
+      n = 0;
+      ivals = [||];
+      hungry_run = [||];
+      prev_eating = [||];
+      last_bad = -1;
+      suffix_time = 0;
+      suffix_pending = false;
+      base = 0;
+      base_time = 0;
+      have_fault = false;
+      me1_bad = 0;
+      served = [||];
+      remaining = 0;
+      round_latency = None }
+
+  let feed t ~time ~fault (views : View.t array) =
+    let idx = t.len in
+    if idx = 0 then begin
+      let n = Array.length views in
+      t.n <- n;
+      t.ivals <- Array.make n None;
+      t.hungry_run <- Array.make n 0;
+      t.prev_eating <- Array.make n false;
+      t.served <- Array.make n false;
+      t.remaining <- n;
+      t.base_time <- time
+    end;
+    if t.suffix_pending then begin
+      t.suffix_time <- time;
+      t.suffix_pending <- false
+    end;
+    if fault then begin
+      t.base <- idx;
+      t.base_time <- time;
+      t.have_fault <- true;
+      t.me1_bad <- 0;
+      Array.fill t.served 0 t.n false;
+      t.remaining <- t.n;
+      t.round_latency <- None
+    end;
+    let eaters = ref 0 in
+    for j = 0 to t.n - 1 do
+      let m = views.(j).View.mode in
+      let eating = m = View.Eating in
+      if eating then incr eaters;
+      (* interval transitions: a hungry interval must close into
+         Eating, an eating interval into Thinking; an unresolved close
+         marks the whole interval — whose largest index is its end,
+         [idx - 1] — bad *)
+      (match t.ivals.(j) with
+       | Some (_, kind) when kind = m -> ()
+       | Some (_, kind) ->
+         let resolved =
+           match kind with
+           | View.Hungry -> m = View.Eating
+           | View.Eating -> m = View.Thinking
+           | View.Thinking -> true
+         in
+         if (not resolved) && idx - 1 > t.last_bad then begin
+           t.last_bad <- idx - 1;
+           t.suffix_time <- time;
+           t.suffix_pending <- false
+         end;
+         t.ivals.(j) <-
+           (if m = View.Hungry || m = View.Eating then Some (idx, m) else None)
+       | None ->
+         if m = View.Hungry || m = View.Eating then
+           t.ivals.(j) <- Some (idx, m));
+      t.hungry_run.(j) <-
+        (if m = View.Hungry then t.hungry_run.(j) + 1 else 0);
+      (* service round: first fresh entry per process after [base] *)
+      if
+        idx > t.base && idx >= 1
+        && (not t.served.(j))
+        && (not t.prev_eating.(j))
+        && eating
+      then begin
+        t.served.(j) <- true;
+        t.remaining <- t.remaining - 1;
+        if t.remaining = 0 && t.round_latency = None then
+          t.round_latency <- Some (time - t.base_time)
+      end;
+      t.prev_eating.(j) <- eating
+    done;
+    if !eaters > 1 then begin
+      t.me1_bad <- t.me1_bad + 1;
+      if idx > t.last_bad then begin
+        t.last_bad <- idx;
+        t.suffix_pending <- true
+      end
+    end;
+    t.len <- idx + 1
+
+  let latency t = t.round_latency
+
+  let analysis t =
+    if t.len = 0 then
+      { trace_len = 0;
+        last_fault_index = None;
+        converged_index = None;
+        recovery_steps = None;
+        me1_violations = 0;
+        starving = [];
+        recovered = false }
+    else begin
+      let len = t.len in
+      (* an interval still open at the end is acceptable only within
+         the tail margin; otherwise it marks bad up to [len - 1] *)
+      let tail_bad =
+        Array.exists
+          (function
+            | Some (start, _) -> len - 1 - start >= t.tail_margin
+            | None -> false)
+          t.ivals
+      in
+      let last_bad = if tail_bad then len - 1 else t.last_bad in
+      let suffix_start = last_bad + 1 in
+      let converged_index =
+        if suffix_start > len - 1 then None
+        else Some (max suffix_start t.base)
+      in
+      let recovery_steps =
+        match converged_index with
+        | None -> None
+        | Some ci ->
+          if ci <= t.base then Some 0
+          else Some (t.suffix_time - t.base_time)
+      in
+      let starving =
+        List.filter
+          (fun j -> t.hungry_run.(j) >= t.tail_margin)
+          (Sim.Pid.range t.n)
+      in
+      { trace_len = len;
+        last_fault_index = (if t.have_fault then Some t.base else None);
+        converged_index;
+        recovery_steps;
+        me1_violations = t.me1_bad;
+        starving;
+        recovered = converged_index <> None }
+    end
+
+  let of_trace ?tail_margin (tr : vtrace) =
+    let t = create ?tail_margin () in
+    List.iter
+      (fun (snap : (View.t, Msg.t) Sim.Trace.snapshot) ->
+        let fault =
+          match snap.Sim.Trace.event with
+          | Sim.Trace.Fault _ -> true
+          | _ -> false
+        in
+        feed t ~time:snap.Sim.Trace.time ~fault snap.Sim.Trace.states)
+      tr;
+    t
+end
+
 let service_round_latency (tr : vtrace) ~after =
   let snaps = Array.of_list tr in
   let len = Array.length snaps in

@@ -34,6 +34,36 @@ val analyse : ?tail_margin:int -> vtrace -> analysis
 (** [analyse ?tail_margin tr] computes the analysis.  [tail_margin]
     defaults to 300 snapshots. *)
 
+(** Streaming analysis: the incremental restatement of {!analyse} and
+    {!service_round_latency}, fed one view snapshot at a time so a run
+    needs no recorded trace (O(n) state instead of O(steps × n)).  On
+    the same snapshot sequence, {!Online.analysis} equals {!analyse}
+    and {!Online.latency} equals {!service_round_latency} at
+    [after = last fault index (or 0)] — field for field; the test
+    suite asserts this across the protocol × wrapper × seed grid. *)
+module Online : sig
+  type t
+  (** Mutable accumulator — create one per run. *)
+
+  val create : ?tail_margin:int -> unit -> t
+  (** Same [tail_margin] default (300) as {!analyse}. *)
+
+  val feed : t -> time:int -> fault:bool -> View.t array -> unit
+  (** [feed t ~time ~fault views] consumes the next snapshot: its
+      engine [time], whether it is a fault event, and the post-event
+      views.  The array is read during the call only (safe to reuse). *)
+
+  val analysis : t -> analysis
+  (** The analysis of the snapshots fed so far. *)
+
+  val latency : t -> int option
+  (** {!service_round_latency} measured from the last fault fed (or
+      the start), maintained incrementally. *)
+
+  val of_trace : ?tail_margin:int -> vtrace -> t
+  (** Fold a recorded trace — the equivalence bridge used in tests. *)
+end
+
 val pp : Format.formatter -> analysis -> unit
 
 val service_round_latency : vtrace -> after:int -> int option

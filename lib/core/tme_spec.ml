@@ -47,8 +47,52 @@ let me3 entries =
   in
   scan 0 [] entries
 
-let check_all ~n ~entries tr =
+let report_of_verdicts ~me1 ~me2 ~me3 =
   Report.of_list
-    [ ("ME1 (mutual exclusion)", me1 tr);
-      ("ME2 (starvation freedom)", me2 ~n tr);
-      ("ME3 (FCFS)", me3 entries) ]
+    [ ("ME1 (mutual exclusion)", me1);
+      ("ME2 (starvation freedom)", me2);
+      ("ME3 (FCFS)", me3) ]
+
+let check_all ~n ~entries tr =
+  report_of_verdicts ~me1:(me1 tr) ~me2:(me2 ~n tr) ~me3:(me3 entries)
+
+(* ------------------------------------------------------------------ *)
+(* Online monitors: the same three clauses as incremental folds over
+   view arrays (ME1, ME2) and the oracle entry stream (ME3), with the
+   same verdicts — index for index, reason for reason — as the offline
+   operators above on the corresponding prefix. *)
+
+let eaters_of views =
+  Array.fold_left (fun acc v -> if View.eating v then acc + 1 else acc) 0 views
+
+let me1_online () =
+  Online.invariant ~name:"ME1" (fun views -> eaters_of views <= 1)
+
+let me2_online ~n =
+  Online.all
+    (List.init n (fun j ->
+         Online.leads_to ~name:(Printf.sprintf "ME2.%d" j)
+           (fun (views : View.t array) -> View.hungry views.(j))
+           (fun views -> View.eating views.(j))))
+
+let me3_online () =
+  Online.stateful ~init:(0, [])
+    ~step:(fun (idx, earlier) (e : Harness.entry_record) ->
+      let bad =
+        List.exists
+          (fun (prev : Harness.entry_record) ->
+            Vector_clock.lt e.entry_req_vc prev.entry_req_vc)
+          earlier
+      in
+      let verdict =
+        if bad then
+          Temporal.Violated
+            { at = idx;
+              reason =
+                Printf.sprintf
+                  "entry %d by process %d served a request that \
+                   happened-before an already-served one"
+                  idx e.entry_pid }
+        else Temporal.Holds
+      in
+      ((idx + 1, e :: earlier), verdict))

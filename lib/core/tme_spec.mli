@@ -27,3 +27,25 @@ val me3 : Harness.entry_record list -> Unityspec.Temporal.verdict
 
 val check_all :
   n:int -> entries:Harness.entry_record list -> vtrace -> Unityspec.Report.t
+
+val report_of_verdicts :
+  me1:Unityspec.Temporal.verdict ->
+  me2:Unityspec.Temporal.verdict ->
+  me3:Unityspec.Temporal.verdict -> Unityspec.Report.t
+(** The report shape shared by {!check_all} and the streaming path:
+    the three clause labels paired with the given verdicts. *)
+
+(** {2 Online monitors}
+
+    The same clauses as incremental {!Unityspec.Online} monitors, fed
+    while the engine runs instead of over a recorded trace.  ME1 and
+    ME2 consume the per-snapshot view array (one feed per trace
+    snapshot, in order); ME3 consumes the oracle entry stream.  On
+    equal input prefixes the verdicts equal the offline operators —
+    including [at] indices and reasons (asserted in tests). *)
+
+val me1_online : unit -> View.t array Unityspec.Online.t
+
+val me2_online : n:int -> View.t array Unityspec.Online.t
+
+val me3_online : unit -> Harness.entry_record Unityspec.Online.t

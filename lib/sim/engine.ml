@@ -60,6 +60,9 @@ module Make (N : NODE) = struct
            crash-effects scan and the deliverable-channel filter) can
            be skipped entirely *)
     mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
+    mutable observers : (N.state, N.msg) Observer.sink list;
+        (* notified (in registration order) at exactly the points a
+           snapshot is recorded, so the step stream equals the trace *)
     metrics : Metrics.t;
   }
 
@@ -78,6 +81,15 @@ module Make (N : NODE) = struct
         :: t.rev_trace
     end
 
+  (* Observers get the live states array — no copy.  [Observer.step]
+     documents that it must not be retained across steps. *)
+  let notify t event =
+    match t.observers with
+    | [] -> ()
+    | observers ->
+      let step = { Observer.time = t.time; event; states = t.states } in
+      List.iter (fun f -> f step) observers
+
   let create cfg ~init =
     let master = Rng.create cfg.seed in
     let t =
@@ -95,6 +107,7 @@ module Make (N : NODE) = struct
         deliv = Array.make (cfg.n * cfg.n) 0;
         crash_faults_seen = false;
         rev_trace = [];
+        observers = [];
         metrics = Metrics.create () }
     in
     record t Trace.Init;
@@ -113,6 +126,18 @@ module Make (N : NODE) = struct
     t.acts_dirty.(p) <- true
   let set_network t net = t.net <- net
   let crashed t p = t.crash_until.(p) > t.time
+
+  (* An observer joins by seeing the current state as its Init step —
+     attached right after [create] (the normal case) that is exactly
+     the recorded Init snapshot. *)
+  let add_observer t f =
+    t.observers <- t.observers @ [ f ];
+    f { Observer.time = t.time; event = Trace.Init; states = t.states }
+
+  let observe t o =
+    let feed, peek = Observer.sink o in
+    add_observer t feed;
+    peek
 
   (* While a lose-mode crash lasts, anything queued toward the dead
      process is lost; once a window elapses the lose flag is retired so
@@ -265,6 +290,7 @@ module Make (N : NODE) = struct
     in
     t.time <- t.time + 1;
     record t event;
+    notify t event;
     event
 
   (* Positions (front-first) of messages in a channel matching [only]. *)
@@ -347,11 +373,25 @@ module Make (N : NODE) = struct
            end)
          (Faults.select_procs ~n:t.cfg.n proc));
     Metrics.note_fault t.metrics;
-    record t (Trace.Fault { label = Faults.label kind })
+    let event = Trace.Fault { label = Faults.label kind } in
+    record t event;
+    notify t event
 
   (* Duplicate-fault caveat: [duplicate_at] grows the matching set, so
      the loop above must not re-match the copy; [only:None] with
      [count] bounds the iterations, which keeps it finite. *)
+
+  (* Permanent quiescence: no enabled move, and no process inside a
+     crash window.  Actions and deliverability are pure functions of
+     (states, network, crash status), and with every [crash_until] in
+     the past the crash status can never change again, so a quiescent
+     engine stutters forever — the one early-exit condition that
+     preserves the rest of the run exactly. *)
+  let quiescent t =
+    (not (Array.exists (fun until -> until > t.time) t.crash_until))
+    &&
+    let d, i = refresh_moves t in
+    d + i = 0
 
   let run ?(plan = []) ~steps t =
     let plan = ref plan in

@@ -84,6 +84,29 @@ module Make (N : NODE) : sig
       its recovery time.  In lose-deliveries mode its inbound channels
       are drained at each step while the window lasts. *)
 
+  val quiescent : t -> bool
+  (** [quiescent t] holds when no move is enabled {e and} no process is
+      inside a crash window — the execution is permanently quiescent:
+      every future fault-free step is a [Stutter] that changes nothing.
+      The sound early-exit test for streaming runs (deadlocks). *)
+
+  (** {2 Streaming observation}
+
+      Observers receive one {!Observer.step} at exactly the points a
+      snapshot would be recorded — [Init] on attachment, each [step],
+      each [apply_fault] — so the step stream equals the trace the
+      engine would record, independently of [cfg.record]. *)
+
+  val add_observer : t -> (N.state, N.msg) Observer.sink -> unit
+  (** [add_observer t f] registers [f] (called in registration order)
+      and immediately feeds it an [Init] step of the current state:
+      attached right after {!create}, [f] sees exactly the recorded
+      trace, snapshot for snapshot. *)
+
+  val observe : t -> (N.state, N.msg, 'a) Observer.t -> unit -> 'a
+  (** [observe t o] attaches the pure observer [o]; the returned thunk
+      reads its current accumulator at any moment (mid-run verdicts). *)
+
   (** {2 Mutation} *)
 
   val set_state : t -> Pid.t -> N.state -> unit

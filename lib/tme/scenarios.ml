@@ -33,6 +33,7 @@ type result = {
   total_entries : int;
   analysis : Graybox.Stabilize.analysis;
   recovery_latency : int option;
+  live_spec : Unityspec.Report.t option;
   sent_total : int;
   wrapper_sends : int;
   protocol_sends : int;
@@ -40,14 +41,15 @@ type result = {
   sim_steps : int;
 }
 
-let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?tail_margin
-    ?(think = (2, 8)) ?(eat = (1, 3)) ?(passive = [])
-    (module P : Graybox.Protocol.S) ~n ~seed ~steps =
+let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
+    ?(live_monitors = false) ?tail_margin ?(think = (2, 8)) ?(eat = (1, 3))
+    ?(passive = []) (module P : Graybox.Protocol.S) ~n ~seed ~steps =
   let module Run = H.Make (P) in
   let think_min, think_max = think and eat_min, eat_max = eat in
   let params =
     H.params ~wrapper ~think_min ~think_max ~eat_min ~eat_max ~passive ~n ()
   in
+  let record = record && not streaming in
   let engine = Run.make_engine ~record params ~seed in
   let lower = function
     | Drop_requests { at; per_chan } ->
@@ -87,23 +89,117 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?tail_margin
           (Sim.Faults.Crash { proc = procs; until_t; lose_deliveries = lose }) ]
   in
   let plan = List.concat_map lower faults in
-  Run.Run.run ~plan ~steps engine;
-  let vtrace = if record then Run.view_trace engine else [] in
-  let entry_log = if record then Run.entry_log engine else [] in
+  let vtrace, entry_log, analysis, recovery_latency, live_spec =
+    if not streaming then begin
+      (* record-then-analyse: run the horizon, then fold the trace *)
+      Run.Run.run ~plan ~steps engine;
+      let vtrace = if record then Run.view_trace engine else [] in
+      let entry_log = if record then Run.entry_log engine else [] in
+      let analysis = Graybox.Stabilize.analyse ?tail_margin vtrace in
+      let recovery_latency =
+        let after =
+          match analysis.Graybox.Stabilize.last_fault_index with
+          | Some i -> i
+          | None -> 0
+        in
+        Graybox.Stabilize.service_round_latency vtrace ~after
+      in
+      (vtrace, entry_log, analysis, recovery_latency, None)
+    end
+    else begin
+      (* Streaming: no trace.  One observer keeps the spec-level
+         projection (views, oracle request stamps) current — only the
+         process an event touched is re-projected — and fans each step
+         out to the incremental analysis, the entry stream, and (when
+         asked) the live TME_Spec monitors.  The analysis, latency,
+         and entry log equal the offline ones on the same run, seed
+         for seed; the equivalence is asserted in the test suite. *)
+      let ol = Graybox.Stabilize.Online.create ?tail_margin () in
+      let nodes0 = Run.Run.states engine in
+      let views = Array.map Run.view nodes0 in
+      let req_vcs = Array.map (fun (nd : Run.node) -> nd.Run.req_vc) nodes0 in
+      let entries = ref [] in
+      let me1 = ref (Graybox.Tme_spec.me1_online ()) in
+      let me2 = ref (Graybox.Tme_spec.me2_online ~n) in
+      let me3 = ref (Graybox.Tme_spec.me3_online ()) in
+      let stuttering = ref false in
+      let refresh (nodes : Run.node array) p =
+        views.(p) <- Run.view nodes.(p);
+        req_vcs.(p) <- nodes.(p).Run.req_vc
+      in
+      let feed_monitors () =
+        if live_monitors then begin
+          me1 := Unityspec.Online.feed !me1 views;
+          me2 := Unityspec.Online.feed !me2 views
+        end
+      in
+      let on_step (s : (Run.node, Run.envelope) Sim.Observer.step) =
+        let nodes = s.Sim.Observer.states in
+        (match s.Sim.Observer.event with
+         | Sim.Trace.Init ->
+           for p = 0 to n - 1 do refresh nodes p done
+         | Sim.Trace.Deliver { dst; _ } -> refresh nodes dst
+         | Sim.Trace.Internal { pid; label } ->
+           if label = "enter-cs" then begin
+             (* the arrays still hold the pre-step projection: the
+                request this entry served *)
+             let e =
+               { H.entry_time = s.Sim.Observer.time;
+                 entry_pid = pid;
+                 entry_req = views.(pid).Graybox.View.req;
+                 entry_req_vc = req_vcs.(pid) }
+             in
+             entries := e :: !entries;
+             if live_monitors then me3 := Unityspec.Online.feed !me3 e
+           end;
+           refresh nodes pid
+         | Sim.Trace.Fault _ ->
+           for p = 0 to n - 1 do refresh nodes p done
+         | Sim.Trace.Stutter -> ());
+        let fault, stutter =
+          match s.Sim.Observer.event with
+          | Sim.Trace.Fault _ -> (true, false)
+          | Sim.Trace.Stutter -> (false, true)
+          | _ -> (false, false)
+        in
+        stuttering := stutter;
+        Graybox.Stabilize.Online.feed ol ~time:s.Sim.Observer.time ~fault views;
+        feed_monitors ()
+      in
+      Run.Run.add_observer engine on_step;
+      (* A stutter with no crash window left is permanent: exit early
+         and feed the remaining horizon synthetically, so the analysis
+         stays byte-identical to the full run at a fraction of the
+         cost (deadlocked cells dominate campaign wall-clock). *)
+      let stop eng = !stuttering && Run.Run.quiescent eng in
+      (match Run.Run.run_until ~plan ~max_steps:steps ~stop engine with
+       | None -> ()
+       | Some exit_time ->
+         for time = exit_time + 1 to steps do
+           Graybox.Stabilize.Online.feed ol ~time ~fault:false views;
+           feed_monitors ()
+         done);
+      let live =
+        if live_monitors then
+          Some
+            (Graybox.Tme_spec.report_of_verdicts
+               ~me1:(Unityspec.Online.verdict !me1)
+               ~me2:(Unityspec.Online.verdict !me2)
+               ~me3:(Unityspec.Online.verdict !me3))
+        else None
+      in
+      ( [],
+        List.rev !entries,
+        Graybox.Stabilize.Online.analysis ol,
+        Graybox.Stabilize.Online.latency ol,
+        live )
+    end
+  in
   let metrics = Run.Run.metrics engine in
   let wrapper_sends =
     Sim.Metrics.sends_with_label metrics Graybox.Wrapper.action_label
   in
   let sent_total = Sim.Metrics.sent metrics in
-  let analysis = Graybox.Stabilize.analyse ?tail_margin vtrace in
-  let recovery_latency =
-    let after =
-      match analysis.Graybox.Stabilize.last_fault_index with
-      | Some i -> i
-      | None -> 0
-    in
-    Graybox.Stabilize.service_round_latency vtrace ~after
-  in
   { protocol = P.name;
     n;
     seed;
@@ -114,6 +210,7 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?tail_margin
     total_entries = Run.total_entries engine;
     analysis;
     recovery_latency;
+    live_spec;
     sent_total;
     wrapper_sends;
     protocol_sends = sent_total - wrapper_sends;

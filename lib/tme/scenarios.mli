@@ -53,6 +53,10 @@ type result = {
       (** steps from the last fault until every process completed a
           fresh CS entry ({!Graybox.Stabilize.service_round_latency});
           measured from the trace start on fault-free runs *)
+  live_spec : Unityspec.Report.t option;
+      (** ME1/ME2/ME3 verdicts from the online monitors, present only
+          on streaming runs with [~live_monitors:true]; equal to
+          {!tme_report} of the same scenario recorded *)
   sent_total : int;
   wrapper_sends : int;
   protocol_sends : int;  (** [sent_total - wrapper_sends] *)
@@ -64,6 +68,8 @@ val run :
   ?wrapper:Graybox.Harness.wrapper_mode ->
   ?faults:fault_spec list ->
   ?record:bool ->
+  ?streaming:bool ->
+  ?live_monitors:bool ->
   ?tail_margin:int ->
   ?think:(int * int) ->
   ?eat:(int * int) ->
@@ -73,7 +79,18 @@ val run :
 (** [run proto ~n ~seed ~steps] executes one scenario.  With
     [~record:false] the view trace and entry log are empty and the
     analysis is degenerate — use it for throughput measurements
-    only. *)
+    only.
+
+    With [~streaming:true] trace recording is forced off and the
+    analysis, recovery latency, and entry log are computed online by
+    an engine observer while the run proceeds; they equal the recorded
+    run's results field for field (asserted in the test suite), but
+    [vtrace] is empty.  Streaming runs also exit early once the system
+    is permanently quiescent (deadlocked with no pending recovery),
+    feeding the rest of the horizon synthetically — [sim_steps] then
+    reports how far the engine actually ran.  [~live_monitors:true]
+    additionally folds the {!Graybox.Tme_spec} online monitors over
+    the run and fills [live_spec]. *)
 
 val lspec_report : result -> Unityspec.Report.t
 (** Lspec clause verdicts over the scenario's recorded trace — only

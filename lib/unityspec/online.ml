@@ -1,6 +1,10 @@
-type 'a t = { verdict : Temporal.verdict; feed : 'a -> 'a t }
+(* The verdict is lazy: [leads_to] would otherwise rebuild (and
+   reverse) its obligation list at every feed, making a long streaming
+   run quadratic in its own length; nothing reads verdicts more than a
+   handful of times per run. *)
+type 'a t = { verdict : Temporal.verdict Lazy.t; feed : 'a -> 'a t }
 
-let verdict m = m.verdict
+let verdict m = Lazy.force m.verdict
 
 let feed m x = m.feed x
 
@@ -12,12 +16,14 @@ let describe name fallback =
   match name with Some n -> n | None -> fallback
 
 (* A violated safety monitor stays violated and ignores further input. *)
-let rec sink verdict = { verdict; feed = (fun _ -> sink verdict) }
+let rec sink verdict = { verdict = Lazy.from_val verdict; feed = (fun _ -> sink verdict) }
+
+let holds = Lazy.from_val Temporal.Holds
 
 let invariant ?name p =
   let label = describe name "invariant" in
   let rec at i =
-    { verdict = Temporal.Holds;
+    { verdict = holds;
       feed =
         (fun x ->
           if p x then at (i + 1)
@@ -28,13 +34,13 @@ let invariant ?name p =
 let step_invariant ?name r =
   let label = describe name "step-invariant" in
   let rec after i prev =
-    { verdict = Temporal.Holds;
+    { verdict = holds;
       feed =
         (fun x ->
           if r prev x then after (i + 1) x
           else sink (Violated { at = i + 1; reason = label ^ " fails" })) }
   in
-  { verdict = Temporal.Holds; feed = (fun x -> after 0 x) }
+  { verdict = holds; feed = (fun x -> after 0 x) }
 
 let unless ?name p q =
   let label = describe name "unless" in
@@ -49,9 +55,10 @@ let leads_to ?name p q =
   (* open obligations, most recent first; q discharges all *)
   let rec at i open_obligations =
     let verdict =
-      match open_obligations with
-      | [] -> Temporal.Holds
-      | _ -> Temporal.Pending { obligations = List.rev open_obligations }
+      lazy
+        (match open_obligations with
+        | [] -> Temporal.Holds
+        | _ -> Temporal.Pending { obligations = List.rev open_obligations })
     in
     { verdict;
       feed =
@@ -66,7 +73,7 @@ let leads_to ?name p q =
   at 0 []
 
 let rec all ms =
-  { verdict = Temporal.all (List.map verdict ms);
+  { verdict = lazy (Temporal.all (List.map verdict ms));
     feed = (fun x -> all (List.map (fun m -> feed m x) ms)) }
 
 let leads_to_always ?name p q =
@@ -76,3 +83,16 @@ let leads_to_always ?name p q =
 
 let rec contramap f m =
   { verdict = m.verdict; feed = (fun x -> contramap f (feed m (f x))) }
+
+let stateful ~init ~step =
+  let rec at s verdict =
+    { verdict = Lazy.from_val verdict;
+      feed =
+        (fun x ->
+          match verdict with
+          | Temporal.Violated _ -> sink verdict
+          | Temporal.Holds | Temporal.Pending _ ->
+            let s', verdict' = step s x in
+            at s' verdict') }
+  in
+  at init Temporal.Holds

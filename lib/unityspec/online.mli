@@ -42,4 +42,16 @@ val all : 'a t list -> 'a t
     {!Temporal.both}. *)
 
 val contramap : ('b -> 'a) -> 'a t -> 'b t
-(** [contramap f m] adapts a monitor to a richer snapshot type. *)
+(** [contramap f m] adapts a monitor to a richer snapshot type — e.g.
+    a view-level monitor to engine snapshots, or to an
+    {!Sim.Observer} step stream. *)
+
+val stateful :
+  init:'s -> step:('s -> 'a -> 's * Temporal.verdict) -> 'a t
+(** [stateful ~init ~step] builds a custom monitor from a state
+    machine: each feed applies [step] to the carried state and the
+    snapshot, yielding the new state and the verdict so far.  The
+    verdict before any input is [Holds]; a [Violated] verdict latches
+    (further input is ignored), like every safety monitor here.  For
+    properties — such as FCFS over an entry stream — that no
+    combination of the per-snapshot operators above expresses. *)

@@ -168,6 +168,34 @@ let test_campaign_jobs_validation () =
     (Invalid_argument "Campaign.config: need jobs >= 1") (fun () ->
       ignore (Campaign.config ~jobs:0 ()))
 
+let test_campaign_streaming_byte_identical () =
+  (* the tentpole claim: streaming analysis changes nothing observable.
+     A multi-cell sweep — negative control, deadlock canary, shrinking,
+     so crashes, deadlocks, and re-runs are all exercised — renders to
+     byte-identical JSON with and without streaming, at every worker
+     count *)
+  let cfg ~jobs ~streaming =
+    Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
+      ~protocols:[ "lamport"; "lamport-unmod" ] ~include_unwrapped:true
+      ~deadlock_canary:true ~jobs ~streaming ()
+  in
+  let render ~jobs ~streaming =
+    Chaos.Jsonx.to_string (Campaign.to_json (Campaign.run (cfg ~jobs ~streaming)))
+  in
+  let recorded = render ~jobs:1 ~streaming:false in
+  Alcotest.(check string) "streaming == recorded (serial)" recorded
+    (render ~jobs:1 ~streaming:true);
+  Alcotest.(check string) "streaming == recorded (parallel)" recorded
+    (render ~jobs:3 ~streaming:true)
+
+let test_campaign_unknown_protocol () =
+  Alcotest.check_raises "unknown protocol is a typed error"
+    (Campaign.Unknown_protocol "nope") (fun () ->
+      ignore (Campaign.run (Campaign.config ~protocols:[ "nope" ] ())));
+  Alcotest.(check bool) "known_protocols lists the registry" true
+    (List.mem "ra" (Campaign.known_protocols ())
+    && List.mem "ra-mutant" (Campaign.known_protocols ()))
+
 let test_campaign_negative_control_fails () =
   let cfg =
     Campaign.config ~base_seed:7 ~seeds:3 ~budget:3 ~n:4 ~steps:1200
@@ -223,7 +251,11 @@ let () =
             test_campaign_negative_control_fails;
           Alcotest.test_case "parallel report == serial" `Quick
             test_campaign_parallel_matches_serial;
+          Alcotest.test_case "streaming report == recorded report" `Quick
+            test_campaign_streaming_byte_identical;
           Alcotest.test_case "jobs validation" `Quick
-            test_campaign_jobs_validation ] );
+            test_campaign_jobs_validation;
+          Alcotest.test_case "unknown protocol" `Quick
+            test_campaign_unknown_protocol ] );
       ("jsonx", [ Alcotest.test_case "rendering" `Quick test_jsonx_rendering ])
     ]

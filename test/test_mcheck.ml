@@ -107,6 +107,28 @@ let test_replay_rejects_garbage () =
 (* -- everywhere mode ------------------------------------------------ *)
 
 let m1 = (module Tme.Lamport_ablation.M1 : Graybox.Protocol.S)
+let m12 = (module Tme.Lamport_ablation.M12 : Graybox.Protocol.S)
+let unmod = (module Tme.Lamport_unmodified : Graybox.Protocol.S)
+
+(* Shared shape of every negative-control everywhere test: correct
+   from Init at the given depth, caught from a perturbed state at the
+   very same depth -- the discrimination the wrapper exists for. *)
+let check_discriminated name proto ~depth () =
+  (match Mcheck.check_me1 proto ~n:2 ~max_depth:depth () with
+   | Mcheck.Ok _ -> ()
+   | Mcheck.Violation { trace; _ } ->
+     Alcotest.failf "%s violated from Init at depth %d: %s" name depth
+       (String.concat " ; " trace));
+  match Mcheck.check_me1_everywhere proto ~n:2 ~max_depth:depth () with
+  | Mcheck.Ok _ ->
+    Alcotest.failf "everywhere mode must catch %s at depth %d" name depth
+  | Mcheck.Violation { trace; _ } ->
+    Alcotest.(check bool) "seed named" true
+      (match trace with
+       | l :: _ ->
+         String.starts_with ~prefix:"corrupt(" l
+         || String.starts_with ~prefix:"inflight(" l
+       | [] -> false)
 
 let test_everywhere_discriminates () =
   (* at depth 4 the mutant looks safe from Init... *)
@@ -187,6 +209,12 @@ let () =
             test_everywhere_discriminates;
           Alcotest.test_case "lamport-m1 caught at depth 4" `Quick
             test_everywhere_lamport_unmodified_program;
+          Alcotest.test_case "lamport-unmod discriminated at depth 4" `Quick
+            (check_discriminated "lamport-unmod" unmod ~depth:4);
+          Alcotest.test_case "lamport-m12 discriminated at depth 4" `Quick
+            (check_discriminated "lamport-m12" m12 ~depth:4);
+          Alcotest.test_case "ra-mutant discriminated at depth 4" `Quick
+            (check_discriminated "ra-mutant" mutant ~depth:4);
           Alcotest.test_case "ra safe at depth 4" `Quick
             test_everywhere_ra_shallow_safe ] );
       ( "bounds",
