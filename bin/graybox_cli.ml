@@ -5,6 +5,7 @@
      graybox-cli fig1
      graybox-cli rvc   --corrupt-at 500
      graybox-cli chaos --seeds 50 --budget 6 --json report.json
+     graybox-cli protocols --json
 
    `run` simulates a scenario and prints the stabilization analysis
    (exit 1 when the run does not recover, so it works as a CI gate);
@@ -13,7 +14,8 @@
    exercises the resettable-vector-clock case study; `chaos` sweeps
    randomized fault plans across protocols and wrapper modes, shrinks
    any failure to a minimal reproducer, and exits 1 when a wrapped run
-   fails or an expected-failure baseline recovers. *)
+   fails or an expected-failure baseline recovers; `protocols` lists
+   the registry every subcommand resolves names against. *)
 
 open Cmdliner
 
@@ -64,12 +66,24 @@ let fault_conv =
 (* ------------------------------------------------------------------ *)
 (* Shared options                                                      *)
 
+(* Every protocol-naming subcommand resolves through the registry, so
+   the accepted names, the default, and the error listing are all one
+   table (see `graybox-cli protocols`).  Tme.Scenarios — linked into
+   this binary — registers the implementations before main runs. *)
+let default_protocol () =
+  match Graybox.Registry.default_reference () with
+  | Some e -> e.Graybox.Registry.name
+  | None -> invalid_arg "no reference protocol registered"
+
 let protocol_arg =
   let doc =
-    "Protocol: ra, ra-gcl, lamport, lamport-unmod, lamport-m1, lamport-m12, \
-     or central."
+    Printf.sprintf "Protocol: %s."
+      (String.concat ", " (Graybox.Registry.names ()))
   in
-  Arg.(value & opt string "ra" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+  Arg.(
+    value
+    & opt string (default_protocol ())
+    & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
 
 let n_arg =
   let doc = "Number of processes." in
@@ -101,13 +115,13 @@ let faults_arg =
   in
   Arg.(value & opt_all fault_conv [] & info [ "f"; "fault" ] ~docv:"SPEC" ~doc)
 
+let resolve_entry name =
+  match Graybox.Registry.find name with
+  | Some e -> Ok e
+  | None -> Error (Graybox.Registry.unknown_protocol_message name)
+
 let resolve_protocol name =
-  match Tme.Scenarios.find_protocol name with
-  | Some p -> Ok p
-  | None ->
-    Error
-      (Printf.sprintf "unknown protocol %S (try: %s)" name
-         (String.concat ", " (List.map fst Tme.Scenarios.protocols)))
+  Result.map (fun e -> e.Graybox.Registry.proto) (resolve_entry name)
 
 let streaming_arg =
   let doc =
@@ -370,14 +384,21 @@ let mcheck_cmd =
                 invariant from everywhere, not just from Init.")
   in
   let action protocol n depth jobs max_states everywhere =
-    let proto =
-      if protocol = "ra-mutant" then
-        Result.Ok (module Tme.Ra_mutant : Graybox.Protocol.S)
-      else resolve_protocol protocol
-    in
-    match proto with
+    match resolve_entry protocol with
     | Error e -> `Error (false, e)
-    | Result.Ok proto ->
+    | Result.Ok entry
+      when everywhere && not entry.Graybox.Registry.everywhere_checkable ->
+      (* fail here, with the capability listing, rather than deep in
+         Mcheck on a protocol whose perturb has nothing to enumerate *)
+      `Error
+        ( false,
+          Printf.sprintf
+            "--everywhere: %S does not enumerate perturbations (supported: %s)"
+            protocol
+            (String.concat ", " (Graybox.Registry.everywhere_checkable_names ()))
+        )
+    | Result.Ok entry ->
+      let proto = entry.Graybox.Registry.proto in
       let t0 = Unix.gettimeofday () in
       let result =
         if everywhere then
@@ -430,6 +451,73 @@ let mcheck_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* protocols                                                           *)
+
+let protocols_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the registry as machine-readable JSON on stdout.")
+  in
+  let action json =
+    let open Graybox.Registry in
+    let entries = all () in
+    if json then begin
+      let entry_json e =
+        Chaos.Jsonx.Obj
+          [ ("name", Chaos.Jsonx.String e.name);
+            ("role", Chaos.Jsonx.String (role_label e.role));
+            ("expect", Chaos.Jsonx.String (expectation_label e.expectation));
+            ("default_delta", Chaos.Jsonx.Int e.default_delta);
+            ("everywhere_checkable", Chaos.Jsonx.Bool e.everywhere_checkable);
+            ("lspec_monitorable", Chaos.Jsonx.Bool e.lspec_monitorable);
+            ("sweep_rank", Chaos.Jsonx.of_int_option e.sweep_rank);
+            ("doc", Chaos.Jsonx.String e.doc) ]
+      in
+      print_endline
+        (Chaos.Jsonx.to_string
+           (Chaos.Jsonx.Obj
+              [ ("schema", Chaos.Jsonx.String "graybox-protocols/1");
+                ( "protocols",
+                  Chaos.Jsonx.List (List.map entry_json entries) ) ]))
+    end
+    else begin
+      let t =
+        Stdext.Tabular.create
+          [ "name"; "role"; "expect"; "delta"; "everywhere"; "lspec";
+            "sweep"; "description" ]
+      in
+      List.iter
+        (fun e ->
+          Stdext.Tabular.add_row t
+            [ e.name;
+              role_label e.role;
+              expectation_label e.expectation;
+              Stdext.Tabular.cell_int e.default_delta;
+              Stdext.Tabular.cell_bool e.everywhere_checkable;
+              Stdext.Tabular.cell_bool e.lspec_monitorable;
+              (match e.sweep_rank with
+               | Some r -> Stdext.Tabular.cell_int r
+               | None -> "-");
+              e.doc ])
+        entries;
+      Stdext.Tabular.print
+        ~title:
+          "protocol registry (expect gates wrapped chaos cells; sweep = \
+           default campaign order)"
+        t
+    end;
+    `Ok 0
+  in
+  Cmd.v
+    (Cmd.info "protocols"
+       ~doc:
+         "List the protocol registry: roles, chaos expectations, wrapper \
+          defaults, and capabilities")
+    Term.(ret (const action $ json_arg))
+
+(* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
 
 let chaos_cmd =
@@ -460,8 +548,9 @@ let chaos_cmd =
       & opt (list string) Chaos.Campaign.default_protocols
       & info [ "protocols" ] ~docv:"NAMES"
           ~doc:
-            "Comma-separated protocols to sweep (also accepts ra-mutant); \
-             each gets a wrapped and an unwrapped cell.")
+            "Comma-separated protocols to sweep (any registered name, see \
+             `graybox-cli protocols`); each gets a wrapped and an \
+             unwrapped cell.")
   in
   let json_arg =
     Arg.(
@@ -534,10 +623,7 @@ let chaos_cmd =
       `Ok (if report.Chaos.Campaign.gate_ok then 0 else 1)
     with
     | Chaos.Campaign.Unknown_protocol name ->
-      `Error
-        ( false,
-          Printf.sprintf "unknown protocol %S (known: %s)" name
-            (String.concat ", " (Chaos.Campaign.known_protocols ())) )
+      `Error (false, Graybox.Registry.unknown_protocol_message name)
     | Invalid_argument msg | Sys_error msg -> `Error (false, msg)
     end
   in
@@ -564,4 +650,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd;
-            mcheck_cmd; chaos_cmd ]))
+            mcheck_cmd; chaos_cmd; protocols_cmd ]))

@@ -1,12 +1,16 @@
 open Stdext
 module S = Tme.Scenarios
+module Registry = Graybox.Registry
 
-type expectation = Expect_recover | Expect_failure | Observe
+(* Expectations are registry metadata (each protocol declares how its
+   wrapped cells are gated); re-exported here so campaign clients can
+   keep pattern-matching without opening Graybox. *)
+type expectation = Graybox.Registry.expectation =
+  | Expect_recover
+  | Expect_failure
+  | Observe
 
-let expectation_label = function
-  | Expect_recover -> "recover"
-  | Expect_failure -> "fail"
-  | Observe -> "observe"
+let expectation_label = Registry.expectation_label
 
 type config = {
   base_seed : int;
@@ -25,7 +29,10 @@ type config = {
   streaming : bool;
 }
 
-let default_protocols = [ "lamport"; "ra"; "lamport-unmod" ]
+(* The acceptance sweep, in declared order: every protocol with a
+   [sweep_rank] (both wrapped everywhere-implementations plus the
+   negative control). *)
+let default_protocols = Registry.default_sweep ()
 
 let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
     ?(delta = 8) ?(protocols = default_protocols) ?(include_unwrapped = true)
@@ -41,19 +48,21 @@ let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
 
 (* Protocols that are not everywhere-implementations of Lspec: the
    wrapper is not expected to rescue them (the paper's negative
-   controls), so their cells are never gated on recovery. *)
-let negative_controls = [ "lamport-unmod"; "lamport-m1"; "lamport-m12"; "ra-mutant" ]
+   controls and ablations), so their cells are never gated on
+   recovery.  Derived from the registry's expectation metadata — this
+   list and the resolver can no longer drift apart. *)
+let negative_controls =
+  List.filter_map
+    (fun (e : Registry.entry) ->
+      if e.Registry.expectation = Expect_failure then Some e.Registry.name
+      else None)
+    (Registry.all ())
 
 exception Unknown_protocol of string
 
-let resolve name =
-  match S.find_protocol name with
-  | Some p -> Some p
-  | None ->
-    if name = "ra-mutant" then Some (module Tme.Ra_mutant : Graybox.Protocol.S)
-    else None
+let resolve = Registry.find_protocol
 
-let known_protocols () = List.map fst S.protocols @ [ "ra-mutant" ]
+let known_protocols () = Registry.names ()
 
 type row = {
   row_seed : int;
@@ -175,43 +184,47 @@ let cells_of_config cfg =
   let proto_cells =
     List.concat_map
       (fun name ->
-        match resolve name with
+        match Registry.find name with
         | None -> raise (Unknown_protocol name)
-        | Some proto ->
-          let negative = List.mem name negative_controls in
+        | Some e ->
+          let proto = e.Registry.proto in
+          (* the entry's expectation gates the wrapped cell; unwrapped
+             cells of recovery-gated protocols are merely observed *)
+          let unwrapped_expect =
+            match e.Registry.expectation with
+            | Expect_failure -> Expect_failure
+            | Expect_recover | Observe -> Observe
+          in
           let wrapped_cell =
             ( Printf.sprintf "%s+W'(%d)" name cfg.delta,
               name,
               true,
-              (if negative then Expect_failure else Expect_recover),
+              e.Registry.expectation,
               proto,
               wrapped,
               seeded )
           in
           let unwrapped_cell =
-            ( name,
-              name,
-              false,
-              (if negative then Expect_failure else Observe),
-              proto,
-              Graybox.Harness.Off,
-              seeded )
+            (name, name, false, unwrapped_expect, proto, Graybox.Harness.Off,
+             seeded)
           in
           if cfg.include_unwrapped then [ wrapped_cell; unwrapped_cell ]
           else [ wrapped_cell ])
       cfg.protocols
   in
   let canary =
+    (* the deterministic §4 deadlock baseline runs on the canonical
+       reference protocol (the first registered Reference) *)
     if not cfg.deadlock_canary then []
     else
-      match resolve "ra" with
+      match Registry.default_reference () with
       | None -> []
-      | Some proto ->
-        [ ( "ra/deadlock-canary",
-            "ra",
+      | Some e ->
+        [ ( Printf.sprintf "%s/deadlock-canary" e.Registry.name,
+            e.Registry.name,
             false,
             Expect_failure,
-            proto,
+            e.Registry.proto,
             Graybox.Harness.Off,
             [ (cfg.base_seed, canary_plan cfg) ] ) ]
   in

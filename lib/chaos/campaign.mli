@@ -20,10 +20,12 @@
     Every gated-or-expected failure is handed to {!Shrink} and reported
     as a minimal, seed-confirmed reproducer. *)
 
-type expectation =
+type expectation = Graybox.Registry.expectation =
   | Expect_recover  (** gate: every run must recover *)
   | Expect_failure  (** gate: at least one run must fail *)
   | Observe  (** informational only *)
+(** Re-export of {!Graybox.Registry.expectation}: which gate a cell is
+    swept under is protocol metadata, owned by the registry. *)
 
 val expectation_label : expectation -> string
 
@@ -52,8 +54,9 @@ type config = {
 }
 
 val default_protocols : string list
-(** [lamport; ra; lamport-unmod] — the acceptance sweep: both wrapped
-    everywhere-implementations plus the negative control. *)
+(** {!Graybox.Registry.default_sweep} — the acceptance sweep: every
+    registry entry with a sweep rank, in rank order (both wrapped
+    everywhere-implementations plus the negative control). *)
 
 val config :
   ?base_seed:int -> ?seeds:int -> ?budget:int -> ?n:int -> ?steps:int ->
@@ -72,16 +75,17 @@ exception Unknown_protocol of string
     {!resolve}; carries the unknown name. *)
 
 val resolve : string -> (module Graybox.Protocol.S) option
-(** {!Tme.Scenarios.find_protocol} extended with [ra-mutant] (the
-    kept-reply safety mutant, otherwise only reachable from the model
-    checker). *)
+(** {!Graybox.Registry.find_protocol}: every registered implementation
+    resolves, including the negative controls. *)
 
 val known_protocols : unit -> string list
-(** Every name {!resolve} accepts — the registry plus [ra-mutant]; for
-    error messages. *)
+(** {!Graybox.Registry.names} — every name {!resolve} accepts, for
+    error messages; by construction it cannot drift from the
+    resolver. *)
 
 val negative_controls : string list
-(** Protocol names whose cells expect failure rather than recovery. *)
+(** Protocol names whose cells expect failure rather than recovery —
+    the registry entries whose expectation is [Expect_failure]. *)
 
 type row = {
   row_seed : int;

@@ -1,0 +1,85 @@
+type role = Reference | Negative_control | Ablation
+
+type expectation = Expect_recover | Expect_failure | Observe
+
+type entry = {
+  name : string;
+  proto : (module Protocol.S);
+  role : role;
+  expectation : expectation;
+  default_delta : int;
+  everywhere_checkable : bool;
+  lspec_monitorable : bool;
+  sweep_rank : int option;
+  doc : string;
+}
+
+let entry ?(role = Reference) ?expectation ?(delta = 8)
+    ?(everywhere_checkable = true) ?(lspec_monitorable = true) ?sweep_rank
+    ~doc (module P : Protocol.S) =
+  let expectation =
+    match expectation with
+    | Some e -> e
+    | None -> (match role with Reference -> Expect_recover | _ -> Expect_failure)
+  in
+  { name = P.name;
+    proto = (module P);
+    role;
+    expectation;
+    default_delta = delta;
+    everywhere_checkable;
+    lspec_monitorable;
+    sweep_rank;
+    doc }
+
+(* Registration order is meaningful (listings, the default reference),
+   so the table is an append-only list, not a hashtable — it holds
+   O(10) entries and is scanned only at dispatch boundaries. *)
+let table : entry list ref = ref []
+
+let register e =
+  if e.name = "" then invalid_arg "Registry.register: empty protocol name";
+  if List.exists (fun e' -> e'.name = e.name) !table then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate protocol %S" e.name);
+  table := !table @ [ e ]
+
+let all ?role () =
+  match role with
+  | None -> !table
+  | Some r -> List.filter (fun e -> e.role = r) !table
+
+let names ?role () = List.map (fun e -> e.name) (all ?role ())
+
+let find name = List.find_opt (fun e -> e.name = name) !table
+
+let mem name = find name <> None
+
+let find_protocol name = Option.map (fun e -> e.proto) (find name)
+
+let default_sweep () =
+  !table
+  |> List.filter_map (fun e -> Option.map (fun r -> (r, e.name)) e.sweep_rank)
+  |> List.sort compare
+  |> List.map snd
+
+let default_reference () =
+  List.find_opt (fun e -> e.role = Reference) !table
+
+let everywhere_checkable_names () =
+  List.filter_map
+    (fun e -> if e.everywhere_checkable then Some e.name else None)
+    !table
+
+let role_label = function
+  | Reference -> "reference"
+  | Negative_control -> "negative-control"
+  | Ablation -> "ablation"
+
+let expectation_label = function
+  | Expect_recover -> "recover"
+  | Expect_failure -> "fail"
+  | Observe -> "observe"
+
+let unknown_protocol_message name =
+  Printf.sprintf "unknown protocol %S (known: %s)" name
+    (String.concat ", " (names ()))

@@ -1,0 +1,115 @@
+(** The protocol registry: one metadata-driven dispatch layer.
+
+    The paper's point is that a single graybox wrapper is {e reused}
+    across many implementations — RA, the modified Lamport program,
+    deliberately broken controls.  This module is the repository's
+    rendering of that reuse as data: every implementation is one
+    {!entry} carrying its module, its experimental {!role}, the chaos
+    {!expectation} it should be swept under, a default wrapper delta,
+    and its capabilities.  Scenarios, the chaos campaign, the model
+    checker's CLI, and the bench harness all dispatch through the
+    table, so adding protocol #9 (or a synthesized one) is a one-line
+    registration, not a five-file hunt.
+
+    The registry itself is name-agnostic: an entry's [name] is read
+    off the protocol module ({!Protocol.S.name}), so each name literal
+    exists exactly once in the tree — at the module that defines it.
+    Registration happens at module-initialization time of the
+    registration site ({!Tme.Scenarios}); every executable that talks
+    about protocols links it, so the table is full before any [main]
+    runs. *)
+
+type role =
+  | Reference
+      (** an everywhere-implementation of Lspec: the wrapper is
+          expected to rescue it from any transient fault *)
+  | Negative_control
+      (** deliberately not everywhere-correct (e.g. Lamport's
+          unmodified program, the kept-reply RA mutant): wrapped runs
+          must still fail, or the harness has lost its teeth *)
+  | Ablation
+      (** a partially-modified variant for the modification-ablation
+          experiment: runs correctly from Init but is not gated on
+          recovery *)
+
+type expectation =
+  | Expect_recover  (** chaos gate: every wrapped run must recover *)
+  | Expect_failure  (** chaos gate: at least one run must fail *)
+  | Observe  (** informational only *)
+
+type entry = {
+  name : string;  (** {!Protocol.S.name} of [proto], the lookup key *)
+  proto : (module Protocol.S);
+  role : role;
+  expectation : expectation;
+      (** how a {e wrapped} chaos cell over this protocol is gated;
+          unwrapped cells demote [Expect_recover] to [Observe] *)
+  default_delta : int;  (** wrapper timeout for default sweeps *)
+  everywhere_checkable : bool;
+      (** [perturb] enumerates a real corruption set, so everywhere-mode
+          model checking ([mcheck --everywhere]) is meaningful *)
+  lspec_monitorable : bool;
+      (** the Lspec / TME_Spec monitors apply to this implementation's
+          views (false for the central-coordinator baseline, whose
+          coordinator is not a specification-level process) *)
+  sweep_rank : int option;
+      (** position in the default chaos sweep ([None] = not swept by
+          default); {!default_sweep} orders by rank *)
+  doc : string;  (** one-line description for listings *)
+}
+
+val entry :
+  ?role:role ->
+  ?expectation:expectation ->
+  ?delta:int ->
+  ?everywhere_checkable:bool ->
+  ?lspec_monitorable:bool ->
+  ?sweep_rank:int ->
+  doc:string ->
+  (module Protocol.S) ->
+  entry
+(** Smart constructor.  [name] is taken from the module.  Defaults:
+    [role = Reference]; [expectation] follows the role ([Reference ->
+    Expect_recover], otherwise [Expect_failure]); [delta = 8];
+    [everywhere_checkable = true]; [lspec_monitorable = true]; no
+    sweep rank. *)
+
+val register : entry -> unit
+(** Append to the table.  Registration order is the listing order of
+    {!all}.
+    @raise Invalid_argument on an empty name or a duplicate. *)
+
+val all : ?role:role -> unit -> entry list
+(** Every entry, in registration order; [?role] filters. *)
+
+val names : ?role:role -> unit -> string list
+(** [List.map (fun e -> e.name) (all ?role ())]. *)
+
+val find : string -> entry option
+val mem : string -> bool
+
+val find_protocol : string -> (module Protocol.S) option
+(** The module alone, for callers that only dispatch. *)
+
+val default_sweep : unit -> string list
+(** Names of the ranked entries, ordered by [sweep_rank] — the default
+    chaos-campaign protocol list. *)
+
+val default_reference : unit -> entry option
+(** The first registered [Reference] — the canonical demo protocol
+    (used for CLI defaults and the campaign's deadlock canary). *)
+
+val everywhere_checkable_names : unit -> string list
+(** Names of the entries whose [perturb] supports everywhere-mode
+    checking; for capability error messages. *)
+
+val role_label : role -> string
+(** ["reference"], ["negative-control"], ["ablation"]. *)
+
+val expectation_label : expectation -> string
+(** ["recover"], ["fail"], ["observe"] — the labels the chaos report
+    (and its JSON) uses. *)
+
+val unknown_protocol_message : string -> string
+(** [unknown_protocol_message name] is the one shared error string for
+    a failed lookup: [unknown protocol "name" (known: ...)]. *)

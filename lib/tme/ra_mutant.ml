@@ -1,7 +1,9 @@
 (** A deliberately faulty Ricart-Agrawala: replies to requests while
     eating (see {!Ra_core}).  It exists so the bounded model checker's
-    ability to find real interleaving bugs is itself tested; it is not
-    registered in {!Scenarios.protocols}. *)
+    ability to find real interleaving bugs is itself tested; it is
+    registered in {!Graybox.Registry} (by {!Scenarios}) as a negative
+    control, so chaos sweeps and the CLI resolve it like any other
+    protocol. *)
 
 include Ra_core.Make (struct
   let name = "ra-mutant"

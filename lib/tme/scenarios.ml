@@ -222,16 +222,49 @@ let lspec_report r = Graybox.Lspec.check_all ~n:r.n r.vtrace
 let tme_report r =
   Graybox.Tme_spec.check_all ~n:r.n ~entries:r.entry_log r.vtrace
 
-let protocols =
-  [ ("ra", (module Ra_me : Graybox.Protocol.S));
-    ("ra-gcl", (module Gcl.Ra_gcl : Graybox.Protocol.S));
-    ("lamport", (module Lamport_me : Graybox.Protocol.S));
-    ("lamport-unmod", (module Lamport_unmodified : Graybox.Protocol.S));
-    ("lamport-m1", (module Lamport_ablation.M1 : Graybox.Protocol.S));
-    ("lamport-m12", (module Lamport_ablation.M12 : Graybox.Protocol.S));
-    ("central", (module Central_me : Graybox.Protocol.S)) ]
+(* The registration site: the one place that knows which
+   implementations exist.  Names are read off the modules themselves
+   (each name literal lives only where the protocol is defined), and
+   everything downstream — campaign sweeps, the CLI resolver, the
+   bench harness — dispatches through {!Graybox.Registry} queries.
+   Registration order is the listing order; the first [Reference] is
+   the canonical demo protocol. *)
+let () =
+  let open Graybox.Registry in
+  List.iter register
+    [ entry
+        (module Ra_me : Graybox.Protocol.S)
+        ~sweep_rank:1
+        ~doc:"Ricart-Agrawala, deferred replies: the running everywhere-implementation";
+      entry
+        (module Gcl.Ra_gcl : Graybox.Protocol.S)
+        ~doc:"RA transliterated onto the guarded-command store";
+      entry
+        (module Lamport_me : Graybox.Protocol.S)
+        ~sweep_rank:0
+        ~doc:"Lamport's queue algorithm with the paper's three modifications";
+      entry
+        (module Lamport_unmodified : Graybox.Protocol.S)
+        ~role:Negative_control ~sweep_rank:2
+        ~doc:"Lamport's original program: implements Lspec from Init only";
+      entry
+        (module Lamport_ablation.M1 : Graybox.Protocol.S)
+        ~role:Ablation
+        ~doc:"Lamport + modification 1 only (dedup queue insert)";
+      entry
+        (module Lamport_ablation.M12 : Graybox.Protocol.S)
+        ~role:Ablation
+        ~doc:"Lamport + modifications 1+2 (entry on own request <= head)";
+      entry
+        (module Central_me : Graybox.Protocol.S)
+        ~lspec_monitorable:false
+        ~doc:"central-coordinator baseline (coordinator is outside Lspec)";
+      entry
+        (module Ra_mutant : Graybox.Protocol.S)
+        ~role:Negative_control
+        ~doc:"RA replying while eating: the checker-validation safety mutant" ]
 
-let find_protocol name = List.assoc_opt name protocols
+let find_protocol = Graybox.Registry.find_protocol
 
 let wrapped ?(variant = Graybox.Wrapper.Refined) ~delta () =
   H.On { variant; delta }

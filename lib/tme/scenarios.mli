@@ -99,12 +99,16 @@ val lspec_report : result -> Unityspec.Report.t
 val tme_report : result -> Unityspec.Report.t
 (** ME1/ME2/ME3 verdicts over the recorded trace. *)
 
-val protocols : (string * (module Graybox.Protocol.S)) list
-(** The registry: [ra], [ra-gcl] (the guarded-command-store
-    transliteration), [lamport], [lamport-unmod], [lamport-m1],
-    [lamport-m12] (the modification-ablation variants), [central]. *)
-
 val find_protocol : string -> (module Graybox.Protocol.S) option
+(** Alias for {!Graybox.Registry.find_protocol}.  This module is the
+    {e registration site}: loading it fills {!Graybox.Registry} with
+    every implementation — the references ([ra], [ra-gcl], [lamport],
+    [central]), the modification ablations ([lamport-m1],
+    [lamport-m12]), and the negative controls ([lamport-unmod] and the
+    kept-reply RA safety mutant) — together with their roles, chaos
+    expectations, and capabilities.  Enumerate and dispatch through
+    {!Graybox.Registry.all}; there is no separate protocol list here
+    to drift from it. *)
 
 val wrapped : ?variant:Graybox.Wrapper.variant -> delta:int -> unit ->
   Graybox.Harness.wrapper_mode

@@ -100,8 +100,12 @@ let test_observe_thunk () =
 (* ------------------------------------------------------------------ *)
 (* Online analysis == offline analysis                                 *)
 
+(* every registered protocol, the safety mutant included *)
 let protocols_under_test =
-  S.protocols @ [ ("ra-mutant", (module Tme.Ra_mutant : Graybox.Protocol.S)) ]
+  List.map
+    (fun (e : Graybox.Registry.entry) ->
+      (e.Graybox.Registry.name, e.Graybox.Registry.proto))
+    (Graybox.Registry.all ())
 
 let wrappers = [ ("off", H.Off); ("W'(8)", S.wrapped ~delta:8 ()) ]
 
@@ -185,15 +189,15 @@ let test_streaming_run_equals_recorded () =
                 (str.S.vtrace = []))
             [ 1; 2; 3 ])
         wrappers)
-    [ ("ra", List.assoc "ra" S.protocols);
-      ("lamport", List.assoc "lamport" S.protocols);
-      ("lamport-unmod", List.assoc "lamport-unmod" S.protocols);
-      ("central", List.assoc "central" S.protocols) ]
+    (List.filter
+       (fun (name, _) ->
+         List.mem name [ "ra"; "lamport"; "lamport-unmod"; "central" ])
+       protocols_under_test)
 
 let test_streaming_deadlock_early_exit () =
   (* the §4 deadlock: streaming stops once permanently quiescent, yet
      reports the same analysis as the full recorded horizon *)
-  let proto = List.assoc "ra" S.protocols in
+  let proto = List.assoc "ra" protocols_under_test in
   let faults = [ S.Drop_requests_window { from_t = 150; until_t = 210 } ] in
   let go streaming = S.run proto ~faults ~streaming ~n ~seed:1 ~steps:horizon in
   let rec_ = go false and str = go true in
@@ -225,8 +229,9 @@ let test_live_monitors_equal_offline_report () =
               (Unityspec.Report.to_string (S.tme_report rec_))
               (Unityspec.Report.to_string live))
         [ 1; 2; 3 ])
-    [ ("ra", List.assoc "ra" S.protocols);
-      ("lamport", List.assoc "lamport" S.protocols) ]
+    (List.filter
+       (fun (name, _) -> List.mem name [ "ra"; "lamport" ])
+       protocols_under_test)
 
 let test_stateful_monitor_latches () =
   let open Unityspec in

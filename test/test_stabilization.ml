@@ -15,10 +15,10 @@
 open Tme
 module T = Unityspec.Temporal
 
-let ra = List.assoc "ra" Scenarios.protocols
-let lamport = List.assoc "lamport" Scenarios.protocols
-let unmod = List.assoc "lamport-unmod" Scenarios.protocols
-let central = List.assoc "central" Scenarios.protocols
+let ra = Option.get (Graybox.Registry.find_protocol "ra")
+let lamport = Option.get (Graybox.Registry.find_protocol "lamport")
+let unmod = Option.get (Graybox.Registry.find_protocol "lamport-unmod")
+let central = Option.get (Graybox.Registry.find_protocol "central")
 
 let liveness_ok (r : Scenarios.result) v =
   T.ok_with_tail ~trace_len:(List.length r.vtrace) ~margin:120 v
