@@ -1082,11 +1082,124 @@ let observe_bench () =
   print_endline "wrote BENCH_observe.json"
 
 (* ------------------------------------------------------------------ *)
+(* partition: heal-recovery latency (BENCH_partition.json)             *)
+
+let partition_bench () =
+  (* Recovery latency measured FROM THE HEAL (the Split lowering plants
+     a Heal marker at until_t), swept over partition width (size of the
+     split-off group), heal mode, and the registry's default sweep —
+     wrapped with each entry's default delta.  The buffered mode is the
+     stress case: everything queued during the window floods in at the
+     heal, and the wrapper must drain the stale traffic on top of
+     re-establishing service.  The lossy mode is the discriminating
+     case: protocols that are not everywhere-implementations stay stuck
+     (lost releases leave phantom queue entries no wrapper retracts). *)
+  (* the long horizon and wide tail margin keep truncation out of the
+     verdicts: a slow-but-served hungry interval still open at the
+     trace end would otherwise read as starvation.  True deadlock is
+     unaffected — a lossy-split victim stays hungry for the entire
+     remaining horizon, far beyond any margin. *)
+  let n = 6 and from_t = 800 and until_t = 1200 and steps = 20000 in
+  let tail_margin = 2000 in
+  let widths = [ 1; 2; 3 ] in
+  let modes = [ Sim.Faults.Lossy; Sim.Faults.Buffered ] in
+  let sweep = List.map entry_of (Registry.default_sweep ()) in
+  let grid =
+    List.concat_map
+      (fun (e : Registry.entry) ->
+        List.concat_map
+          (fun width -> List.map (fun mode -> (e, width, mode)) modes)
+          widths)
+      sweep
+  in
+  let measure ((e : Registry.entry), width, mode) =
+    let faults =
+      [ Tme.Scenarios.Split
+          { groups = [ List.init width Fun.id ]; from_t; until_t; mode } ]
+    in
+    let runs =
+      List.map
+        (fun seed ->
+          Tme.Scenarios.run e.Registry.proto ~n ~seed ~steps ~streaming:true
+            ~tail_margin
+            ~wrapper:(Tme.Scenarios.wrapped ~delta:e.Registry.default_delta ())
+            ~faults)
+        seeds
+    in
+    let recovered =
+      List.for_all (fun r -> r.Tme.Scenarios.analysis.recovered) runs
+    in
+    let latency =
+      mean_opt (List.map (fun r -> r.Tme.Scenarios.recovery_latency) runs)
+    in
+    (e, width, mode, recovered, latency)
+  in
+  let rows = Pool.map ~jobs:!jobs measure grid in
+  let mode_label = function
+    | Sim.Faults.Lossy -> "lossy"
+    | Sim.Faults.Buffered -> "buffered"
+  in
+  let table =
+    Tabular.create
+      [ "protocol+W'(delta)"; "width"; "heal mode"; "recovered";
+        "latency after heal" ]
+  in
+  List.iter
+    (fun ((e : Registry.entry), width, mode, recovered, latency) ->
+      Tabular.add_row table
+        [ Printf.sprintf "%s+W'(%d)" e.Registry.name e.Registry.default_delta;
+          Printf.sprintf "%d|%d" width (n - width);
+          mode_label mode;
+          Tabular.cell_bool recovered;
+          cell_opt_float latency ])
+    rows;
+  Tabular.print
+    ~title:
+      (Printf.sprintf
+         "PARTITION: recovery latency after heal vs partition width and heal \
+          mode (n=%d, window %d-%d, 3 seeds)"
+         n from_t until_t)
+    table;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-partition/1");
+          ("n", Int n);
+          ("from_t", Int from_t);
+          ("until_t", Int until_t);
+          ("steps", Int steps);
+          ("rows",
+           List
+             (List.map
+                (fun ((e : Registry.entry), width, mode, recovered, latency) ->
+                  Obj
+                    [ ("protocol", String e.Registry.name);
+                      ("delta", Int e.Registry.default_delta);
+                      ("partition_expect",
+                       String
+                         (Registry.partition_expectation_label
+                            e.Registry.partition_expectation));
+                      ("width", Int width);
+                      ("mode", String (mode_label mode));
+                      ("recovered", Bool recovered);
+                      ("latency_after_heal",
+                       match latency with
+                       | None -> Null
+                       | Some l -> Float l) ])
+                rows)) ])
+  in
+  Out_channel.with_open_text "BENCH_partition.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_partition.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
-    ("perf", perf); ("mcheck", mcheck_bench); ("observe", observe_bench) ]
+    ("perf", perf); ("mcheck", mcheck_bench); ("observe", observe_bench);
+    ("partition", partition_bench) ]
 
 let () =
   let usage () =

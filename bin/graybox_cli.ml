@@ -469,6 +469,9 @@ let protocols_cmd =
           [ ("name", Chaos.Jsonx.String e.name);
             ("role", Chaos.Jsonx.String (role_label e.role));
             ("expect", Chaos.Jsonx.String (expectation_label e.expectation));
+            ( "partition_expect",
+              Chaos.Jsonx.String
+                (partition_expectation_label e.partition_expectation) );
             ("default_delta", Chaos.Jsonx.Int e.default_delta);
             ("everywhere_checkable", Chaos.Jsonx.Bool e.everywhere_checkable);
             ("lspec_monitorable", Chaos.Jsonx.Bool e.lspec_monitorable);
@@ -485,8 +488,8 @@ let protocols_cmd =
     else begin
       let t =
         Stdext.Tabular.create
-          [ "name"; "role"; "expect"; "delta"; "everywhere"; "lspec";
-            "sweep"; "description" ]
+          [ "name"; "role"; "expect"; "partition"; "delta"; "everywhere";
+            "lspec"; "sweep"; "description" ]
       in
       List.iter
         (fun e ->
@@ -494,6 +497,7 @@ let protocols_cmd =
             [ e.name;
               role_label e.role;
               expectation_label e.expectation;
+              partition_expectation_label e.partition_expectation;
               Stdext.Tabular.cell_int e.default_delta;
               Stdext.Tabular.cell_bool e.everywhere_checkable;
               Stdext.Tabular.cell_bool e.lspec_monitorable;
@@ -504,8 +508,8 @@ let protocols_cmd =
         entries;
       Stdext.Tabular.print
         ~title:
-          "protocol registry (expect gates wrapped chaos cells; sweep = \
-           default campaign order)"
+          "protocol registry (expect gates wrapped chaos cells; partition \
+           gates the --partitions cells; sweep = default campaign order)"
         t
     end;
     `Ok 0
@@ -585,8 +589,18 @@ let chaos_cmd =
              The report is identical for every value; $(docv) = 1 runs \
              serially.")
   in
+  let partitions_arg =
+    Arg.(
+      value & flag
+      & info [ "partitions" ]
+          ~doc:
+            "Sweep the partition fault family too: plans may contain \
+             healing group partitions and link delays, and every protocol \
+             gains split-lossy / split-buf cells gated by its registry \
+             partition expectation.")
+  in
   let action seed seeds budget n steps delta protocols json no_unwrapped
-      no_canary no_shrink jobs streaming =
+      no_canary no_shrink jobs streaming partitions =
     let jobs = Option.value jobs ~default:(Stdext.Pool.default_jobs ()) in
     if jobs < 1 then
       `Error (false, Printf.sprintf "--jobs: need at least 1 worker, got %d" jobs)
@@ -595,7 +609,7 @@ let chaos_cmd =
         Chaos.Campaign.config ~base_seed:seed ~seeds ~budget ~n ~steps ~delta
           ~protocols ~include_unwrapped:(not no_unwrapped)
           ~deadlock_canary:(not no_canary) ~shrink:(not no_shrink) ~jobs
-          ~streaming ()
+          ~streaming ~partitions ()
       in
       let report = Chaos.Campaign.run cfg in
       Stdext.Tabular.print
@@ -633,7 +647,7 @@ let chaos_cmd =
         (const action $ seed_arg $ seeds_arg $ budget_arg $ n_arg
        $ chaos_steps_arg $ delta_arg $ protocols_arg $ json_arg
        $ no_unwrapped_arg $ no_canary_arg $ no_shrink_arg $ jobs_arg
-       $ streaming_arg))
+       $ streaming_arg $ partitions_arg))
   in
   Cmd.v
     (Cmd.info "chaos"

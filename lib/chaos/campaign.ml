@@ -27,6 +27,7 @@ type config = {
   max_counterexamples : int;
   jobs : int;
   streaming : bool;
+  partitions : bool;
 }
 
 (* The acceptance sweep, in declared order: every protocol with a
@@ -37,14 +38,15 @@ let default_protocols = Registry.default_sweep ()
 let config ?(base_seed = 1) ?(seeds = 50) ?(budget = 6) ?(n = 4) ?(steps = 4000)
     ?(delta = 8) ?(protocols = default_protocols) ?(include_unwrapped = true)
     ?(deadlock_canary = true) ?(shrink = true) ?(shrink_max_runs = 300)
-    ?(max_counterexamples = 3) ?(jobs = 1) ?(streaming = true) () =
+    ?(max_counterexamples = 3) ?(jobs = 1) ?(streaming = true)
+    ?(partitions = false) () =
   if seeds <= 0 then invalid_arg "Campaign.config: need seeds > 0";
   if steps < 100 then invalid_arg "Campaign.config: need steps >= 100";
   if protocols = [] then invalid_arg "Campaign.config: need a protocol";
   if jobs < 1 then invalid_arg "Campaign.config: need jobs >= 1";
   { base_seed; seeds; budget; n; steps; delta; protocols; include_unwrapped;
     deadlock_canary; shrink; shrink_max_runs; max_counterexamples; jobs;
-    streaming }
+    streaming; partitions }
 
 (* Protocols that are not everywhere-implementations of Lspec: the
    wrapper is not expected to rescue them (the paper's negative
@@ -113,10 +115,26 @@ let plan_seed run_seed = (run_seed * 1_000_003) + 7919
 let run_seed cfg i = cfg.base_seed + i
 
 let plans cfg =
-  let gen_cfg = Plan_gen.config ~n:cfg.n ~horizon:cfg.steps ~budget:cfg.budget in
+  let gen_cfg =
+    Plan_gen.config ~partitions:cfg.partitions ~n:cfg.n ~horizon:cfg.steps
+      ~budget:cfg.budget ()
+  in
   List.init cfg.seeds (fun i ->
       let seed = run_seed cfg i in
       (seed, Plan_gen.generate (Rng.create (plan_seed seed)) gen_cfg))
+
+(* Partition-gate cells hold exactly one Split each (mode fixed per
+   cell, random group structure and window per seed) so the gate tests
+   heal recovery and nothing else.  The two modes share the plan-seed
+   stream, so a lossy cell and its buffered sibling see the same
+   partitions — only the fate of cross-partition traffic differs. *)
+let split_plans cfg ~mode =
+  let gen_cfg =
+    Plan_gen.config ~n:cfg.n ~horizon:cfg.steps ~budget:1 ()
+  in
+  List.init cfg.seeds (fun i ->
+      let seed = run_seed cfg i in
+      (seed, Plan_gen.split_plan (Rng.create (plan_seed seed)) gen_cfg ~mode))
 
 let run_row ~cfg ~proto ~wrapper (seed, plan) =
   let r =
@@ -212,6 +230,34 @@ let cells_of_config cfg =
           else [ wrapped_cell ])
       cfg.protocols
   in
+  let partition_cells =
+    if not cfg.partitions then []
+    else begin
+      let lossy = split_plans cfg ~mode:Sim.Faults.Lossy in
+      let buffered = split_plans cfg ~mode:Sim.Faults.Buffered in
+      List.concat_map
+        (fun name ->
+          match Registry.find name with
+          | None -> raise (Unknown_protocol name)
+          | Some e ->
+            let pe = e.Registry.partition_expectation in
+            let lossy_expect = Registry.expectation_of_partition pe in
+            (* a buffered heal loses nothing, so a Deadlocks entry may
+               legitimately crawl back once the flood drains: only the
+               lossy cell carries the failure gate *)
+            let buffered_expect =
+              match lossy_expect with
+              | Expect_failure -> Observe
+              | (Expect_recover | Observe) as x -> x
+            in
+            [ ( Printf.sprintf "%s+W'(%d)/split-lossy" name cfg.delta,
+                name, true, lossy_expect, e.Registry.proto, wrapped, lossy );
+              ( Printf.sprintf "%s+W'(%d)/split-buf" name cfg.delta,
+                name, true, buffered_expect, e.Registry.proto, wrapped,
+                buffered ) ])
+        cfg.protocols
+    end
+  in
   let canary =
     (* the deterministic §4 deadlock baseline runs on the canonical
        reference protocol (the first registered Reference) *)
@@ -228,7 +274,7 @@ let cells_of_config cfg =
             Graybox.Harness.Off,
             [ (cfg.base_seed, canary_plan cfg) ] ) ]
   in
-  proto_cells @ canary
+  proto_cells @ partition_cells @ canary
 
 (* Shrink the first failing row of each cell, unexpected failures
    first, within the global counterexample cap. *)

@@ -51,6 +51,17 @@ type config = {
           recording traces (default); the report is byte-identical
           either way — streaming only drops the per-run trace
           allocation and exits deadlocked runs early *)
+  partitions : bool;
+      (** add the partition fault family to the sweep: generated plans
+          may contain group partitions and link delays
+          ({!Plan_gen.config}[ ~partitions:true]), and each protocol
+          gains two extra wrapped cells — [/split-lossy] and
+          [/split-buf] — holding exactly one group partition per run,
+          gated by the registry's
+          {!Graybox.Registry.entry.partition_expectation} (the
+          buffered cell demotes a deadlock expectation to [Observe]:
+          nothing is lost under a buffered heal, so recovery is
+          legitimate there) *)
 }
 
 val default_protocols : string list
@@ -62,11 +73,12 @@ val config :
   ?base_seed:int -> ?seeds:int -> ?budget:int -> ?n:int -> ?steps:int ->
   ?delta:int -> ?protocols:string list -> ?include_unwrapped:bool ->
   ?deadlock_canary:bool -> ?shrink:bool -> ?shrink_max_runs:int ->
-  ?max_counterexamples:int -> ?jobs:int -> ?streaming:bool -> unit -> config
+  ?max_counterexamples:int -> ?jobs:int -> ?streaming:bool ->
+  ?partitions:bool -> unit -> config
 (** Defaults: seed 1, 50 seeds, budget 6, n = 4, 4000 steps, δ = 8,
     protocols [lamport; ra; lamport-unmod], unwrapped cells and the
     deadlock canary included, shrinking on (300 runs, 3 counterexamples),
-    [jobs = 1] (serial), streaming analysis on.
+    [jobs = 1] (serial), streaming analysis on, partitions off.
     @raise Invalid_argument on an empty protocol list, [seeds <= 0],
     [steps < 100], or [jobs < 1]. *)
 

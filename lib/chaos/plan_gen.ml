@@ -1,13 +1,13 @@
 open Stdext
 module S = Tme.Scenarios
 
-type config = { n : int; horizon : int; budget : int }
+type config = { n : int; horizon : int; budget : int; partitions : bool }
 
-let config ~n ~horizon ~budget =
+let config ?(partitions = false) ~n ~horizon ~budget () =
   if n < 2 then invalid_arg "Plan_gen.config: need n >= 2";
   if horizon < 10 then invalid_arg "Plan_gen.config: need horizon >= 10";
   if budget < 0 then invalid_arg "Plan_gen.config: need budget >= 0";
-  { n; horizon; budget }
+  { n; horizon; budget; partitions }
 
 (* Faults land in the first ~60% of the horizon so the tail is long
    enough for convergence analysis to have a suffix to judge. *)
@@ -24,16 +24,46 @@ let spec_time = function
   | S.Reset_state { at; _ } -> at
   | S.Drop_requests_window { from_t; _ }
   | S.Partition { from_t; _ }
-  | S.Crash { from_t; _ } -> from_t
+  | S.Crash { from_t; _ }
+  | S.Split { from_t; _ } -> from_t
+  | S.Delay { at; _ } -> at
 
 let gen_procs rng n =
   if Rng.chance rng 0.3 then Sim.Faults.Any_proc
   else Sim.Faults.Proc (Rng.int rng n)
 
+(* A random two-sided partition: [k] shuffled pids on one side, the
+   implicit remainder on the other — stored explicitly so labels and
+   shrinking see the whole group structure. *)
+let gen_split rng cfg ~at ~mode =
+  let pids = Rng.shuffle_list rng (Sim.Pid.range cfg.n) in
+  let k = Rng.int_in rng 1 (cfg.n - 1) in
+  let groups = Sim.Faults.split_groups ~n:cfg.n [ List.filteri (fun i _ -> i < k) pids ] in
+  S.Split { groups; from_t = at; until_t = at + Rng.int_in rng 20 80; mode }
+
+let gen_chan rng n =
+  match Rng.int rng 4 with
+  | 0 -> Sim.Faults.Any_chan
+  | 1 ->
+    let src = Rng.int rng n in
+    let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+    Sim.Faults.Chan (src, dst)
+  | 2 -> Sim.Faults.From (Rng.int rng n)
+  | _ -> Sim.Faults.Into (Rng.int rng n)
+
+let gen_dist rng =
+  match Rng.int rng 3 with
+  | 0 -> Sim.Faults.Fixed (Rng.int_in rng 1 6)
+  | 1 -> Sim.Faults.Uniform (0, Rng.int_in rng 4 20)
+  | _ -> Sim.Faults.Heavy_tail { mean = Rng.int_in rng 5 30; cap = 120 }
+
 let gen_spec rng cfg =
   let at = Rng.int_in rng 1 (latest_fault cfg) in
   let per_chan = Rng.int_in rng 1 3 in
-  match Rng.int rng 11 with
+  (* the partition family joins the draw pool only when enabled, so
+     default plan streams (and the golden campaign report) are
+     unchanged kind for kind, draw for draw *)
+  match Rng.int rng (if cfg.partitions then 13 else 11) with
   | 0 -> S.Drop_requests { at; per_chan }
   | 1 ->
     S.Drop_requests_window { from_t = at; until_t = at + Rng.int_in rng 1 40 }
@@ -47,16 +77,23 @@ let gen_spec rng cfg =
       { pid = Rng.int rng cfg.n; from_t = at; until_t = at + Rng.int_in rng 1 40 }
   | 8 -> S.Corrupt_state { at; procs = gen_procs rng cfg.n }
   | 9 -> S.Reset_state { at; procs = gen_procs rng cfg.n }
-  | _ ->
+  | 10 ->
     S.Crash
       { procs = gen_procs rng cfg.n;
         from_t = at;
         until_t = at + Rng.int_in rng 1 60;
         lose = Rng.bool rng }
+  | 11 ->
+    gen_split rng cfg ~at
+      ~mode:(if Rng.bool rng then Sim.Faults.Buffered else Sim.Faults.Lossy)
+  | _ -> S.Delay { at; chan = gen_chan rng cfg.n; dist = gen_dist rng }
 
 let generate rng cfg =
   List.init cfg.budget (fun _ -> gen_spec rng cfg)
   |> List.stable_sort (fun a b -> compare (spec_time a) (spec_time b))
+
+let split_plan rng cfg ~mode =
+  [ gen_split rng cfg ~at:(Rng.int_in rng 1 (latest_fault cfg)) ~mode ]
 
 (* ------------------------------------------------------------------ *)
 (* Printing: compact labels for tables, and ready-to-paste OCaml for
@@ -65,6 +102,26 @@ let generate rng cfg =
 let procs_label = function
   | Sim.Faults.Any_proc -> "any"
   | Sim.Faults.Proc p -> "p" ^ string_of_int p
+
+let chan_label = function
+  | Sim.Faults.Any_chan -> "*"
+  | Sim.Faults.Chan (src, dst) -> Printf.sprintf "p%d->p%d" src dst
+  | Sim.Faults.From src -> Printf.sprintf "p%d->*" src
+  | Sim.Faults.Into dst -> Printf.sprintf "*->p%d" dst
+
+let groups_label groups =
+  String.concat "|"
+    (List.map
+       (fun g ->
+         "{" ^ String.concat "," (List.map string_of_int g) ^ "}")
+       groups)
+
+let mode_label = function Sim.Faults.Lossy -> "lossy" | Sim.Faults.Buffered -> "buf"
+
+let dist_label = function
+  | Sim.Faults.Fixed d -> Printf.sprintf "=%d" d
+  | Sim.Faults.Uniform (lo, hi) -> Printf.sprintf "~u%d-%d" lo hi
+  | Sim.Faults.Heavy_tail { mean; _ } -> Printf.sprintf "~exp%d" mean
 
 let spec_label = function
   | S.Drop_requests { at; per_chan } ->
@@ -86,6 +143,11 @@ let spec_label = function
   | S.Crash { procs; from_t; until_t; lose } ->
     Printf.sprintf "crash@%d-%d(%s%s)" from_t until_t (procs_label procs)
       (if lose then ",lose" else "")
+  | S.Split { groups; from_t; until_t; mode } ->
+    Printf.sprintf "split@%d-%d(%s,%s)" from_t until_t (groups_label groups)
+      (mode_label mode)
+  | S.Delay { at; chan; dist } ->
+    Printf.sprintf "delay@%d(%s,%s)" at (chan_label chan) (dist_label dist)
 
 let plan_label plan = String.concat " " (List.map spec_label plan)
 
@@ -130,6 +192,34 @@ let pp_spec ppf spec =
       "Tme.Scenarios.Crash { procs = %a; from_t = %d; until_t = %d; lose = %b \
        }"
       pp_procs procs from_t until_t lose
+  | S.Split { groups; from_t; until_t; mode } ->
+    Format.fprintf ppf
+      "Tme.Scenarios.Split { groups = [ %s ]; from_t = %d; until_t = %d; mode \
+       = Sim.Faults.%s }"
+      (String.concat "; "
+         (List.map
+            (fun g ->
+              "[ " ^ String.concat "; " (List.map string_of_int g) ^ " ]")
+            groups))
+      from_t until_t
+      (match mode with Sim.Faults.Lossy -> "Lossy" | Sim.Faults.Buffered -> "Buffered")
+  | S.Delay { at; chan; dist } ->
+    let pp_chan ppf = function
+      | Sim.Faults.Any_chan -> Format.pp_print_string ppf "Sim.Faults.Any_chan"
+      | Sim.Faults.Chan (s, d) -> Format.fprintf ppf "Sim.Faults.Chan (%d, %d)" s d
+      | Sim.Faults.From p -> Format.fprintf ppf "Sim.Faults.From %d" p
+      | Sim.Faults.Into p -> Format.fprintf ppf "Sim.Faults.Into %d" p
+    in
+    let pp_dist ppf = function
+      | Sim.Faults.Fixed d -> Format.fprintf ppf "Sim.Faults.Fixed %d" d
+      | Sim.Faults.Uniform (lo, hi) ->
+        Format.fprintf ppf "Sim.Faults.Uniform (%d, %d)" lo hi
+      | Sim.Faults.Heavy_tail { mean; cap } ->
+        Format.fprintf ppf "Sim.Faults.Heavy_tail { mean = %d; cap = %d }" mean
+          cap
+    in
+    Format.fprintf ppf "Tme.Scenarios.Delay { at = %d; chan = %a; dist = %a }"
+      at pp_chan chan pp_dist dist
 
 let pp_plan ppf = function
   | [] -> Format.pp_print_string ppf "[]"

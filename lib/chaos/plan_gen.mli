@@ -4,17 +4,27 @@
     A plan is a finite batch of transient faults — exactly the paper's
     §3.1 fault model ("any finite number of these faults") — sampled
     from a seeded {!Stdext.Rng} stream, so a campaign seed fully
-    determines every plan it tries.  All eleven spec kinds are drawn,
-    including the crash/recover process fault, windowed request loss
-    (the §4 deadlock injection), and process partitions. *)
+    determines every plan it tries.  Every {!Tme.Scenarios.fault_spec}
+    kind is in the draw pool (the test suite asserts that {!generate}
+    eventually samples each constructor, so a new kind cannot be
+    silently unsampled): message loss, duplication, corruption and
+    reordering, channel flushes, windowed request loss (the §4
+    deadlock injection), state corruption and improper
+    reinitialization, crash/recover, process isolation — and, with
+    [~partitions:true], healing group partitions and link delays.
+    The partition family is opt-in so that default plan streams (and
+    golden chaos reports) are unchanged draw for draw. *)
 
-type config = { n : int; horizon : int; budget : int }
+type config = { n : int; horizon : int; budget : int; partitions : bool }
 
-val config : n:int -> horizon:int -> budget:int -> config
-(** [config ~n ~horizon ~budget]: plans of [budget] fault events for an
-    [n]-process run of [horizon] scheduler steps.  Fault times are kept
-    inside the first ~60% of the horizon so every plan leaves a
-    convergence tail.
+val config :
+  ?partitions:bool -> n:int -> horizon:int -> budget:int -> unit -> config
+(** [config ~n ~horizon ~budget ()]: plans of [budget] fault events
+    for an [n]-process run of [horizon] scheduler steps.  Fault times
+    are kept inside the first ~60% of the horizon so every plan leaves
+    a convergence tail.  [~partitions] (default [false]) adds
+    {!Tme.Scenarios.Split} and {!Tme.Scenarios.Delay} to the draw
+    pool.
     @raise Invalid_argument on [n < 2], [horizon < 10] or negative
     [budget]. *)
 
@@ -22,6 +32,15 @@ val generate : Stdext.Rng.t -> config -> Tme.Scenarios.fault_spec list
 (** [generate rng cfg] samples one plan, sorted by injection time
     (stable, so same-time events keep their draw order).  Consumes a
     deterministic amount of [rng] per event. *)
+
+val split_plan :
+  Stdext.Rng.t -> config -> mode:Sim.Faults.heal_mode ->
+  Tme.Scenarios.fault_spec list
+(** [split_plan rng cfg ~mode] samples a plan holding exactly one
+    group partition in the given heal mode (random two-sided group
+    structure and window) — the campaign's partition-cell generator,
+    where the cell must contain {e only} the partition so the gate
+    genuinely tests heal recovery. *)
 
 val spec_time : Tme.Scenarios.fault_spec -> int
 (** Injection time of a spec (the window start for windowed kinds). *)

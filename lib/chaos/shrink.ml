@@ -80,6 +80,46 @@ let simpler ~n spec =
     @ proc_cands
         (fun procs -> S.Crash { procs; from_t; until_t; lose })
         procs
+  | S.Split { groups; from_t; until_t; mode } ->
+    (* a buffered heal is the harsher case (the flood); losing is the
+       classic one — try it first, then the window, then a coarser
+       group structure (merging the last two groups removes their
+       mutual cut; a two-group split merges to nothing, which is what
+       deleting the event does, so that case yields no candidate) *)
+    (match mode with
+     | Sim.Faults.Buffered ->
+       [ S.Split { groups; from_t; until_t; mode = Sim.Faults.Lossy } ]
+     | Sim.Faults.Lossy -> [])
+    @ window_cands
+        (fun until_t -> S.Split { groups; from_t; until_t; mode })
+        from_t until_t
+    @ (match List.rev groups with
+       | last :: prev :: rest when prev <> [] && List.length groups > 2 ->
+         [ S.Split
+             { groups = List.rev ((prev @ last) :: rest);
+               from_t;
+               until_t;
+               mode } ]
+       | _ -> [])
+  | S.Delay { at; chan; dist } ->
+    let dist_cands =
+      match dist with
+      | Sim.Faults.Fixed d ->
+        if d <= 1 then []
+        else
+          [ Sim.Faults.Fixed 1 ]
+          @ (if d > 2 then [ Sim.Faults.Fixed (d / 2) ] else [])
+      | Sim.Faults.Uniform (lo, hi) ->
+        [ Sim.Faults.Fixed (max 1 lo) ]
+        @ (if hi - lo > 1 then [ Sim.Faults.Uniform (lo, lo + ((hi - lo) / 2)) ]
+           else [])
+      | Sim.Faults.Heavy_tail { mean; cap } ->
+        [ Sim.Faults.Fixed 1 ]
+        @ (if mean > 1 then
+             [ Sim.Faults.Heavy_tail { mean = mean / 2; cap } ]
+           else [])
+    in
+    List.map (fun dist -> S.Delay { at; chan; dist }) dist_cands
 
 let replace_nth plan i spec = List.mapi (fun j s -> if j = i then spec else s) plan
 

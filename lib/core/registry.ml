@@ -2,11 +2,14 @@ type role = Reference | Negative_control | Ablation
 
 type expectation = Expect_recover | Expect_failure | Observe
 
+type partition_expectation = Recovers_after_heal | Deadlocks | Partition_observe
+
 type entry = {
   name : string;
   proto : (module Protocol.S);
   role : role;
   expectation : expectation;
+  partition_expectation : partition_expectation;
   default_delta : int;
   everywhere_checkable : bool;
   lspec_monitorable : bool;
@@ -14,7 +17,7 @@ type entry = {
   doc : string;
 }
 
-let entry ?(role = Reference) ?expectation ?(delta = 8)
+let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
     ?(everywhere_checkable = true) ?(lspec_monitorable = true) ?sweep_rank
     ~doc (module P : Protocol.S) =
   let expectation =
@@ -22,10 +25,24 @@ let entry ?(role = Reference) ?expectation ?(delta = 8)
     | Some e -> e
     | None -> (match role with Reference -> Expect_recover | _ -> Expect_failure)
   in
+  let partition_expectation =
+    match partition_expectation with
+    | Some e -> e
+    | None -> (
+      (* the role defaults mirror the chaos-expectation defaults: a
+         wrapped reference must come back after the heal; a negative
+         control is expected to get stuck; ablations are measured but
+         not gated *)
+      match role with
+      | Reference -> Recovers_after_heal
+      | Negative_control -> Deadlocks
+      | Ablation -> Partition_observe)
+  in
   { name = P.name;
     proto = (module P);
     role;
     expectation;
+    partition_expectation;
     default_delta = delta;
     everywhere_checkable;
     lspec_monitorable;
@@ -79,6 +96,16 @@ let expectation_label = function
   | Expect_recover -> "recover"
   | Expect_failure -> "fail"
   | Observe -> "observe"
+
+let partition_expectation_label = function
+  | Recovers_after_heal -> "recovers-after-heal"
+  | Deadlocks -> "deadlocks"
+  | Partition_observe -> "observe"
+
+let expectation_of_partition = function
+  | Recovers_after_heal -> Expect_recover
+  | Deadlocks -> Expect_failure
+  | Partition_observe -> Observe
 
 let unknown_protocol_message name =
   Printf.sprintf "unknown protocol %S (known: %s)" name

@@ -37,6 +37,21 @@ type expectation =
   | Expect_failure  (** chaos gate: at least one run must fail *)
   | Observe  (** informational only *)
 
+(** What a {e wrapped} run of this protocol should do after a group
+    partition ({!Sim.Faults.Split}) heals — the registry side of the
+    PARTITION experiment, gated by the campaign's partition cells the
+    same way {!expectation} gates the chaos cells. *)
+type partition_expectation =
+  | Recovers_after_heal
+      (** every wrapped partition run must converge after the heal —
+          including under the buffered heal-time message flood *)
+  | Deadlocks
+      (** under a {e lossy} heal at least one run must fail to
+          recover (lost cross-partition messages leave unservable
+          protocol state the wrapper cannot retract); the buffered
+          cell is informational, since nothing is lost there *)
+  | Partition_observe  (** measured, not gated *)
+
 type entry = {
   name : string;  (** {!Protocol.S.name} of [proto], the lookup key *)
   proto : (module Protocol.S);
@@ -44,6 +59,9 @@ type entry = {
   expectation : expectation;
       (** how a {e wrapped} chaos cell over this protocol is gated;
           unwrapped cells demote [Expect_recover] to [Observe] *)
+  partition_expectation : partition_expectation;
+      (** how the campaign's partition cells ([--partitions]) over
+          this protocol are gated *)
   default_delta : int;  (** wrapper timeout for default sweeps *)
   everywhere_checkable : bool;
       (** [perturb] enumerates a real corruption set, so everywhere-mode
@@ -61,6 +79,7 @@ type entry = {
 val entry :
   ?role:role ->
   ?expectation:expectation ->
+  ?partition_expectation:partition_expectation ->
   ?delta:int ->
   ?everywhere_checkable:bool ->
   ?lspec_monitorable:bool ->
@@ -70,9 +89,11 @@ val entry :
   entry
 (** Smart constructor.  [name] is taken from the module.  Defaults:
     [role = Reference]; [expectation] follows the role ([Reference ->
-    Expect_recover], otherwise [Expect_failure]); [delta = 8];
-    [everywhere_checkable = true]; [lspec_monitorable = true]; no
-    sweep rank. *)
+    Expect_recover], otherwise [Expect_failure]);
+    [partition_expectation] likewise ([Reference ->
+    Recovers_after_heal], [Negative_control -> Deadlocks], [Ablation
+    -> Partition_observe]); [delta = 8]; [everywhere_checkable =
+    true]; [lspec_monitorable = true]; no sweep rank. *)
 
 val register : entry -> unit
 (** Append to the table.  Registration order is the listing order of
@@ -109,6 +130,17 @@ val role_label : role -> string
 val expectation_label : expectation -> string
 (** ["recover"], ["fail"], ["observe"] — the labels the chaos report
     (and its JSON) uses. *)
+
+val partition_expectation_label : partition_expectation -> string
+(** ["recovers-after-heal"], ["deadlocks"], ["observe"]. *)
+
+val expectation_of_partition : partition_expectation -> expectation
+(** The chaos-gate reading of a partition expectation: how a
+    lossy-heal partition cell is gated ([Recovers_after_heal ->
+    Expect_recover], [Deadlocks -> Expect_failure], [Partition_observe
+    -> Observe]).  Buffered-heal cells demote [Expect_failure] to
+    [Observe] — a buffered heal loses nothing, so a [Deadlocks] entry
+    may legitimately crawl back. *)
 
 val unknown_protocol_message : string -> string
 (** [unknown_protocol_message name] is the one shared error string for

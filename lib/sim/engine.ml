@@ -59,6 +59,14 @@ module Make (N : NODE) = struct
            deliverable, so the per-step crash bookkeeping (the
            crash-effects scan and the deliverable-channel filter) can
            be skipped entirely *)
+    delay_dists : Faults.delay_dist option array;
+        (* per-channel (src * n + dst) delivery-delay distribution,
+           installed by Delay faults; None means deliver immediately *)
+    mutable net_faults_seen : bool;
+        (* no Split/Delay fault has ever been applied: sends need no
+           link-status check or delay draw, and the per-step
+           [Network.advance] can be skipped — the network clock stays
+           at 0 and the staging layer is invisible *)
     mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
     mutable observers : (N.state, N.msg) Observer.sink list;
         (* notified (in registration order) at exactly the points a
@@ -106,6 +114,8 @@ module Make (N : NODE) = struct
         crashed_now = Array.make cfg.n false;
         deliv = Array.make (cfg.n * cfg.n) 0;
         crash_faults_seen = false;
+        delay_dists = Array.make (cfg.n * cfg.n) None;
+        net_faults_seen = false;
         rev_trace = [];
         observers = [];
         metrics = Metrics.create () }
@@ -161,11 +171,31 @@ module Make (N : NODE) = struct
       t.crash_until
 
   let dispatch t ~src ~label outbox =
-    List.iter
-      (fun (dst, m) ->
-        Metrics.note_send t.metrics ~label;
-        t.net <- Network.send t.net ~src ~dst m)
-      outbox
+    if not t.net_faults_seen then
+      List.iter
+        (fun (dst, m) ->
+          Metrics.note_send t.metrics ~label;
+          t.net <- Network.send t.net ~src ~dst m)
+        outbox
+    else
+      List.iter
+        (fun (dst, m) ->
+          Metrics.note_send t.metrics ~label;
+          match Network.link_status t.net ~src ~dst with
+          | `Lossy _ ->
+            (* severed link: the message is lost at the sender *)
+            Metrics.note_dropped t.metrics 1
+          | `Open | `Buffered _ ->
+            (* a buffered partition is handled inside [Network.send]
+               (readiness deferred to the heal); link delays compose
+               on top of it *)
+            let delay =
+              match t.delay_dists.((src * t.cfg.n) + dst) with
+              | None -> None
+              | Some dist -> Some (Faults.draw_delay dist t.fault_rng)
+            in
+            t.net <- Network.send ?delay t.net ~src ~dst m)
+        outbox
 
   (* Move selection without materializing the move list.  The virtual
      move sequence is: every nonempty channel with a live destination
@@ -238,6 +268,7 @@ module Make (N : NODE) = struct
     go 0 k
 
   let step t =
+    if t.net_faults_seen then t.net <- Network.advance t.net ~now:t.time;
     apply_crash_effects t;
     let d, i = refresh_moves t in
     let event : (N.state, N.msg) Trace.event =
@@ -371,7 +402,31 @@ module Make (N : NODE) = struct
              t.crash_lose.(p) <- t.crash_lose.(p) || lose_deliveries;
              Metrics.note_crashed t.metrics
            end)
-         (Faults.select_procs ~n:t.cfg.n proc));
+         (Faults.select_procs ~n:t.cfg.n proc)
+     | Split { groups; from_t = _; until_t; mode } ->
+       t.net_faults_seen <- true;
+       t.net <- Network.advance t.net ~now:t.time;
+       let mode =
+         match mode with Faults.Lossy -> `Lossy | Faults.Buffered -> `Buffered
+       in
+       let net, lost =
+         Network.apply_split t.net ~until:until_t ~mode
+           ~pairs:(Faults.cross_pairs ~n:t.cfg.n groups)
+       in
+       t.net <- net;
+       if lost > 0 then Metrics.note_dropped t.metrics lost
+     | Delay { chan; dist } ->
+       t.net_faults_seen <- true;
+       t.net <- Network.advance t.net ~now:t.time;
+       List.iter
+         (fun (src, dst) ->
+           t.delay_dists.((src * t.cfg.n) + dst) <- Some dist)
+         (Faults.select_chans ~n:t.cfg.n chan)
+     | Heal ->
+       (* a marker, not a mechanism: the heal itself is the partition
+          mask expiring inside the network.  Recording the Fault event
+          here re-bases recovery-latency measurement at the heal. *)
+       ());
     Metrics.note_fault t.metrics;
     let event = Trace.Fault { label = Faults.label kind } in
     record t event;
@@ -389,6 +444,15 @@ module Make (N : NODE) = struct
      preserves the rest of the run exactly. *)
   let quiescent t =
     (not (Array.exists (fun until -> until > t.time) t.crash_until))
+    && begin
+      (* staged messages become deliverable at a later step, so they
+         are pending moves even though no channel is live yet *)
+      if t.net_faults_seen then begin
+        t.net <- Network.advance t.net ~now:t.time;
+        Network.waiting_count t.net = 0
+      end
+      else true
+    end
     &&
     let d, i = refresh_moves t in
     d + i = 0

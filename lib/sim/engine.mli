@@ -85,10 +85,12 @@ module Make (N : NODE) : sig
       are drained at each step while the window lasts. *)
 
   val quiescent : t -> bool
-  (** [quiescent t] holds when no move is enabled {e and} no process is
-      inside a crash window — the execution is permanently quiescent:
-      every future fault-free step is a [Stutter] that changes nothing.
-      The sound early-exit test for streaming runs (deadlocks). *)
+  (** [quiescent t] holds when no move is enabled, no process is
+      inside a crash window, {e and} no message is staged for later
+      delivery (delayed or buffered behind a partition) — the
+      execution is permanently quiescent: every future fault-free step
+      is a [Stutter] that changes nothing.  The sound early-exit test
+      for streaming runs (deadlocks). *)
 
   (** {2 Streaming observation}
 

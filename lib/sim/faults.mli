@@ -1,4 +1,6 @@
-(** Fault injection: the paper's §3.1 fault model, as data.
+(** Fault injection: the paper's §3.1 fault model, as data — extended
+    with the production fault family the paper never ran (group
+    partitions that heal, and per-link delivery delays).
 
     "Messages may be corrupted, lost, or duplicated at any time.
     Processes (respectively channels) can be improperly initialized,
@@ -21,6 +23,24 @@ type chan_selector =
   | Into of Pid.t       (** all channels entering a process *)
 
 type proc_selector = Any_proc | Proc of Pid.t
+
+type heal_mode =
+  | Lossy
+      (** cross-partition messages are {e lost} for the window — the
+          classic severed-link case *)
+  | Buffered
+      (** cross-partition messages queue for the window and flood in
+          at heal time — the stress case for stabilization *)
+
+(** Per-link delivery-delay distribution, in scheduler steps.  Draws
+    come from the engine's fault RNG, so delayed runs stay
+    seed-deterministic. *)
+type delay_dist =
+  | Fixed of int  (** every message waits exactly this many steps *)
+  | Uniform of int * int  (** uniform in [\[lo, hi\]] *)
+  | Heavy_tail of { mean : int; cap : int }
+      (** exponential with the given mean, truncated at [cap]: most
+          messages are barely delayed, a few straggle *)
 
 type ('s, 'm) kind =
   | Drop of { chan : chan_selector; count : int; only : ('m -> bool) option }
@@ -53,13 +73,39 @@ type ('s, 'm) kind =
           [Reset_state] for crash-with-amnesia.  A window that has already
           elapsed ([until_t] at or before the injection time) is a
           no-op. *)
+  | Split of
+      { groups : Pid.t list list;
+        from_t : int;
+        until_t : int;
+        mode : heal_mode }
+      (** Group partition: from injection (scheduled at [from_t]) until
+          [until_t], {e every} channel between processes in different
+          groups is down.  Pids not named by any group form one
+          implicit remainder group, so [\[\[0; 1\]\]] over n = 3 means
+          [{0,1} | {2}].  [mode] decides the fate of cross-partition
+          traffic: {!Lossy} loses it (in-flight messages included),
+          {!Buffered} holds it and delivers everything after the heal.
+          Processes keep taking internal actions throughout — only
+          cross-group channels are affected. *)
+  | Delay of { chan : chan_selector; dist : delay_dist }
+      (** From injection on, every message sent over the selected
+          channels is delivered no earlier than [send time + draw],
+          with draws from [dist] — asymmetric link delays ([Chan]/
+          [From]/[Into] select directions independently).  Per-channel
+          FIFO order is preserved: delays stage {e readiness}, they do
+          not reorder. *)
+  | Heal
+      (** A no-op marker recorded as a fault event.  {!Split} lowering
+          schedules one at [until_t] so convergence (and recovery
+          latency) is measured from the heal, not from the moment the
+          partition began. *)
 
 type ('s, 'm) event = { at : int; kind : ('s, 'm) kind }
 
 type ('s, 'm) plan = ('s, 'm) event list
 
 val label : ('s, 'm) kind -> string
-(** [label k] is a short trace tag, e.g. ["drop"], ["mutate-state"]. *)
+(** [label k] is a short trace tag, e.g. ["drop"], ["split"], ["heal"]. *)
 
 val at : int -> ('s, 'm) kind -> ('s, 'm) event
 
@@ -76,3 +122,16 @@ val select_chans : n:int -> chan_selector -> (Pid.t * Pid.t) list
     directed pairs (excluding self-loops). *)
 
 val select_procs : n:int -> proc_selector -> Pid.t list
+
+val split_groups : n:int -> Pid.t list list -> Pid.t list list
+(** [split_groups ~n groups] normalizes a {!Split}'s group list:
+    out-of-range pids and empty groups are dropped, and unlisted pids
+    are appended as one implicit remainder group. *)
+
+val cross_pairs : n:int -> Pid.t list list -> (Pid.t * Pid.t) list
+(** [cross_pairs ~n groups] lists every directed channel that crosses
+    the partition described by [groups] (after {!split_groups}
+    normalization) — the channels a {!Split} takes down. *)
+
+val draw_delay : delay_dist -> Stdext.Rng.t -> int
+(** [draw_delay dist rng] samples one non-negative delay. *)

@@ -1,20 +1,38 @@
 open Stdext
 module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
 
 (* The channel matrix lives in a persistent array (one diff node per
-   update instead of an O(n^2) copy per message), and two incremental
-   indexes ride along with every version: the set of nonempty channel
-   indices — so [nonempty] enumerates live channels instead of
-   rescanning all n^2 — and the total queued-message count, making
-   [in_flight]/[is_empty] O(1).  Both are pure fields of the version,
-   so persistence is preserved: an old [t] still answers for its own
-   contents. *)
+   update instead of an O(n^2) copy per message), and incremental
+   indexes ride along with every version: the set of channels with a
+   deliverable head — so [nonempty] enumerates live channels instead of
+   rescanning all n^2 — the set of channels whose head is staged for a
+   later step ([waiting]), and the total queued-message count, making
+   [in_flight]/[is_empty] O(1).  All are pure fields of the version, so
+   persistence is preserved: an old [t] still answers for its own
+   contents.
+
+   Every message carries a ready step.  Plain sends stamp [now], so on
+   fault-free runs [waiting] stays empty, heads are always ready, and
+   every operation behaves (and costs) exactly as the unstaged network
+   did.  Link delays stamp [now + delay]; a Buffered partition mask
+   restamps to the heal time.  A channel is in exactly one of [live]
+   (nonempty, head ready at [now]) or [waiting] (nonempty, head staged
+   for later); [advance] promotes waiting channels as [now] grows.
+   FIFO is per channel and readiness is monotone in queue position only
+   per send order — delivery always pops the head, so a delayed head
+   also delays everything behind it, preserving FIFO exactly. *)
 type 'm t = {
   n : int;
-  chans : 'm Fqueue.t Parray.t; (* index src * n + dst *)
-  live : Iset.t; (* indices of nonempty channels *)
+  now : int; (* last [advance] step; readiness is judged against it *)
+  chans : ('m * int) Fqueue.t Parray.t; (* (payload, ready step); src * n + dst *)
+  live : Iset.t; (* channels whose head is deliverable now *)
   nlive : int; (* |live|, maintained incrementally (Set.cardinal is O(n)) *)
-  msgs : int; (* total queued messages *)
+  waiting : Iset.t; (* nonempty channels whose head is not ready yet *)
+  msgs : int; (* total queued messages, ready or not *)
+  blocked : (int * [ `Lossy | `Buffered ]) Imap.t;
+      (* partition mask: channel index -> (heal step, mode); consulted
+         on [send] and pruned lazily by [advance] *)
 }
 
 let idx t ~src ~dst =
@@ -25,40 +43,105 @@ let idx t ~src ~dst =
 let create ~n =
   if n <= 0 then invalid_arg "Network.create: need n > 0";
   { n;
+    now = 0;
     chans = Parray.make (n * n) Fqueue.empty;
     live = Iset.empty;
     nlive = 0;
-    msgs = 0 }
+    waiting = Iset.empty;
+    msgs = 0;
+    blocked = Imap.empty }
 
 let size t = t.n
 
+let status t q =
+  match Fqueue.peek q with
+  | None -> `Empty
+  | Some (_, ready) -> if ready <= t.now then `Live else `Waiting
+
 let update t i q =
   let old = Parray.get t.chans i in
-  let was = Fqueue.is_empty old and now = Fqueue.is_empty q in
-  let live, nlive =
-    if was = now then (t.live, t.nlive) (* emptiness unchanged *)
-    else if now then (Iset.remove i t.live, t.nlive - 1)
-    else (Iset.add i t.live, t.nlive + 1)
+  let olds = status t old and news = status t q in
+  let live, nlive, waiting =
+    if olds = news then (t.live, t.nlive, t.waiting)
+    else begin
+      let live, nlive, waiting =
+        match olds with
+        | `Live -> (Iset.remove i t.live, t.nlive - 1, t.waiting)
+        | `Waiting -> (t.live, t.nlive, Iset.remove i t.waiting)
+        | `Empty -> (t.live, t.nlive, t.waiting)
+      in
+      match news with
+      | `Live -> (Iset.add i live, nlive + 1, waiting)
+      | `Waiting -> (live, nlive, Iset.add i waiting)
+      | `Empty -> (live, nlive, waiting)
+    end
   in
   { t with
     chans = Parray.set t.chans i q;
     live;
     nlive;
+    waiting;
     msgs = t.msgs - Fqueue.length old + Fqueue.length q }
 
-let send t ~src ~dst m =
+let advance t ~now =
+  if now <= t.now then t
+  else begin
+    let t = { t with now } in
+    let t =
+      if Imap.is_empty t.blocked then t
+      else
+        { t with
+          blocked = Imap.filter (fun _ (until, _) -> until > now) t.blocked }
+    in
+    if Iset.is_empty t.waiting then t
+    else
+      Iset.fold
+        (fun i t ->
+          match Fqueue.peek (Parray.get t.chans i) with
+          | Some (_, ready) when ready <= now ->
+            { t with
+              live = Iset.add i t.live;
+              nlive = t.nlive + 1;
+              waiting = Iset.remove i t.waiting }
+          | _ -> t)
+        t.waiting t
+  end
+
+let link_status t ~src ~dst =
+  match Imap.find_opt (idx t ~src ~dst) t.blocked with
+  | Some (until, _) when until <= t.now -> `Open
+  | Some (until, `Lossy) -> `Lossy until
+  | Some (until, `Buffered) -> `Buffered until
+  | None -> `Open
+
+let send ?delay t ~src ~dst m =
   let i = idx t ~src ~dst in
-  update t i (Fqueue.push m (Parray.get t.chans i))
+  let ready =
+    match delay with None -> t.now | Some d -> t.now + max 0 d
+  in
+  (* the partition mask is consulted on send: a Buffered window holds
+     the message until the heal (Lossy windows are handled by the
+     sender, which consults [link_status] and never enqueues) *)
+  let ready =
+    if Imap.is_empty t.blocked then ready
+    else
+      match Imap.find_opt i t.blocked with
+      | Some (until, `Buffered) when until > t.now -> max ready until
+      | _ -> ready
+  in
+  update t i (Fqueue.push (m, ready) (Parray.get t.chans i))
 
 let deliver t ~src ~dst =
   let i = idx t ~src ~dst in
   match Fqueue.pop (Parray.get t.chans i) with
-  | None -> None
-  | Some (m, q) -> Some (m, update t i q)
+  | Some ((m, ready), q) when ready <= t.now -> Some (m, update t i q)
+  | _ -> None (* empty, or head staged for a later step *)
 
-let peek t ~src ~dst = Fqueue.peek (Parray.get t.chans (idx t ~src ~dst))
+let peek t ~src ~dst =
+  Option.map fst (Fqueue.peek (Parray.get t.chans (idx t ~src ~dst)))
 
-let contents t ~src ~dst = Fqueue.to_list (Parray.get t.chans (idx t ~src ~dst))
+let contents t ~src ~dst =
+  List.map fst (Fqueue.to_list (Parray.get t.chans (idx t ~src ~dst)))
 
 let channel_length t ~src ~dst =
   Fqueue.length (Parray.get t.chans (idx t ~src ~dst))
@@ -73,9 +156,40 @@ let fold_nonempty f acc t =
 
 let live_count t = t.nlive
 
+let waiting_count t = Iset.cardinal t.waiting
+
 let in_flight t = t.msgs
 
 let is_empty t = t.msgs = 0
+
+let apply_split t ~pairs ~until ~mode =
+  if until <= t.now then (t, 0)
+  else
+    List.fold_left
+      (fun (t, dropped) (src, dst) ->
+        let i = idx t ~src ~dst in
+        (* overlapping windows: the heal time only grows, the newest
+           injection decides the mode *)
+        let blocked =
+          Imap.update i
+            (function
+              | Some (u, _) -> Some (max u until, mode)
+              | None -> Some (until, mode))
+            t.blocked
+        in
+        let t = { t with blocked } in
+        match mode with
+        | `Lossy ->
+          let lost = channel_length t ~src ~dst in
+          (update t i Fqueue.empty, dropped + lost)
+        | `Buffered ->
+          let q =
+            Fqueue.map
+              (fun (m, ready) -> (m, max ready until))
+              (Parray.get t.chans i)
+          in
+          (update t i q, dropped))
+      (t, 0) pairs
 
 let drop_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
@@ -93,7 +207,7 @@ let corrupt_at t ~src ~dst ~pos ~f =
   let i = idx t ~src ~dst in
   match Fqueue.remove_at pos (Parray.get t.chans i) with
   | None -> t
-  | Some (m, q) -> update t i (Fqueue.insert_at pos (f m) q)
+  | Some ((m, ready), q) -> update t i (Fqueue.insert_at pos (f m, ready) q)
 
 let reorder_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
@@ -108,25 +222,32 @@ let flush_all t =
     chans = Parray.make (t.n * t.n) Fqueue.empty;
     live = Iset.empty;
     nlive = 0;
+    waiting = Iset.empty;
     msgs = 0 }
 
-(* [map] preserves queue lengths, so both indexes carry over. *)
+(* [map] preserves queue lengths and ready stamps, so the indexes
+   carry over. *)
 let map f t =
   { t with
     chans =
-      Parray.init (t.n * t.n) (fun i -> Fqueue.map f (Parray.get t.chans i)) }
+      Parray.init (t.n * t.n) (fun i ->
+          Fqueue.map (fun (m, ready) -> (f m, ready)) (Parray.get t.chans i)) }
+
+(* Folds and snapshots cover every queued message, staged or not —
+   live ∪ waiting is exactly the nonempty channels. *)
+let occupied t = Iset.union t.live t.waiting
 
 let fold_messages f acc t =
   Iset.fold
     (fun i acc ->
       let src = i / t.n and dst = i mod t.n in
       List.fold_left
-        (fun acc m -> f acc ~src ~dst m)
+        (fun acc (m, _) -> f acc ~src ~dst m)
         acc
         (Fqueue.to_list (Parray.get t.chans i)))
-    t.live acc
+    (occupied t) acc
 
 let snapshot t =
   List.map
-    (fun (src, dst) -> (src, dst, contents t ~src ~dst))
-    (nonempty t)
+    (fun i -> (i / t.n, i mod t.n, contents t ~src:(i / t.n) ~dst:(i mod t.n)))
+    (Iset.elements (occupied t))

@@ -16,6 +16,12 @@ type fault_spec =
         from_t : int;
         until_t : int;
         lose : bool }
+  | Split of
+      { groups : Sim.Pid.t list list;
+        from_t : int;
+        until_t : int;
+        mode : Sim.Faults.heal_mode }
+  | Delay of { at : int; chan : Sim.Faults.chan_selector; dist : Sim.Faults.delay_dist }
 
 let burst ~at =
   [ Corrupt_state { at; procs = Sim.Faults.Any_proc };
@@ -87,6 +93,15 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
     | Crash { procs; from_t; until_t; lose } ->
       [ Sim.Faults.at from_t
           (Sim.Faults.Crash { proc = procs; until_t; lose_deliveries = lose }) ]
+    | Split { groups; from_t; until_t; mode } ->
+      (* the Heal marker re-bases recovery-latency measurement at the
+         heal step: [Stabilize.last_fault_index] finds it as the last
+         Fault event, so latency is counted from the heal, not from
+         the moment the partition began *)
+      [ Sim.Faults.at from_t (Sim.Faults.Split { groups; from_t; until_t; mode });
+        Sim.Faults.at until_t Sim.Faults.Heal ]
+    | Delay { at; chan; dist } ->
+      [ Sim.Faults.at at (Sim.Faults.Delay { chan; dist }) ]
   in
   let plan = List.concat_map lower faults in
   let vtrace, entry_log, analysis, recovery_latency, live_spec =

@@ -20,8 +20,12 @@ type fault_spec =
   | Reorder of { at : int; per_chan : int }
   | Flush of { at : int }
   | Partition of { pid : Sim.Pid.t; from_t : int; until_t : int }
-      (** isolate one process: every message to or from it is lost
-          while the window lasts (process failure and recovery) *)
+      (** process {e isolation} (not a group partition — that is
+          {!Split}): every message to or from the one selected process
+          is lost while the window lasts, modelling a single process
+          falling off the network and recovering.  The chaos label for
+          this spec remains ["partition"] for golden-report
+          stability. *)
   | Corrupt_state of { at : int; procs : Sim.Faults.proc_selector }
   | Reset_state of { at : int; procs : Sim.Faults.proc_selector }
   | Crash of
@@ -33,6 +37,24 @@ type fault_spec =
           take no steps during [\[from_t, until_t)]; with [lose] their
           inbound messages are lost meanwhile, otherwise delivery merely
           stalls until recovery *)
+  | Split of
+      { groups : Sim.Pid.t list list;
+        from_t : int;
+        until_t : int;
+        mode : Sim.Faults.heal_mode }
+      (** group partition that heals ({!Sim.Faults.Split}): every
+          channel between different groups is down for the window
+          (unlisted pids form an implicit remainder group).
+          [Lossy] loses cross-partition traffic; [Buffered] holds it
+          and floods it in at the heal.  Lowering also schedules a
+          {!Sim.Faults.Heal} marker at [until_t], so
+          [recovery_latency] measures from the heal — the quantity the
+          PARTITION experiment reports. *)
+  | Delay of { at : int; chan : Sim.Faults.chan_selector; dist : Sim.Faults.delay_dist }
+      (** from [at] on, messages over the selected channels are
+          delivered only after a per-message delay drawn from [dist]
+          (seeded by the engine's fault RNG — runs stay
+          seed-deterministic).  Per-channel FIFO is preserved. *)
 
 val burst : at:int -> fault_spec list
 (** [burst ~at] is a compound transient fault: state corruption of

@@ -11,14 +11,14 @@ module Campaign = Chaos.Campaign
 (* Plan generation                                                     *)
 
 let test_plan_gen_budget () =
-  let cfg = Plan_gen.config ~n:4 ~horizon:2000 ~budget:7 in
+  let cfg = Plan_gen.config ~n:4 ~horizon:2000 ~budget:7 () in
   let plan = Plan_gen.generate (Rng.create 5) cfg in
   Alcotest.(check int) "budget events" 7 (List.length plan);
   let empty = Plan_gen.generate (Rng.create 5) { cfg with budget = 0 } in
   Alcotest.(check int) "zero budget" 0 (List.length empty)
 
 let test_plan_gen_deterministic () =
-  let cfg = Plan_gen.config ~n:4 ~horizon:4000 ~budget:6 in
+  let cfg = Plan_gen.config ~n:4 ~horizon:4000 ~budget:6 () in
   let render seed =
     Plan_gen.plan_label (Plan_gen.generate (Rng.create seed) cfg)
   in
@@ -29,7 +29,7 @@ let test_plan_gen_deterministic () =
     (List.exists (fun s -> render s <> base) [ 2; 3; 4; 5; 6 ])
 
 let test_plan_gen_times_bounded () =
-  let cfg = Plan_gen.config ~n:4 ~horizon:1000 ~budget:40 in
+  let cfg = Plan_gen.config ~n:4 ~horizon:1000 ~budget:40 () in
   let plan = Plan_gen.generate (Rng.create 9) cfg in
   List.iter
     (fun spec ->
@@ -45,7 +45,99 @@ let test_plan_gen_times_bounded () =
 
 let test_plan_gen_validation () =
   Alcotest.check_raises "n < 2" (Invalid_argument "Plan_gen.config: need n >= 2")
-    (fun () -> ignore (Plan_gen.config ~n:1 ~horizon:1000 ~budget:3))
+    (fun () -> ignore (Plan_gen.config ~n:1 ~horizon:1000 ~budget:3 ()))
+
+(* Exhaustive by construction: adding a fault_spec constructor breaks
+   this match, forcing the new kind into the coverage assertion. *)
+let spec_tag = function
+  | Tme.Scenarios.Drop_requests _ -> "drop-requests"
+  | Tme.Scenarios.Drop_requests_window _ -> "drop-requests-window"
+  | Tme.Scenarios.Drop_any _ -> "drop-any"
+  | Tme.Scenarios.Duplicate _ -> "duplicate"
+  | Tme.Scenarios.Corrupt_messages _ -> "corrupt-messages"
+  | Tme.Scenarios.Reorder _ -> "reorder"
+  | Tme.Scenarios.Flush _ -> "flush"
+  | Tme.Scenarios.Partition _ -> "partition"
+  | Tme.Scenarios.Corrupt_state _ -> "corrupt-state"
+  | Tme.Scenarios.Reset_state _ -> "reset-state"
+  | Tme.Scenarios.Crash _ -> "crash"
+  | Tme.Scenarios.Split _ -> "split"
+  | Tme.Scenarios.Delay _ -> "delay"
+
+let all_tags =
+  [ "drop-requests"; "drop-requests-window"; "drop-any"; "duplicate";
+    "corrupt-messages"; "reorder"; "flush"; "partition"; "corrupt-state";
+    "reset-state"; "crash"; "split"; "delay" ]
+
+let sampled_tags cfg seeds =
+  List.fold_left
+    (fun acc seed ->
+      List.fold_left
+        (fun acc spec -> (spec_tag spec :: acc))
+        acc
+        (Plan_gen.generate (Rng.create seed) cfg))
+    [] (List.init seeds Fun.id)
+  |> List.sort_uniq compare
+
+let test_plan_gen_samples_every_kind () =
+  (* with partitions on, every fault_spec constructor is eventually
+     generated *)
+  let cfg = Plan_gen.config ~partitions:true ~n:4 ~horizon:2000 ~budget:8 () in
+  let seen = sampled_tags cfg 200 in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) (tag ^ " sampled") true (List.mem tag seen))
+    all_tags;
+  (* with partitions off (the default), the partition family never
+     appears — default plan streams are unchanged *)
+  let seen_default =
+    sampled_tags (Plan_gen.config ~n:4 ~horizon:2000 ~budget:8 ()) 200
+  in
+  Alcotest.(check bool) "no split by default" false
+    (List.mem "split" seen_default);
+  Alcotest.(check bool) "no delay by default" false
+    (List.mem "delay" seen_default)
+
+let test_plan_gen_partition_labels () =
+  Alcotest.(check string) "split label" "split@120-200({0,1}|{2},buf)"
+    (Plan_gen.spec_label
+       (Tme.Scenarios.Split
+          { groups = [ [ 0; 1 ]; [ 2 ] ];
+            from_t = 120;
+            until_t = 200;
+            mode = Sim.Faults.Buffered }));
+  Alcotest.(check string) "delay label" "delay@80(p0->p2,~exp30)"
+    (Plan_gen.spec_label
+       (Tme.Scenarios.Delay
+          { at = 80;
+            chan = Sim.Faults.Chan (0, 2);
+            dist = Sim.Faults.Heavy_tail { mean = 30; cap = 120 } }));
+  Alcotest.(check string) "fixed delay label" "delay@5(*,=3)"
+    (Plan_gen.spec_label
+       (Tme.Scenarios.Delay
+          { at = 5; chan = Sim.Faults.Any_chan; dist = Sim.Faults.Fixed 3 }))
+
+let test_plan_gen_split_plan () =
+  let cfg = Plan_gen.config ~n:4 ~horizon:2000 ~budget:5 () in
+  let check_mode mode =
+    match Plan_gen.split_plan (Rng.create 3) cfg ~mode with
+    | [ Tme.Scenarios.Split { groups; from_t; until_t; mode = m } ] ->
+      Alcotest.(check bool) "mode honoured" true (m = mode);
+      Alcotest.(check bool) "window ordered" true (from_t < until_t);
+      Alcotest.(check bool) "proper cut" true (List.length groups >= 2)
+    | _ -> Alcotest.fail "split_plan must hold exactly one Split"
+  in
+  check_mode Sim.Faults.Lossy;
+  check_mode Sim.Faults.Buffered;
+  (* the two modes share the partition geometry: same seed, same groups *)
+  match
+    ( Plan_gen.split_plan (Rng.create 3) cfg ~mode:Sim.Faults.Lossy,
+      Plan_gen.split_plan (Rng.create 3) cfg ~mode:Sim.Faults.Buffered )
+  with
+  | ( [ Tme.Scenarios.Split { groups = g1; from_t = f1; until_t = u1; _ } ],
+      [ Tme.Scenarios.Split { groups = g2; from_t = f2; until_t = u2; _ } ] ) ->
+    Alcotest.(check bool) "same geometry" true (g1 = g2 && f1 = f2 && u1 = u2)
+  | _ -> Alcotest.fail "split_plan must hold exactly one Split"
 
 (* ------------------------------------------------------------------ *)
 (* Outcome classification                                              *)
@@ -61,6 +153,10 @@ let analysis ?(me1 = 0) ?(starving = []) ~recovered () =
 
 let verdict = Alcotest.testable
     (fun ppf v -> Format.pp_print_string ppf (Outcome.label v))
+    ( = )
+
+let verdict' = Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf (Campaign.expectation_label e))
     ( = )
 
 let test_outcome_classify () =
@@ -113,6 +209,60 @@ let test_shrink_reduces_deadlock_plan () =
     (List.length r.Shrink.shrunk <= 3);
   Alcotest.(check bool) "shrunk plan still fails" true
     (Shrink.fails sc r.Shrink.shrunk)
+
+let test_shrink_split_window_and_groups () =
+  (* a lossy group partition deadlocks the unwrapped reference; the
+     shrinker must strip the noise, keep a Split, and the minimal plan
+     must re-fail under the original seed (satellite: windowed-kind
+     shrinking preserves reproduction) *)
+  let sc = ra_scenario ~wrapper:Graybox.Harness.Off in
+  let plan =
+    [ Tme.Scenarios.Duplicate { at = 60; per_chan = 2 };
+      Tme.Scenarios.Split
+        { groups = [ [ 0 ]; [ 1 ]; [ 2; 3 ] ];
+          from_t = 150;
+          until_t = 450;
+          mode = Sim.Faults.Lossy };
+      Tme.Scenarios.Reorder { at = 500; per_chan = 1 } ]
+  in
+  Alcotest.(check bool) "plan fails" true (Shrink.fails sc plan);
+  let r = Shrink.shrink sc plan in
+  Alcotest.(check bool) "confirmed" true r.Shrink.confirmed;
+  let split_until =
+    List.filter_map
+      (function
+        | Tme.Scenarios.Split { until_t; _ } -> Some until_t
+        | _ -> None)
+      r.Shrink.shrunk
+  in
+  Alcotest.(check int) "a split survives shrinking" 1
+    (List.length split_until);
+  Alcotest.(check bool) "window no wider than the original" true
+    (List.hd split_until <= 450);
+  Alcotest.(check bool) "shrunk plan still fails under the same seed" true
+    (Shrink.fails sc r.Shrink.shrunk)
+
+let test_shrink_crash_window () =
+  (* same property for the other windowed kind: a long lose-deliveries
+     crash of one process kills unwrapped RA; the shrunk plan keeps a
+     crash and re-fails *)
+  let sc = ra_scenario ~wrapper:Graybox.Harness.Off in
+  let plan =
+    [ Tme.Scenarios.Flush { at = 50 };
+      Tme.Scenarios.Crash
+        { procs = Sim.Faults.Proc 1; from_t = 100; until_t = 400; lose = true } ]
+  in
+  if Shrink.fails sc plan then begin
+    let r = Shrink.shrink sc plan in
+    Alcotest.(check bool) "confirmed" true r.Shrink.confirmed;
+    Alcotest.(check bool) "a crash survives shrinking" true
+      (List.exists
+         (function Tme.Scenarios.Crash _ -> true | _ -> false)
+         r.Shrink.shrunk);
+    Alcotest.(check bool) "shrunk plan still fails under the same seed" true
+      (Shrink.fails sc r.Shrink.shrunk)
+  end
+  else Alcotest.fail "crash plan must fail unwrapped"
 
 let test_shrink_passing_plan_not_confirmed () =
   let sc =
@@ -213,6 +363,119 @@ let test_campaign_negative_control_fails () =
     report.Campaign.cells
 
 (* ------------------------------------------------------------------ *)
+(* Partition campaign cells                                            *)
+
+let partition_config ?(jobs = 1) () =
+  Campaign.config ~base_seed:7 ~seeds:5 ~budget:3 ~n:4 ~steps:1200
+    ~protocols:[ "lamport"; "lamport-unmod" ] ~include_unwrapped:false
+    ~deadlock_canary:false ~shrink:false ~partitions:true ~jobs ()
+
+let find_cell report label =
+  match
+    List.find_opt
+      (fun c -> c.Campaign.cell_label = label)
+      report.Campaign.cells
+  with
+  | Some c -> c
+  | None -> Alcotest.fail ("missing cell " ^ label)
+
+let test_campaign_partition_cells () =
+  let report = Campaign.run (partition_config ()) in
+  (* two extra cells per protocol, gated by the registry's partition
+     expectation *)
+  let lossy = find_cell report "lamport+W'(8)/split-lossy" in
+  Alcotest.check verdict' "reference recovers from lossy splits"
+    Campaign.Expect_recover lossy.Campaign.cell_expect;
+  Alcotest.(check bool) "and does" true lossy.Campaign.cell_ok;
+  let neg_lossy = find_cell report "lamport-unmod+W'(8)/split-lossy" in
+  Alcotest.check verdict' "negative control must deadlock"
+    Campaign.Expect_failure neg_lossy.Campaign.cell_expect;
+  Alcotest.(check bool) "and does" true neg_lossy.Campaign.cell_ok;
+  (* the buffered sibling demotes Expect_failure to Observe: nothing is
+     lost under a buffered heal, so recovery is legitimate there *)
+  let neg_buf = find_cell report "lamport-unmod+W'(8)/split-buf" in
+  Alcotest.check verdict' "buffered heal is observe-only for the control"
+    Campaign.Observe neg_buf.Campaign.cell_expect;
+  let buf = find_cell report "lamport+W'(8)/split-buf" in
+  Alcotest.check verdict' "reference still gated under buffered heal"
+    Campaign.Expect_recover buf.Campaign.cell_expect;
+  Alcotest.(check bool) "gate ok" true report.Campaign.gate_ok;
+  (* every partition-cell row holds exactly one Split of the cell's mode *)
+  List.iter
+    (fun row ->
+      match row.Campaign.row_plan with
+      | [ Tme.Scenarios.Split { mode = Sim.Faults.Lossy; _ } ] -> ()
+      | _ -> Alcotest.fail "split-lossy rows must hold one lossy Split")
+    lossy.Campaign.rows
+
+let test_campaign_partitions_parallel_matches_serial () =
+  let render jobs =
+    Chaos.Jsonx.to_string
+      (Campaign.to_json (Campaign.run (partition_config ~jobs ())))
+  in
+  Alcotest.(check string) "partition sweep byte-identical across jobs"
+    (render 1) (render 3)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned/delayed scenario runs                                   *)
+
+let partition_faults =
+  [ Tme.Scenarios.Split
+      { groups = [ [ 0 ] ];
+        from_t = 200;
+        until_t = 320;
+        mode = Sim.Faults.Buffered };
+    Tme.Scenarios.Delay
+      { at = 400;
+        chan = Sim.Faults.Any_chan;
+        dist = Sim.Faults.Heavy_tail { mean = 5; cap = 40 } } ]
+
+let lamport_run ~streaming =
+  match Graybox.Registry.find "lamport" with
+  | None -> Alcotest.fail "lamport missing"
+  | Some e ->
+    Tme.Scenarios.run e.Graybox.Registry.proto ~n:4 ~seed:9 ~steps:2500
+      ~streaming
+      ~wrapper:(Tme.Scenarios.wrapped ~delta:8 ())
+      ~faults:partition_faults
+
+let test_scenarios_partition_deterministic () =
+  let key r =
+    (r.Tme.Scenarios.analysis, r.Tme.Scenarios.recovery_latency)
+  in
+  (* same seed, same run — partitions and heavy-tail delays draw all
+     their randomness from the seeded fault stream *)
+  Alcotest.(check bool) "seed-deterministic" true
+    (key (lamport_run ~streaming:true) = key (lamport_run ~streaming:true));
+  (* and the streaming analysis agrees with the recorded one on the
+     new fault kinds, field for field *)
+  Alcotest.(check bool) "streaming == recorded" true
+    (key (lamport_run ~streaming:false) = key (lamport_run ~streaming:true))
+
+let test_scenarios_split_plants_heal_marker () =
+  let r = lamport_run ~streaming:false in
+  let faults =
+    List.filter_map
+      (fun s ->
+        match s.Sim.Trace.event with
+        | Sim.Trace.Fault { label } -> Some (s.Sim.Trace.time, label)
+        | _ -> None)
+      r.Tme.Scenarios.vtrace
+  in
+  Alcotest.(check (list (pair int string)))
+    "split lowers to split + heal; delay is one event"
+    [ (200, "split"); (320, "heal"); (400, "delay") ]
+    faults;
+  (* latency is measured from the last fault event — the delay here,
+     after the heal — so convergence is never billed the window *)
+  match r.Tme.Scenarios.analysis.Graybox.Stabilize.last_fault_index with
+  | Some i ->
+    let snap = List.nth r.Tme.Scenarios.vtrace i in
+    Alcotest.(check int) "re-based at the last marker" 400
+      snap.Sim.Trace.time
+  | None -> Alcotest.fail "fault events must be recorded"
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 
 let test_jsonx_rendering () =
@@ -234,13 +497,21 @@ let () =
         [ Alcotest.test_case "budget" `Quick test_plan_gen_budget;
           Alcotest.test_case "deterministic" `Quick test_plan_gen_deterministic;
           Alcotest.test_case "times bounded" `Quick test_plan_gen_times_bounded;
-          Alcotest.test_case "validation" `Quick test_plan_gen_validation ] );
+          Alcotest.test_case "validation" `Quick test_plan_gen_validation;
+          Alcotest.test_case "samples every kind" `Quick
+            test_plan_gen_samples_every_kind;
+          Alcotest.test_case "partition labels" `Quick
+            test_plan_gen_partition_labels;
+          Alcotest.test_case "split_plan" `Quick test_plan_gen_split_plan ] );
       ( "outcome",
         [ Alcotest.test_case "classify" `Quick test_outcome_classify;
           Alcotest.test_case "labels" `Quick test_outcome_labels ] );
       ( "shrink",
         [ Alcotest.test_case "reduces deadlock plan" `Quick
             test_shrink_reduces_deadlock_plan;
+          Alcotest.test_case "split window/groups" `Quick
+            test_shrink_split_window_and_groups;
+          Alcotest.test_case "crash window" `Quick test_shrink_crash_window;
           Alcotest.test_case "passing plan" `Quick
             test_shrink_passing_plan_not_confirmed ] );
       ( "campaign",
@@ -256,6 +527,15 @@ let () =
           Alcotest.test_case "jobs validation" `Quick
             test_campaign_jobs_validation;
           Alcotest.test_case "unknown protocol" `Quick
-            test_campaign_unknown_protocol ] );
+            test_campaign_unknown_protocol;
+          Alcotest.test_case "partition cells" `Quick
+            test_campaign_partition_cells;
+          Alcotest.test_case "partition parallel == serial" `Quick
+            test_campaign_partitions_parallel_matches_serial ] );
+      ( "scenarios",
+        [ Alcotest.test_case "partition determinism/streaming" `Quick
+            test_scenarios_partition_deterministic;
+          Alcotest.test_case "heal marker" `Quick
+            test_scenarios_split_plants_heal_marker ] );
       ("jsonx", [ Alcotest.test_case "rendering" `Quick test_jsonx_rendering ])
     ]

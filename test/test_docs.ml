@@ -1,0 +1,162 @@
+(* Doc-audit gate: README.md, EXPERIMENTS.md and DESIGN.md are
+   cross-checked against the live protocol registry, so a rename, a
+   re-roling, or a changed recovery expectation fails CI instead of
+   silently drifting the prose.  The dune stanza declares the three
+   documents as deps; dune stages them one directory up in the build
+   tree, which is where the test's cwd sees them. *)
+
+module R = Graybox.Registry
+
+(* referencing Scenarios forces tme's registration side effect *)
+let _force_registration = Tme.Scenarios.run
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let readme = lazy (read_file "../README.md")
+let experiments = lazy (read_file "../EXPERIMENTS.md")
+let design = lazy (read_file "../DESIGN.md")
+let lines s = String.split_on_char '\n' s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_mentions doc text needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S" doc needle)
+        true
+        (contains text needle))
+    needles
+
+(* "| `ra` | reference | ... |" -> ["ra"; "reference"; ...] *)
+let cells line =
+  let untick c =
+    let n = String.length c in
+    if n >= 2 && c.[0] = '`' && c.[n - 1] = '`' then String.sub c 1 (n - 2)
+    else c
+  in
+  String.split_on_char '|' line
+  |> List.map String.trim
+  |> List.filter (fun c -> c <> "")
+  |> List.map untick
+
+(* rows of the markdown table whose header line is [header]: the
+   contiguous run of "| `..." lines after the |---| separator *)
+let table_rows ~doc ~header text =
+  let rec find = function
+    | [] -> Alcotest.fail (Printf.sprintf "%s: table %S not found" doc header)
+    | l :: rest when String.trim l = header -> rest
+    | _ :: rest -> find rest
+  in
+  let rest = find (lines text) in
+  let rest =
+    match rest with
+    | sep :: r when String.length sep >= 2 && sep.[0] = '|' && sep.[1] = '-' ->
+      r
+    | r -> r
+  in
+  let is_row l = String.length l >= 3 && l.[0] = '|' && l.[1] = ' ' && l.[2] = '`' in
+  let rec take acc = function
+    | l :: rest when is_row l -> take (cells l :: acc) rest
+    | _ -> List.rev acc
+  in
+  take [] rest
+
+(* ------------------------------------------------------------------ *)
+(* README: the protocols table is the registry, column for column      *)
+
+let test_readme_protocol_table () =
+  let rows =
+    table_rows ~doc:"README.md"
+      ~header:"| name | role | expect | partition | what it is |"
+      (Lazy.force readme)
+  in
+  let entries = R.all () in
+  Alcotest.(check int)
+    "one row per registry entry"
+    (List.length entries) (List.length rows);
+  List.iter2
+    (fun (e : R.entry) row ->
+      match row with
+      | name :: role :: expect :: partition :: _ ->
+        Alcotest.(check string) "name, in registration order" e.R.name name;
+        Alcotest.(check string)
+          (e.R.name ^ ": role column")
+          (R.role_label e.R.role) role;
+        Alcotest.(check string)
+          (e.R.name ^ ": expect column")
+          (R.expectation_label e.R.expectation) expect;
+        Alcotest.(check string)
+          (e.R.name ^ ": partition column")
+          (R.partition_expectation_label e.R.partition_expectation)
+          partition
+      | _ -> Alcotest.fail (e.R.name ^ ": row has too few columns"))
+    entries rows
+
+(* every fault_spec constructor has a row in the README fault-model
+   table.  The list below is gated for completeness by test_chaos's
+   exhaustive spec_tag match: a new constructor breaks that compile,
+   whose fix adds a tag there and (via this test) a doc row here. *)
+let fault_spec_names =
+  [ "Drop_requests"; "Drop_requests_window"; "Drop_any"; "Duplicate";
+    "Corrupt_messages"; "Reorder"; "Flush"; "Partition"; "Corrupt_state";
+    "Reset_state"; "Crash"; "Split"; "Delay" ]
+
+let test_readme_fault_model_table () =
+  let rows =
+    table_rows ~doc:"README.md"
+      ~header:"| spec | label | window | what it does |"
+      (Lazy.force readme)
+  in
+  Alcotest.(check (list string))
+    "one row per fault_spec constructor, declaration order"
+    fault_spec_names
+    (List.map
+       (function
+         | name :: _ -> name
+         | [] -> Alcotest.fail "empty fault-model row")
+       rows);
+  (* the isolation-vs-group-partition distinction must stay documented *)
+  check_mentions "README.md" (Lazy.force readme)
+    [ "isolation"; "split-lossy"; "split-buf"; "--partitions" ]
+
+(* ------------------------------------------------------------------ *)
+(* EXPERIMENTS.md: the PARTITION section exists and names the sweep    *)
+
+let test_experiments_partition_section () =
+  let text = Lazy.force experiments in
+  check_mentions "EXPERIMENTS.md" text
+    ([ "## Partitions, heal, and delay (PARTITION, `BENCH_partition.json`)";
+       "lossy"; "buffered"; "--partitions" ]
+     @ R.default_sweep ()
+     @ List.map R.partition_expectation_label
+         [ R.Recovers_after_heal; R.Deadlocks ])
+
+(* ------------------------------------------------------------------ *)
+(* DESIGN.md: the inventory covers the partition fault model           *)
+
+let test_design_inventory () =
+  check_mentions "DESIGN.md" (Lazy.force design)
+    [ "`Split`"; "`Delay`"; "`Heal`"; "partition_expectation";
+      "`Lossy`/`Buffered`"; "BENCH_partition.json"; "delivery-ready staging" ]
+
+let () =
+  Alcotest.run "docs"
+    [ ( "readme",
+        [ Alcotest.test_case "protocols table mirrors the registry" `Quick
+            test_readme_protocol_table;
+          Alcotest.test_case "fault-model table covers every spec" `Quick
+            test_readme_fault_model_table ] );
+      ( "experiments",
+        [ Alcotest.test_case "partition section present and named" `Quick
+            test_experiments_partition_section ] );
+      ( "design",
+        [ Alcotest.test_case "inventory covers the partition model" `Quick
+            test_design_inventory ] ) ]

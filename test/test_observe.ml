@@ -113,7 +113,7 @@ let n = 4
 let horizon = 1500
 
 let plan_for seed =
-  let cfg = Chaos.Plan_gen.config ~n ~horizon ~budget:4 in
+  let cfg = Chaos.Plan_gen.config ~n ~horizon ~budget:4 () in
   Chaos.Plan_gen.generate (Stdext.Rng.create ((seed * 1_000_003) + 7919)) cfg
 
 (* a plan with a lossy crash window, in case the generator draws none *)

@@ -110,6 +110,125 @@ let test_net_pid_bounds () =
   Alcotest.check_raises "bad pid" (Invalid_argument "Network: pid out of range")
     (fun () -> ignore (Network.send net ~src:0 ~dst:5 "x"))
 
+(* --- delivery-ready staging (delays and partitions) --------------- *)
+
+let test_net_send_delay_staged () =
+  let net = Network.send (Network.create ~n:2) ~delay:3 ~src:0 ~dst:1 "a" in
+  Alcotest.(check int) "in flight" 1 (Network.in_flight net);
+  Alcotest.(check int) "staged, not live" 1 (Network.waiting_count net);
+  Alcotest.(check int) "live count" 0 (Network.live_count net);
+  Alcotest.(check (list (pair int int))) "nonempty hides staged" []
+    (Network.nonempty net);
+  Alcotest.(check bool) "deliver refuses staged head" true
+    (Network.deliver net ~src:0 ~dst:1 = None);
+  Alcotest.(check (list string)) "contents still shows it" [ "a" ]
+    (Network.contents net ~src:0 ~dst:1);
+  let net = Network.advance net ~now:3 in
+  Alcotest.(check (list (pair int int))) "ready at its step" [ (0, 1) ]
+    (Network.nonempty net);
+  Alcotest.(check int) "no longer waiting" 0 (Network.waiting_count net);
+  match Network.deliver net ~src:0 ~dst:1 with
+  | Some ("a", _) -> ()
+  | _ -> Alcotest.fail "expected a deliverable head after advance"
+
+let test_net_advance_monotone () =
+  let net = Network.send (Network.create ~n:2) ~delay:10 ~src:0 ~dst:1 "a" in
+  let net = Network.advance net ~now:5 in
+  Alcotest.(check int) "still staged at 5" 1 (Network.waiting_count net);
+  (* a stale (smaller) clock is ignored, not applied *)
+  let net = Network.advance net ~now:2 in
+  let net = Network.advance net ~now:10 in
+  Alcotest.(check int) "live at 10" 1 (Network.live_count net)
+
+let test_net_delay_preserves_fifo () =
+  (* a delayed head blocks the whole channel: delays stage readiness,
+     they never reorder *)
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~delay:5 ~src:0 ~dst:1 "slow" in
+  let net = Network.send net ~src:0 ~dst:1 "fast" in
+  Alcotest.(check bool) "later send cannot overtake" true
+    (Network.deliver net ~src:0 ~dst:1 = None);
+  let net = Network.advance net ~now:5 in
+  match Network.deliver net ~src:0 ~dst:1 with
+  | Some ("slow", net') ->
+    Alcotest.(check (list string)) "order intact" [ "fast" ]
+      (Network.contents net' ~src:0 ~dst:1)
+  | _ -> Alcotest.fail "expected the delayed head first"
+
+let test_net_apply_split_lossy () =
+  let net = Network.create ~n:2 in
+  let net = Network.send net ~src:0 ~dst:1 "a" in
+  let net = Network.send net ~src:1 ~dst:0 "b" in
+  let net, dropped =
+    Network.apply_split net ~pairs:[ (0, 1) ] ~until:10 ~mode:`Lossy
+  in
+  Alcotest.(check int) "in-flight flushed" 1 dropped;
+  Alcotest.(check (list string)) "channel emptied" []
+    (Network.contents net ~src:0 ~dst:1);
+  Alcotest.(check (list string)) "other direction untouched" [ "b" ]
+    (Network.contents net ~src:1 ~dst:0);
+  (match Network.link_status net ~src:0 ~dst:1 with
+   | `Lossy 10 -> ()
+   | _ -> Alcotest.fail "expected `Lossy 10");
+  (match Network.link_status net ~src:1 ~dst:0 with
+   | `Open -> ()
+   | _ -> Alcotest.fail "expected `Open");
+  (* the mask expires with the clock *)
+  let net = Network.advance net ~now:10 in
+  match Network.link_status net ~src:0 ~dst:1 with
+  | `Open -> ()
+  | _ -> Alcotest.fail "mask must expire at the heal step"
+
+let test_net_apply_split_buffered () =
+  let net = Network.send (Network.create ~n:2) ~src:0 ~dst:1 "a" in
+  let net, dropped =
+    Network.apply_split net ~pairs:[ (0, 1) ] ~until:10 ~mode:`Buffered
+  in
+  Alcotest.(check int) "nothing lost" 0 dropped;
+  Alcotest.(check int) "restamped to the heal" 1 (Network.waiting_count net);
+  Alcotest.(check bool) "held through the window" true
+    (Network.deliver net ~src:0 ~dst:1 = None);
+  (* sends into the masked window are accepted but deferred too *)
+  let net = Network.send net ~src:0 ~dst:1 "b" in
+  let net = Network.advance net ~now:10 in
+  Alcotest.(check (list string)) "flood arrives in order after heal"
+    [ "a"; "b" ]
+    (Network.contents net ~src:0 ~dst:1);
+  Alcotest.(check int) "all ready" 1 (Network.live_count net)
+
+let test_net_split_overlap_and_past () =
+  let net = Network.create ~n:2 in
+  let net, _ =
+    Network.apply_split net ~pairs:[ (0, 1) ] ~until:10 ~mode:`Buffered
+  in
+  (* overlapping window: latest heal step wins, newest mode wins *)
+  let net, _ =
+    Network.apply_split net ~pairs:[ (0, 1) ] ~until:5 ~mode:`Lossy
+  in
+  (match Network.link_status net ~src:0 ~dst:1 with
+   | `Lossy 10 -> ()
+   | _ -> Alcotest.fail "expected `Lossy 10 (max heal, newest mode)");
+  (* a window already in the past is a no-op *)
+  let net = Network.advance net ~now:20 in
+  let net, dropped =
+    Network.apply_split net ~pairs:[ (0, 1) ] ~until:20 ~mode:`Lossy
+  in
+  Alcotest.(check int) "past window drops nothing" 0 dropped;
+  match Network.link_status net ~src:0 ~dst:1 with
+  | `Open -> ()
+  | _ -> Alcotest.fail "past window must not mask"
+
+let test_net_staged_visible_to_snapshot () =
+  let net = Network.send (Network.create ~n:2) ~delay:4 ~src:0 ~dst:1 "a" in
+  Alcotest.(check (list (triple int int (list string)))) "snapshot sees staged"
+    [ (0, 1, [ "a" ]) ]
+    (Network.snapshot net);
+  Alcotest.(check int) "fold sees staged" 1
+    (Network.fold_messages (fun acc ~src:_ ~dst:_ _ -> acc + 1) 0 net);
+  Alcotest.(check int) "corrupt keeps the stamp staged" 1
+    (Network.waiting_count
+       (Network.corrupt_at net ~src:0 ~dst:1 ~pos:0 ~f:String.uppercase_ascii))
+
 let prop_net_fifo_random_ops =
   qtest "sends then delivers preserve order" QCheck2.Gen.(list small_int)
     (fun xs ->
@@ -172,7 +291,53 @@ let test_faults_due_same_time_order () =
 let test_faults_labels () =
   Alcotest.(check string) "flush" "flush" (Faults.label (Faults.Flush Faults.Any_chan));
   Alcotest.(check string) "drop" "drop"
-    (Faults.label (Faults.Drop { chan = Faults.Any_chan; count = 1; only = None }))
+    (Faults.label (Faults.Drop { chan = Faults.Any_chan; count = 1; only = None }));
+  Alcotest.(check string) "split" "split"
+    (Faults.label
+       (Faults.Split { groups = [ [ 0 ] ]; from_t = 0; until_t = 1; mode = Faults.Lossy }));
+  Alcotest.(check string) "delay" "delay"
+    (Faults.label (Faults.Delay { chan = Faults.Any_chan; dist = Faults.Fixed 1 }));
+  Alcotest.(check string) "heal" "heal" (Faults.label Faults.Heal)
+
+let test_faults_split_groups () =
+  (* unnamed pids form one implicit remainder group *)
+  Alcotest.(check (list (list int))) "remainder group" [ [ 0; 1 ]; [ 2; 3 ] ]
+    (Faults.split_groups ~n:4 [ [ 0; 1 ] ]);
+  Alcotest.(check (list (list int))) "out-of-range pids filtered"
+    [ [ 0 ]; [ 1 ]; [ 2; 3 ] ]
+    (Faults.split_groups ~n:4 [ [ 0; 9 ]; [ 1 ] ]);
+  Alcotest.(check (list (list int))) "empty groups dropped" [ [ 1 ]; [ 0; 2 ] ]
+    (Faults.split_groups ~n:3 [ []; [ 1 ] ])
+
+let test_faults_cross_pairs () =
+  let sorted ps = List.sort compare ps in
+  Alcotest.(check (list (pair int int))) "singleton vs rest"
+    [ (0, 1); (0, 2); (1, 0); (2, 0) ]
+    (sorted (Faults.cross_pairs ~n:3 [ [ 0 ] ]));
+  Alcotest.(check (list (pair int int))) "two singletons"
+    [ (0, 1); (1, 0) ]
+    (sorted (Faults.cross_pairs ~n:2 [ [ 0 ]; [ 1 ] ]));
+  Alcotest.(check (list (pair int int))) "one group = no cut" []
+    (Faults.cross_pairs ~n:3 [ [ 0; 1; 2 ] ])
+
+let test_faults_draw_delay () =
+  let rng = Stdext.Rng.create 42 in
+  Alcotest.(check int) "fixed" 5 (Faults.draw_delay (Faults.Fixed 5) rng);
+  Alcotest.(check int) "fixed clamps negative" 0
+    (Faults.draw_delay (Faults.Fixed (-3)) rng);
+  for _ = 1 to 200 do
+    let d = Faults.draw_delay (Faults.Uniform (2, 4)) rng in
+    Alcotest.(check bool) "uniform in bounds" true (d >= 2 && d <= 4);
+    let h = Faults.draw_delay (Faults.Heavy_tail { mean = 5; cap = 10 }) rng in
+    Alcotest.(check bool) "heavy tail capped" true (h >= 0 && h <= 10)
+  done;
+  (* same seed, same draws *)
+  let draws seed =
+    let rng = Stdext.Rng.create seed in
+    List.init 20 (fun _ ->
+        Faults.draw_delay (Faults.Heavy_tail { mean = 30; cap = 120 }) rng)
+  in
+  Alcotest.(check (list int)) "deterministic" (draws 9) (draws 9)
 
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
@@ -433,6 +598,91 @@ let test_engine_crash_label_and_determinism () =
   in
   Alcotest.(check (triple int int int)) "same seed same run" (run ()) (run ())
 
+let test_engine_split_lossy_loses_inflight_and_sends () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  force_in_flight e;
+  let until_t = E.time e + 10 in
+  E.apply_fault e
+    (Faults.Split
+       { groups = [ [ 0 ] ]; from_t = E.time e; until_t; mode = Faults.Lossy });
+  Alcotest.(check int) "in-flight token flushed" 0
+    (Network.in_flight (E.network e));
+  Alcotest.(check bool) "loss counted" true (Metrics.dropped (E.metrics e) > 0);
+  E.run ~steps:50 e;
+  Alcotest.(check int) "token gone: system dead" 0
+    (Metrics.delivered (E.metrics e))
+
+let test_engine_split_buffered_delivers_after_heal () =
+  let e = token_engine ~n:2 ~seed:2 () in
+  force_in_flight e;
+  let until_t = E.time e + 10 in
+  E.apply_fault e
+    (Faults.Split
+       { groups = [ [ 0 ] ];
+         from_t = E.time e;
+         until_t;
+         mode = Faults.Buffered });
+  E.run ~steps:5 e;
+  Alcotest.(check int) "token held, not lost" 1
+    (Network.in_flight (E.network e));
+  Alcotest.(check int) "no deliveries in the window" 0
+    (Metrics.delivered (E.metrics e));
+  (* nothing is enabled and the only message is staged: without the
+     staged-message check this would read as quiescent *)
+  Alcotest.(check bool) "staged message blocks quiescence" false
+    (E.quiescent e);
+  E.run ~steps:100 e;
+  Alcotest.(check bool) "flood delivered after heal" true
+    (Metrics.delivered (E.metrics e) > 0);
+  Alcotest.(check bool) "token alive" true (total_passes e > 1)
+
+let test_engine_delay_slows_but_preserves () =
+  let run ~delayed =
+    let e = token_engine ~n:2 ~seed:6 () in
+    if delayed then
+      E.apply_fault e
+        (Faults.Delay { chan = Faults.Any_chan; dist = Faults.Fixed 4 });
+    E.run ~steps:200 e;
+    (total_passes e, Metrics.delivered (E.metrics e))
+  in
+  let passes_plain, _ = run ~delayed:false in
+  let passes_delayed, delivered_delayed = run ~delayed:true in
+  Alcotest.(check bool) "token survives delays" true (passes_delayed > 5);
+  Alcotest.(check bool) "nothing lost, only late" true (delivered_delayed > 5);
+  Alcotest.(check bool) "delays slow the ring" true
+    (passes_delayed < passes_plain)
+
+let test_engine_split_delay_plan_deterministic () =
+  let run () =
+    let e = token_engine ~n:3 ~seed:13 () in
+    let plan =
+      [ Faults.at 10
+          (Faults.Split
+             { groups = [ [ 1 ] ]; from_t = 10; until_t = 40;
+               mode = Faults.Buffered });
+        Faults.at 40 Faults.Heal;
+        Faults.at 50
+          (Faults.Delay
+             { chan = Faults.Any_chan;
+               dist = Faults.Heavy_tail { mean = 3; cap = 12 } }) ]
+    in
+    E.run ~plan ~steps:300 e;
+    (total_passes e, Metrics.sent (E.metrics e), Metrics.dropped (E.metrics e))
+  in
+  Alcotest.(check (triple int int int)) "same seed same run" (run ()) (run ())
+
+let test_engine_split_expired_window_noop () =
+  let e = token_engine ~n:2 ~seed:1 () in
+  E.run ~steps:20 e;
+  let before = Network.in_flight (E.network e) in
+  E.apply_fault e
+    (Faults.Split
+       { groups = [ [ 0 ] ]; from_t = 0; until_t = 5; mode = Faults.Lossy });
+  Alcotest.(check int) "nothing flushed" before
+    (Network.in_flight (E.network e));
+  E.run ~steps:100 e;
+  Alcotest.(check bool) "ring unaffected" true (total_passes e > 5)
+
 let test_engine_run_until () =
   let e = token_engine ~n:3 ~seed:9 () in
   let stop engine = total_passes engine >= 5 in
@@ -509,13 +759,27 @@ let () =
           Alcotest.test_case "flush" `Quick test_net_flush;
           Alcotest.test_case "snapshot/fold" `Quick test_net_snapshot_and_fold;
           Alcotest.test_case "pid bounds" `Quick test_net_pid_bounds;
+          Alcotest.test_case "delay staging" `Quick test_net_send_delay_staged;
+          Alcotest.test_case "advance monotone" `Quick test_net_advance_monotone;
+          Alcotest.test_case "delay preserves fifo" `Quick
+            test_net_delay_preserves_fifo;
+          Alcotest.test_case "split lossy" `Quick test_net_apply_split_lossy;
+          Alcotest.test_case "split buffered" `Quick
+            test_net_apply_split_buffered;
+          Alcotest.test_case "split overlap/past" `Quick
+            test_net_split_overlap_and_past;
+          Alcotest.test_case "staged in snapshot" `Quick
+            test_net_staged_visible_to_snapshot;
           prop_net_fifo_random_ops ] );
       ( "faults",
         [ Alcotest.test_case "selectors" `Quick test_faults_selectors;
           Alcotest.test_case "due" `Quick test_faults_due;
           Alcotest.test_case "due same-time order" `Quick
             test_faults_due_same_time_order;
-          Alcotest.test_case "labels" `Quick test_faults_labels ] );
+          Alcotest.test_case "labels" `Quick test_faults_labels;
+          Alcotest.test_case "split groups" `Quick test_faults_split_groups;
+          Alcotest.test_case "cross pairs" `Quick test_faults_cross_pairs;
+          Alcotest.test_case "draw delay" `Quick test_faults_draw_delay ] );
       ( "trace",
         [ Alcotest.test_case "helpers" `Quick test_trace_helpers;
           Alcotest.test_case "no fault" `Quick test_trace_no_fault;
@@ -542,6 +806,15 @@ let () =
             test_engine_crash_expired_window_noop;
           Alcotest.test_case "crash label/determinism" `Quick
             test_engine_crash_label_and_determinism;
+          Alcotest.test_case "split lossy" `Quick
+            test_engine_split_lossy_loses_inflight_and_sends;
+          Alcotest.test_case "split buffered" `Quick
+            test_engine_split_buffered_delivers_after_heal;
+          Alcotest.test_case "delay" `Quick test_engine_delay_slows_but_preserves;
+          Alcotest.test_case "split/delay determinism" `Quick
+            test_engine_split_delay_plan_deterministic;
+          Alcotest.test_case "split expired window" `Quick
+            test_engine_split_expired_window_noop;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
           Alcotest.test_case "run_until timeout" `Quick
             test_engine_run_until_timeout;
