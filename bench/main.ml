@@ -1194,12 +1194,98 @@ let partition_bench () =
   print_endline "wrote BENCH_partition.json"
 
 (* ------------------------------------------------------------------ *)
+(* load: open-loop throughput and latency percentiles (BENCH_load.json) *)
+
+let load_bench () =
+  (* Every reference protocol under the same open-loop Poisson
+     workload at n = 100 / 1k / 10k: ~80 requests over a 400n-step
+     horizon at rate 0.2/n (constant offered load per horizon as n
+     grows).  Latency percentiles are exact (one sorted sample), and
+     measured from each request's intended arrival — see
+     EXPERIMENTS.md on coordinated omission.  Timing under contention
+     is unfair, so rows run serially regardless of --jobs; the row
+     CONTENTS are seed-deterministic either way. *)
+  let sizes = [ 100; 1_000; 10_000 ] in
+  let references = Registry.all ~role:Registry.Reference () in
+  let measure (e : Registry.entry) n =
+    let run () =
+      Tme.Load.run e.Registry.proto ~n ~seed:42
+        ~rate:(0.2 /. float_of_int n)
+        ~max_requests:80 ~max_steps:(400 * n) ()
+    in
+    let r = run () in
+    let dt = wall (fun () -> ignore (run ())) in
+    let ps = Tme.Load.percentiles r [ 50.; 99.; 99.9 ] in
+    (e, n, r, float_of_int r.Tme.Load.steps_run /. dt, ps)
+  in
+  let rows =
+    List.concat_map (fun e -> List.map (measure e) sizes) references
+  in
+  let table =
+    Tabular.create
+      [ "protocol"; "n"; "steps"; "steps/sec"; "granted";
+        "p50"; "p99"; "p99.9" ]
+  in
+  let pct ps i =
+    match List.nth_opt ps i with
+    | Some p when not (Float.is_nan p) -> Tabular.cell_float ~decimals:0 p
+    | _ -> "-"
+  in
+  List.iter
+    (fun ((e : Registry.entry), n, (r : Tme.Load.result), sps, ps) ->
+      Tabular.add_row table
+        [ e.Registry.name; string_of_int n;
+          string_of_int r.Tme.Load.steps_run;
+          Tabular.cell_float ~decimals:0 sps;
+          Printf.sprintf "%d/%d" r.Tme.Load.grants r.Tme.Load.requests;
+          pct ps 0; pct ps 1; pct ps 2 ])
+    rows;
+  Tabular.print
+    ~title:
+      "LOAD: open-loop Poisson workload (rate 0.2/n per step, 80 requests, \
+       horizon 400n; latency in steps from intended arrival)"
+    table;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-load/1");
+          ("rate_per_n", Float 0.2);
+          ("max_requests", Int 80);
+          ("rows",
+           List
+             (List.map
+                (fun ((e : Registry.entry), n, (r : Tme.Load.result), sps, ps) ->
+                  let pct i =
+                    match List.nth_opt ps i with
+                    | Some p when not (Float.is_nan p) -> Float p
+                    | _ -> Null
+                  in
+                  Obj
+                    [ ("protocol", String e.Registry.name);
+                      ("n", Int n);
+                      ("seed", Int r.Tme.Load.seed);
+                      ("rate", Float r.Tme.Load.rate);
+                      ("steps", Int r.Tme.Load.steps_run);
+                      ("steps_per_sec", Float sps);
+                      ("requests", Int r.Tme.Load.requests);
+                      ("grants", Int r.Tme.Load.grants);
+                      ("latency_p50", pct 0);
+                      ("latency_p99", pct 1);
+                      ("latency_p999", pct 2) ])
+                rows)) ])
+  in
+  Out_channel.with_open_text "BENCH_load.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_load.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
     ("perf", perf); ("mcheck", mcheck_bench); ("observe", observe_bench);
-    ("partition", partition_bench) ]
+    ("partition", partition_bench); ("load", load_bench) ]
 
 let () =
   let usage () =

@@ -1,6 +1,7 @@
 (* Command-line driver for the graybox stabilization library.
 
      graybox-cli run   --protocol ra --n 4 --wrapper 8 --fault burst:1000
+     graybox-cli load  --protocol ra --n 1000
      graybox-cli check --protocol lamport
      graybox-cli fig1
      graybox-cli rvc   --corrupt-at 500
@@ -181,6 +182,85 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a scenario and report stabilization")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* load                                                                *)
+
+let load_cmd =
+  let action protocol n seed rate requests max_steps scan =
+    match resolve_protocol protocol with
+    | Error e -> `Error (false, e)
+    | Ok proto ->
+      let rate =
+        match rate with Some r -> r | None -> 0.2 /. float_of_int n
+      in
+      let max_steps =
+        match max_steps with Some s -> s | None -> 400 * n
+      in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Tme.Load.run ~indexed:(not scan) proto ~n ~seed ~rate
+          ~max_requests:requests ~max_steps ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let ps = Tme.Load.percentiles r [ 50.; 99.; 99.9 ] in
+      Printf.printf "protocol       : %s (n=%d, seed %d)\n" r.Tme.Load.protocol
+        r.Tme.Load.n r.Tme.Load.seed;
+      Printf.printf "arrival rate   : %g requests/step (open loop)\n"
+        r.Tme.Load.rate;
+      Printf.printf "steps          : %d (%.0f steps/sec)\n"
+        r.Tme.Load.steps_run
+        (float_of_int r.Tme.Load.steps_run /. dt);
+      Printf.printf "requests       : %d injected, %d granted\n"
+        r.Tme.Load.requests r.Tme.Load.grants;
+      (match ps with
+       | [ p50; p99; p999 ] when r.Tme.Load.grants > 0 ->
+         Printf.printf
+           "grant latency  : p50=%.0f p99=%.0f p99.9=%.0f steps (from \
+            intended arrival)\n"
+           p50 p99 p999
+       | _ -> print_endline "grant latency  : no grants");
+      (* exit nonzero when injected requests went ungranted within the
+         horizon — the smoke gate for CI *)
+      `Ok (if r.Tme.Load.grants = r.Tme.Load.requests then 0 else 1)
+  in
+  let n_arg =
+    let doc = "Number of processes." in
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Arrival rate in requests per step across the system (default 0.2/n)."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let requests_arg =
+    let doc = "Stop injecting after this many requests." in
+    Arg.(value & opt int 80 & info [ "requests" ] ~docv:"R" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Step horizon (default 400*n)." in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
+  in
+  let scan_arg =
+    let doc =
+      "Use the scanning scheduler instead of the indexed one (results are \
+       identical; only speed differs)."
+    in
+    Arg.(value & flag & info [ "scan" ] ~doc)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ n_arg $ seed_arg $ rate_arg
+       $ requests_arg $ max_steps_arg $ scan_arg))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive an open-loop Poisson workload and report throughput and \
+          grant-latency percentiles")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -663,5 +743,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd; synth_cmd;
-            mcheck_cmd; chaos_cmd; protocols_cmd ]))
+          [ run_cmd; load_cmd; check_cmd; fig1_cmd; rvc_cmd; kstate_cmd;
+            synth_cmd; mcheck_cmd; chaos_cmd; protocols_cmd ]))

@@ -200,8 +200,8 @@ module Make (P : Protocol.S) = struct
 
   module Run = Sim.Engine.Make (Node)
 
-  let make_engine ?(record = true) ?deliver_weight params ~seed =
-    let cfg = Run.config ?deliver_weight ~record ~n:params.n ~seed () in
+  let make_engine ?(record = true) ?indexed ?deliver_weight params ~seed =
+    let cfg = Run.config ?deliver_weight ?indexed ~record ~n:params.n ~seed () in
     Run.create cfg ~init:(init params ~client_seed:(seed * 31 + 17))
 
   let view_trace engine =

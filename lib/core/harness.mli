@@ -81,8 +81,12 @@ module Make (P : Protocol.S) : sig
 
   module Run : module type of Sim.Engine.Make (Node)
 
-  val make_engine : ?record:bool -> ?deliver_weight:int -> params ->
-    seed:int -> Run.t
+  val make_engine : ?record:bool -> ?indexed:bool -> ?deliver_weight:int ->
+    params -> seed:int -> Run.t
+  (** [?indexed] selects the engine's move-index implementation (see
+      {!Sim.Engine.Make.config}); the default maintains O(log n)
+      incremental indexes, [~indexed:false] keeps the scanning
+      scheduler.  Schedules are bit-identical either way. *)
 
   val view_trace : Run.t -> (View.t, Msg.t) Sim.Trace.t
   (** The recorded trace projected to spec level: views and bare

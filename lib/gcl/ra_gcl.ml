@@ -31,11 +31,16 @@ let init ~n self =
       (v_clock, Store.Value.V_nat 0);
       (v_req, Store.Value.V_own_ts (Timestamp.zero ~pid:self));
       ( v_local,
+        (* absent keys read as zero ({!Store.map_entry}); below the
+           threshold stay dense so the checker's structural state
+           identity is unchanged *)
         Store.Value.V_peer_ts_map
-          (List.fold_left
-             (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
-             Sim.Pid.Map.empty
-             (Sim.Pid.others ~self ~n)) );
+          (if n <= Sim.Pid.dense_threshold then
+             List.fold_left
+               (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
+               Sim.Pid.Map.empty
+               (Sim.Pid.others ~self ~n)
+           else Sim.Pid.Map.empty) );
       (v_received, Store.Value.V_pid_set Sim.Pid.Set.empty) ]
 
 let view s =
@@ -69,12 +74,24 @@ let request_cs s =
   let s = Store.set_mode s v_mode View.Hungry in
   (s, List.map (fun k -> (k, Msg.Request ts)) (peers s))
 
-(* {Grant CS}  h.j ∧ (∀k : REQ_j lt j.REQ_k) -> e.j *)
+(* {Grant CS}  h.j ∧ (∀k : REQ_j lt j.REQ_k) -> e.j.  The quantifier
+   is an early-exit loop over the pid range with the map fetched once
+   — across the attempts a grant takes, the expected total is
+   O(n log n) reads, not O(n^2) (see Ra_core.earliest). *)
 let try_enter s =
   let earliest =
-    List.for_all
-      (fun k -> Timestamp.lt (Store.get_ts s v_req) (Store.map_entry s v_local k))
-      (peers s)
+    let self = Store.self s and n = Store.size s in
+    let req = Store.get_ts s v_req in
+    let local = Store.get_map s v_local in
+    let entry k =
+      match Sim.Pid.Map.find_opt k local with
+      | Some ts -> ts
+      | None -> Timestamp.zero ~pid:k
+    in
+    let rec go k =
+      k >= n || ((k = self || Timestamp.lt req (entry k)) && go (k + 1))
+    in
+    go 0
   in
   if Store.get_mode s v_mode = View.Hungry && earliest then begin
     let s, _ = tick s in
@@ -82,13 +99,16 @@ let try_enter s =
   end
   else None
 
-(* deferred_set.j = {k : received(j.REQ_k) ∧ REQ_j lt j.REQ_k} *)
+(* deferred_set.j = {k : received(j.REQ_k) ∧ REQ_j lt j.REQ_k} —
+   walked over the received set (ascending, like the peers list it
+   replaces), so the cost is O(deferred), not O(n) *)
 let deferred_set s =
-  List.filter
-    (fun k ->
-      Sim.Pid.Set.mem k (Store.get_set s v_received)
-      && Timestamp.lt (Store.get_ts s v_req) (Store.map_entry s v_local k))
-    (peers s)
+  let req = Store.get_ts s v_req in
+  Sim.Pid.Set.fold
+    (fun k acc ->
+      if Timestamp.lt req (Store.map_entry s v_local k) then k :: acc else acc)
+    (Store.get_set s v_received) []
+  |> List.rev
 
 (* {Release CS}  e.j -> reply to deferred; t.j; REQ_j := lc.j *)
 let release_cs s =

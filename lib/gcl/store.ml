@@ -38,10 +38,12 @@ module Value = struct
     | Domain.D_own_ts, V_own_ts ts ->
       ts.Timestamp.pid = self && ts.Timestamp.clock >= 0
     | Domain.D_peer_ts_map, V_peer_ts_map m ->
-      let keys = List.map fst (Sim.Pid.Map.bindings m) in
-      keys = peers ~self ~n
+      (* keys range over the peers; an absent key reads as the zero
+         timestamp ({!map_entry}), so the domain admits any subset —
+         large systems keep the map sparse *)
+      Sim.Pid.Map.for_all (fun k _ -> k >= 0 && k < n && k <> self) m
     | Domain.D_pid_set, V_pid_set s ->
-      Sim.Pid.Set.for_all (fun p -> List.mem p (peers ~self ~n)) s
+      Sim.Pid.Set.for_all (fun p -> p >= 0 && p < n && p <> self) s
     | ( ( Domain.D_bool | Domain.D_nat _ | Domain.D_mode | Domain.D_own_ts
         | Domain.D_peer_ts_map | Domain.D_pid_set ),
         _ ) ->
@@ -166,12 +168,21 @@ let get_map t name =
 let set_map t name m = update t name (Value.V_peer_ts_map m)
 
 let map_entry t name k =
+  if k < 0 || k >= t.n || k = t.self then
+    invalid_arg (Printf.sprintf "Store: %s has no entry for %d" name k);
   match Sim.Pid.Map.find_opt k (get_map t name) with
   | Some ts -> ts
-  | None -> invalid_arg (Printf.sprintf "Store: %s has no entry for %d" name k)
+  | None -> Timestamp.zero ~pid:k
 
+(* Single-entry writes happen per delivered message, so this validates
+   only the touched key instead of re-checking the whole map through
+   [update] — with a valid key, domain membership is preserved. *)
 let set_map_entry t name k ts =
-  set_map t name (Sim.Pid.Map.add k ts (get_map t name))
+  let m = get_map t name in
+  if k < 0 || k >= t.n || k = t.self then
+    invalid_arg (Printf.sprintf "Store: %s entry %d out of domain" name k);
+  { t with
+    values = SMap.add name (Value.V_peer_ts_map (Sim.Pid.Map.add k ts m)) t.values }
 
 let get_set t name =
   match fetch t name with Value.V_pid_set s -> s | _ -> type_error name

@@ -21,12 +21,14 @@ module Make (N : NODE) = struct
     internal_weight : int;
     policy : policy;
     record : bool;
+    indexed : bool;
   }
 
   let config ?(deliver_weight = 2) ?(internal_weight = 1)
-      ?(policy = Weighted_random) ?(record = true) ~n ~seed () =
+      ?(policy = Weighted_random) ?(record = true) ?(indexed = true) ~n ~seed
+      () =
     if n <= 0 then invalid_arg "Engine.config: need n > 0";
-    { n; seed; deliver_weight; internal_weight; policy; record }
+    { n; seed; deliver_weight; internal_weight; policy; record; indexed }
 
   type t = {
     cfg : config;
@@ -46,29 +48,46 @@ module Make (N : NODE) = struct
            across steps and recomputed only when the process's state or
            crash status changed ([acts_dirty]). *)
     acts_dirty : bool array;
+    dirty : int Vec.t;
+        (* indexed mode: the processes with [acts_dirty] set since the
+           last refresh, so the refresh touches only them instead of
+           scanning all n.  Invariant: [acts_dirty.(p)] iff [p] is in
+           [dirty] (exactly once) — [mark_dirty] pushes on the
+           false-to-true flip only. *)
+    act_counts : Fenwick.t;
+        (* indexed mode: per-process enabled-action counts, kept in
+           lockstep with [acts] — the internal-move half of the
+           weighted draw is [total] + [select] instead of a scan *)
     crashed_now : bool array;
         (* crash status at the last refresh; [crashed] depends on
            [time], so a flip must dirty the cache even though no state
-           write happened *)
+           write happened.  Indexed mode maintains it eagerly (at fault
+           injection and at recovery detection). *)
+    mutable crashed_pids : int list;
+        (* indexed mode: the processes currently inside a crash window
+           (those with [crashed_now] set), so crash bookkeeping costs
+           O(crashed), not O(n) — and nothing once every window has
+           elapsed *)
     deliv : int array;
-        (* scratch: channel indices (src * n + dst) of the deliverable
-           messages found by [refresh_moves], so the chosen delivery is
-           an array lookup rather than a second fold *)
+        (* scan-mode scratch (empty when [cfg.indexed]): channel
+           indices (src * n + dst) of the deliverable messages found by
+           [refresh_moves], so the chosen delivery is an array lookup
+           rather than a second fold *)
     mutable crash_faults_seen : bool;
         (* no Crash fault has ever been applied: every live channel is
            deliverable, so the per-step crash bookkeeping (the
            crash-effects scan and the deliverable-channel filter) can
            be skipped entirely *)
-    delay_dists : Faults.delay_dist option array;
+    delay_dists : (int, Faults.delay_dist) Hashtbl.t;
         (* per-channel (src * n + dst) delivery-delay distribution,
-           installed by Delay faults; None means deliver immediately *)
+           installed by Delay faults; absent means deliver immediately *)
     mutable net_faults_seen : bool;
         (* no Split/Delay fault has ever been applied: sends need no
            link-status check or delay draw, and the per-step
            [Network.advance] can be skipped — the network clock stays
            at 0 and the staging layer is invisible *)
     mutable rev_trace : (N.state, N.msg) Trace.snapshot list;
-    mutable observers : (N.state, N.msg) Observer.sink list;
+    observers : (N.state, N.msg) Observer.sink Vec.t;
         (* notified (in registration order) at exactly the points a
            snapshot is recorded, so the step stream equals the trace *)
     metrics : Metrics.t;
@@ -92,11 +111,10 @@ module Make (N : NODE) = struct
   (* Observers get the live states array — no copy.  [Observer.step]
      documents that it must not be retained across steps. *)
   let notify t event =
-    match t.observers with
-    | [] -> ()
-    | observers ->
+    if Vec.length t.observers > 0 then begin
       let step = { Observer.time = t.time; event; states = t.states } in
-      List.iter (fun f -> f step) observers
+      Vec.iter (fun f -> f step) t.observers
+    end
 
   let create cfg ~init =
     let master = Rng.create cfg.seed in
@@ -111,15 +129,22 @@ module Make (N : NODE) = struct
         crash_lose = Array.make cfg.n false;
         acts = Array.make cfg.n [];
         acts_dirty = Array.make cfg.n true;
+        dirty = Vec.create ();
+        act_counts = Fenwick.create cfg.n;
         crashed_now = Array.make cfg.n false;
-        deliv = Array.make (cfg.n * cfg.n) 0;
+        crashed_pids = [];
+        deliv = Array.make (if cfg.indexed then 0 else cfg.n * cfg.n) 0;
         crash_faults_seen = false;
-        delay_dists = Array.make (cfg.n * cfg.n) None;
+        delay_dists = Hashtbl.create 7;
         net_faults_seen = false;
         rev_trace = [];
-        observers = [];
+        observers = Vec.create ();
         metrics = Metrics.create () }
     in
+    if cfg.indexed then
+      for p = 0 to cfg.n - 1 do
+        Vec.push t.dirty p
+      done;
     record t Trace.Init;
     t
 
@@ -131,9 +156,17 @@ module Make (N : NODE) = struct
   let metrics t = t.metrics
   let trace t = List.rev t.rev_trace
 
+  (* The false-to-true flip is the only push, so [dirty] never holds a
+     process twice and the indexed refresh touches each at most once. *)
+  let mark_dirty t p =
+    if not t.acts_dirty.(p) then begin
+      t.acts_dirty.(p) <- true;
+      if t.cfg.indexed then Vec.push t.dirty p
+    end
+
   let set_state t p s =
     t.states.(p) <- s;
-    t.acts_dirty.(p) <- true
+    mark_dirty t p
   let set_network t net = t.net <- net
   let crashed t p = t.crash_until.(p) > t.time
 
@@ -141,7 +174,7 @@ module Make (N : NODE) = struct
      attached right after [create] (the normal case) that is exactly
      the recorded Init snapshot. *)
   let add_observer t f =
-    t.observers <- t.observers @ [ f ];
+    Vec.push t.observers f;
     f { Observer.time = t.time; event = Trace.Init; states = t.states }
 
   let observe t o =
@@ -149,26 +182,60 @@ module Make (N : NODE) = struct
     add_observer t feed;
     peek
 
+  (* Indexed mode: drop the processes whose crash window has elapsed
+     from [crashed_pids], retiring their lose flag (so a later
+     buffer-mode crash is not contaminated) and dirtying their action
+     cache — the same transitions the scan path discovers by comparing
+     [crashed] against [crashed_now] across all n. *)
+  let sync_recoveries t =
+    match t.crashed_pids with
+    | [] -> ()
+    | ps ->
+      t.crashed_pids <-
+        List.filter
+          (fun p ->
+            if t.crash_until.(p) > t.time then true
+            else begin
+              t.crashed_now.(p) <- false;
+              t.crash_lose.(p) <- false;
+              mark_dirty t p;
+              false
+            end)
+          ps
+
   (* While a lose-mode crash lasts, anything queued toward the dead
      process is lost; once a window elapses the lose flag is retired so
-     a later buffer-mode crash of the same process is not contaminated. *)
+     a later buffer-mode crash of the same process is not contaminated.
+     The drain enumerates only the nonempty inbound channels (via the
+     network's destination shard), skipping the unused self-channel
+     like the scan path's [Pid.others] walk. *)
+  let drain_inbound t p =
+    if t.crash_lose.(p) then begin
+      let srcs =
+        Network.fold_inbound_nonempty
+          (fun acc ~src -> if src = p then acc else src :: acc)
+          [] t.net ~dst:p
+      in
+      let lost = ref 0 in
+      List.iter
+        (fun src ->
+          lost := !lost + Network.channel_length t.net ~src ~dst:p;
+          t.net <- Network.flush_channel t.net ~src ~dst:p)
+        srcs;
+      if !lost > 0 then Metrics.note_dropped t.metrics !lost
+    end
+
   let apply_crash_effects t =
-    if t.crash_faults_seen then
-    Array.iteri
-      (fun p until ->
-        if until > t.time then begin
-          if t.crash_lose.(p) then begin
-            let lost = ref 0 in
-            List.iter
-              (fun src ->
-                lost := !lost + Network.channel_length t.net ~src ~dst:p;
-                t.net <- Network.flush_channel t.net ~src ~dst:p)
-              (Pid.others ~self:p ~n:t.cfg.n);
-            if !lost > 0 then Metrics.note_dropped t.metrics !lost
-          end
-        end
-        else t.crash_lose.(p) <- false)
-      t.crash_until
+    if t.cfg.indexed then begin
+      sync_recoveries t;
+      List.iter (fun p -> drain_inbound t p) t.crashed_pids
+    end
+    else if t.crash_faults_seen then
+      Array.iteri
+        (fun p until ->
+          if until > t.time then drain_inbound t p
+          else t.crash_lose.(p) <- false)
+        t.crash_until
 
   let dispatch t ~src ~label outbox =
     if not t.net_faults_seen then
@@ -190,7 +257,7 @@ module Make (N : NODE) = struct
                (readiness deferred to the heal); link delays compose
                on top of it *)
             let delay =
-              match t.delay_dists.((src * t.cfg.n) + dst) with
+              match Hashtbl.find_opt t.delay_dists ((src * t.cfg.n) + dst) with
               | None -> None
               | Some dist -> Some (Faults.draw_delay dist t.fault_rng)
             in
@@ -205,9 +272,16 @@ module Make (N : NODE) = struct
      step.  A move is addressed by its position in that sequence, and
      the weighted draw consumes the RNG exactly as [Rng.pick_weighted]
      did on the materialized list, so schedules are seed-for-seed
-     unchanged while the per-step allocation drops to the [N.actions]
-     calls alone. *)
-  let refresh_moves t =
+     unchanged.
+
+     Two implementations address that sequence.  The scan refresh
+     recounts all n processes (and, after a crash, all live channels)
+     every step.  The indexed refresh recounts only the dirtied
+     processes into the Fenwick tree and reads both totals in O(1) /
+     O(crashed); selection is then a Fenwick [select] or an [Oset]
+     [nth] — O(log n) a step instead of O(n).  Both count the same
+     moves in the same order, so the draw below is mode-blind. *)
+  let refresh_scan t =
     let d =
       if not t.crash_faults_seen then
         (* no crashes ever: every live channel is deliverable, and the
@@ -241,31 +315,74 @@ module Make (N : NODE) = struct
     done;
     (d, !i)
 
+  let refresh_indexed t =
+    sync_recoveries t;
+    Vec.iter
+      (fun p ->
+        let acts =
+          if t.crashed_now.(p) then [] else N.actions ~self:p t.states.(p)
+        in
+        t.acts.(p) <- acts;
+        Fenwick.set t.act_counts p (List.length acts);
+        t.acts_dirty.(p) <- false)
+      t.dirty;
+    Vec.clear t.dirty;
+    let d =
+      (* crashed destinations' inbound shards are whole contiguous key
+         ranges of the live set, so subtracting their counts equals the
+         scan path's per-channel deliverability filter *)
+      List.fold_left
+        (fun d p -> d - Network.live_into t.net ~dst:p)
+        (Network.live_count t.net)
+        t.crashed_pids
+    in
+    (d, Fenwick.total t.act_counts)
+
+  let refresh_moves t =
+    if t.cfg.indexed then refresh_indexed t else refresh_scan t
+
   exception Nth_chan of Pid.t * Pid.t
 
+  (* The k-th deliverable channel in (src, dst) order.  With no crash
+     window active every live channel qualifies: indexed mode selects
+     it in O(log n), scan mode walks to it (once per step, only for
+     the chosen move).  While a crash is active, both modes skip the
+     crashed destinations — the scan path from its scratch index, the
+     indexed path by walking the live set (crash windows are a
+     small-n chaos concern; the walk lasts only as long as they do). *)
+  let nth_live_walk t ~skip_crashed k =
+    let k = ref k in
+    try
+      Network.fold_nonempty
+        (fun () ~src ~dst ->
+          if skip_crashed && t.crashed_now.(dst) then ()
+          else if !k = 0 then raise (Nth_chan (src, dst))
+          else decr k)
+        () t.net;
+      assert false (* k < deliverable count *)
+    with Nth_chan (src, dst) -> (src, dst)
+
   let nth_delivery t k =
-    if t.crash_faults_seen then begin
+    if t.cfg.indexed then
+      if t.crashed_pids = [] then Network.nth_live t.net k
+      else nth_live_walk t ~skip_crashed:true k
+    else if t.crash_faults_seen then begin
       let i = t.deliv.(k) in
       (i / t.cfg.n, i mod t.cfg.n)
     end
-    else
-      (* walk to the k-th live channel; happens once per step, only
-         for the chosen move *)
-      let k = ref k in
-      try
-        Network.fold_nonempty
-          (fun () ~src ~dst ->
-            if !k = 0 then raise (Nth_chan (src, dst)) else decr k)
-          () t.net;
-        assert false (* k < live_count *)
-      with Nth_chan (src, dst) -> (src, dst)
+    else nth_live_walk t ~skip_crashed:false k
 
   let nth_internal t k =
-    let rec go p k =
-      let len = List.length t.acts.(p) in
-      if k < len then (p, List.nth t.acts.(p) k) else go (p + 1) (k - len)
-    in
-    go 0 k
+    if t.cfg.indexed then begin
+      let p = Fenwick.select t.act_counts k in
+      (p, List.nth t.acts.(p) (k - Fenwick.prefix t.act_counts p))
+    end
+    else
+      let rec go p k =
+        let len = List.length t.acts.(p) in
+        if k < len then (p, List.nth t.acts.(p) k) else go (p + 1) (k - len)
+      in
+      go 0 k
 
   let step t =
     if t.net_faults_seen then t.net <- Network.advance t.net ~now:t.time;
@@ -306,7 +423,7 @@ module Make (N : NODE) = struct
                N.receive ~self:dst ~from:src msg t.states.(dst)
              in
              t.states.(dst) <- state';
-             t.acts_dirty.(dst) <- true;
+             mark_dirty t dst;
              dispatch t ~src:dst ~label:"deliver" outbox;
              Trace.Deliver { src; dst; msg })
         | `Internal k ->
@@ -314,7 +431,7 @@ module Make (N : NODE) = struct
           Metrics.note_internal t.metrics;
           let state', outbox = f t.states.(p) in
           t.states.(p) <- state';
-          t.acts_dirty.(p) <- true;
+          mark_dirty t p;
           dispatch t ~src:p ~label outbox;
           Trace.Internal { pid = p; label }
       end
@@ -385,13 +502,13 @@ module Make (N : NODE) = struct
        List.iter
          (fun p ->
            t.states.(p) <- f t.fault_rng t.states.(p);
-           t.acts_dirty.(p) <- true)
+           mark_dirty t p)
          (Faults.select_procs ~n:t.cfg.n proc)
      | Reset_state { proc; f } ->
        List.iter
          (fun p ->
            t.states.(p) <- f p;
-           t.acts_dirty.(p) <- true)
+           mark_dirty t p)
          (Faults.select_procs ~n:t.cfg.n proc)
      | Crash { proc; until_t; lose_deliveries } ->
        t.crash_faults_seen <- true;
@@ -400,6 +517,15 @@ module Make (N : NODE) = struct
            if until_t > t.time then begin
              t.crash_until.(p) <- max t.crash_until.(p) until_t;
              t.crash_lose.(p) <- t.crash_lose.(p) || lose_deliveries;
+             (* indexed mode tracks the crash flip here rather than by
+                rescanning at refresh; the scan path discovers it from
+                [crash_until] alone, so [crashed_now] must stay
+                untouched for it *)
+             if t.cfg.indexed && not t.crashed_now.(p) then begin
+               t.crashed_now.(p) <- true;
+               t.crashed_pids <- p :: t.crashed_pids;
+               mark_dirty t p
+             end;
              Metrics.note_crashed t.metrics
            end)
          (Faults.select_procs ~n:t.cfg.n proc)
@@ -420,7 +546,7 @@ module Make (N : NODE) = struct
        t.net <- Network.advance t.net ~now:t.time;
        List.iter
          (fun (src, dst) ->
-           t.delay_dists.((src * t.cfg.n) + dst) <- Some dist)
+           Hashtbl.replace t.delay_dists ((src * t.cfg.n) + dst) dist)
          (Faults.select_chans ~n:t.cfg.n chan)
      | Heal ->
        (* a marker, not a mechanism: the heal itself is the partition
@@ -443,7 +569,11 @@ module Make (N : NODE) = struct
      engine stutters forever — the one early-exit condition that
      preserves the rest of the run exactly. *)
   let quiescent t =
-    (not (Array.exists (fun until -> until > t.time) t.crash_until))
+    (if t.cfg.indexed then begin
+       sync_recoveries t;
+       t.crashed_pids = []
+     end
+     else not (Array.exists (fun until -> until > t.time) t.crash_until))
     && begin
       (* staged messages become deliverable at a later step, so they
          are pending moves even though no channel is live yet *)

@@ -53,10 +53,18 @@ module Make (N : NODE) : sig
         (** scheduling weight of each enabled internal action *)
     policy : policy;
     record : bool;  (** keep a full trace (costs memory) *)
+    indexed : bool;
+        (** maintain incremental move indexes (a Fenwick tree of
+            per-process action counts and the network's rank/select
+            live set) so each step costs O(log n) instead of a full
+            O(n + channels) rescan — the default.  [false] keeps the
+            original scanning scheduler; both consume the RNG
+            identically, so schedules are seed-for-seed bit-identical
+            across the two (the equivalence suite checks this). *)
   }
 
   val config : ?deliver_weight:int -> ?internal_weight:int -> ?policy:policy ->
-    ?record:bool -> n:int -> seed:int -> unit -> config
+    ?record:bool -> ?indexed:bool -> n:int -> seed:int -> unit -> config
 
   type t
 

@@ -1,16 +1,18 @@
 open Stdext
-module Iset = Set.Make (Int)
 module Imap = Map.Make (Int)
 
-(* The channel matrix lives in a persistent array (one diff node per
-   update instead of an O(n^2) copy per message), and incremental
-   indexes ride along with every version: the set of channels with a
-   deliverable head — so [nonempty] enumerates live channels instead of
-   rescanning all n^2 — the set of channels whose head is staged for a
-   later step ([waiting]), and the total queued-message count, making
-   [in_flight]/[is_empty] O(1).  All are pure fields of the version, so
-   persistence is preserved: an old [t] still answers for its own
-   contents.
+(* Channels live in a sparse persistent map (absent key = empty
+   channel), so memory and [create] are O(occupied channels) instead of
+   O(n^2), and incremental indexes ride along with every version: the
+   set of channels with a deliverable head in a rank/select set
+   ({!Stdext.Oset}) — so [nonempty] enumerates live channels, the
+   scheduler's delivery draw is [nth_live] in O(log n), and a
+   destination-major mirror answers per-destination shard counts
+   ([live_into]) for crash bookkeeping — plus the set of channels whose
+   head is staged for a later step ([waiting]) and the total
+   queued-message count, making [in_flight]/[is_empty] O(1).  All are
+   pure fields of the version, so persistence is preserved: an old [t]
+   still answers for its own contents.
 
    Every message carries a ready step.  Plain sends stamp [now], so on
    fault-free runs [waiting] stays empty, heads are always ready, and
@@ -25,10 +27,14 @@ module Imap = Map.Make (Int)
 type 'm t = {
   n : int;
   now : int; (* last [advance] step; readiness is judged against it *)
-  chans : ('m * int) Fqueue.t Parray.t; (* (payload, ready step); src * n + dst *)
-  live : Iset.t; (* channels whose head is deliverable now *)
-  nlive : int; (* |live|, maintained incrementally (Set.cardinal is O(n)) *)
-  waiting : Iset.t; (* nonempty channels whose head is not ready yet *)
+  chans : ('m * int) Fqueue.t Imap.t;
+      (* (payload, ready step), keyed src * n + dst; absent = empty *)
+  live : Oset.t; (* src-major: channels whose head is deliverable now *)
+  live_dst : Oset.t;
+      (* the same channels keyed dst * n + src: contiguous key ranges
+         are destination shards, so inbound counts and enumeration are
+         rank queries instead of scans *)
+  waiting : Oset.t; (* src-major: nonempty channels, head not ready yet *)
   msgs : int; (* total queued messages, ready or not *)
   blocked : (int * [ `Lossy | `Buffered ]) Imap.t;
       (* partition mask: channel index -> (heal step, mode); consulted
@@ -40,18 +46,24 @@ let idx t ~src ~dst =
     invalid_arg "Network: pid out of range";
   (src * t.n) + dst
 
+(* dst-major mirror key of a src-major channel index *)
+let mirror t i = ((i mod t.n) * t.n) + (i / t.n)
+
 let create ~n =
   if n <= 0 then invalid_arg "Network.create: need n > 0";
   { n;
     now = 0;
-    chans = Parray.make (n * n) Fqueue.empty;
-    live = Iset.empty;
-    nlive = 0;
-    waiting = Iset.empty;
+    chans = Imap.empty;
+    live = Oset.empty;
+    live_dst = Oset.empty;
+    waiting = Oset.empty;
     msgs = 0;
     blocked = Imap.empty }
 
 let size t = t.n
+
+let chan t i =
+  match Imap.find_opt i t.chans with Some q -> q | None -> Fqueue.empty
 
 let status t q =
   match Fqueue.peek q with
@@ -59,27 +71,28 @@ let status t q =
   | Some (_, ready) -> if ready <= t.now then `Live else `Waiting
 
 let update t i q =
-  let old = Parray.get t.chans i in
+  let old = chan t i in
   let olds = status t old and news = status t q in
-  let live, nlive, waiting =
-    if olds = news then (t.live, t.nlive, t.waiting)
+  let live, live_dst, waiting =
+    if olds = news then (t.live, t.live_dst, t.waiting)
     else begin
-      let live, nlive, waiting =
+      let live, live_dst, waiting =
         match olds with
-        | `Live -> (Iset.remove i t.live, t.nlive - 1, t.waiting)
-        | `Waiting -> (t.live, t.nlive, Iset.remove i t.waiting)
-        | `Empty -> (t.live, t.nlive, t.waiting)
+        | `Live -> (Oset.remove i t.live, Oset.remove (mirror t i) t.live_dst, t.waiting)
+        | `Waiting -> (t.live, t.live_dst, Oset.remove i t.waiting)
+        | `Empty -> (t.live, t.live_dst, t.waiting)
       in
       match news with
-      | `Live -> (Iset.add i live, nlive + 1, waiting)
-      | `Waiting -> (live, nlive, Iset.add i waiting)
-      | `Empty -> (live, nlive, waiting)
+      | `Live -> (Oset.add i live, Oset.add (mirror t i) live_dst, waiting)
+      | `Waiting -> (live, live_dst, Oset.add i waiting)
+      | `Empty -> (live, live_dst, waiting)
     end
   in
   { t with
-    chans = Parray.set t.chans i q;
+    chans =
+      (if Fqueue.is_empty q then Imap.remove i t.chans else Imap.add i q t.chans);
     live;
-    nlive;
+    live_dst;
     waiting;
     msgs = t.msgs - Fqueue.length old + Fqueue.length q }
 
@@ -93,16 +106,16 @@ let advance t ~now =
         { t with
           blocked = Imap.filter (fun _ (until, _) -> until > now) t.blocked }
     in
-    if Iset.is_empty t.waiting then t
+    if Oset.is_empty t.waiting then t
     else
-      Iset.fold
+      Oset.fold
         (fun i t ->
-          match Fqueue.peek (Parray.get t.chans i) with
+          match Fqueue.peek (chan t i) with
           | Some (_, ready) when ready <= now ->
             { t with
-              live = Iset.add i t.live;
-              nlive = t.nlive + 1;
-              waiting = Iset.remove i t.waiting }
+              live = Oset.add i t.live;
+              live_dst = Oset.add (mirror t i) t.live_dst;
+              waiting = Oset.remove i t.waiting }
           | _ -> t)
         t.waiting t
   end
@@ -129,34 +142,56 @@ let send ?delay t ~src ~dst m =
       | Some (until, `Buffered) when until > t.now -> max ready until
       | _ -> ready
   in
-  update t i (Fqueue.push (m, ready) (Parray.get t.chans i))
+  update t i (Fqueue.push (m, ready) (chan t i))
 
 let deliver t ~src ~dst =
   let i = idx t ~src ~dst in
-  match Fqueue.pop (Parray.get t.chans i) with
+  match Fqueue.pop (chan t i) with
   | Some ((m, ready), q) when ready <= t.now -> Some (m, update t i q)
   | _ -> None (* empty, or head staged for a later step *)
 
-let peek t ~src ~dst =
-  Option.map fst (Fqueue.peek (Parray.get t.chans (idx t ~src ~dst)))
+let peek t ~src ~dst = Option.map fst (Fqueue.peek (chan t (idx t ~src ~dst)))
 
 let contents t ~src ~dst =
-  List.map fst (Fqueue.to_list (Parray.get t.chans (idx t ~src ~dst)))
+  List.map fst (Fqueue.to_list (chan t (idx t ~src ~dst)))
 
-let channel_length t ~src ~dst =
-  Fqueue.length (Parray.get t.chans (idx t ~src ~dst))
+let channel_length t ~src ~dst = Fqueue.length (chan t (idx t ~src ~dst))
 
-(* [Iset.elements] is ascending, and index order is (src, dst)
+(* [Oset] iterates ascending, and src-major index order is (src, dst)
    lexicographic order — the order the scheduler has always seen. *)
 let nonempty t =
-  List.map (fun i -> (i / t.n, i mod t.n)) (Iset.elements t.live)
+  List.map (fun i -> (i / t.n, i mod t.n)) (Oset.elements t.live)
 
 let fold_nonempty f acc t =
-  Iset.fold (fun i acc -> f acc ~src:(i / t.n) ~dst:(i mod t.n)) t.live acc
+  Oset.fold (fun i acc -> f acc ~src:(i / t.n) ~dst:(i mod t.n)) t.live acc
 
-let live_count t = t.nlive
+let nth_live t k =
+  let i = Oset.nth t.live k in
+  (i / t.n, i mod t.n)
 
-let waiting_count t = Iset.cardinal t.waiting
+let live_count t = Oset.cardinal t.live
+
+let live_into t ~dst =
+  Oset.count_range t.live_dst ~lo:(dst * t.n) ~hi:((dst * t.n) + t.n)
+
+(* Every nonempty channel into [dst], staged heads included — the
+   crash drain's enumeration.  Cost is O(log n + inbound live) plus the
+   (normally empty) waiting set. *)
+let fold_inbound_nonempty f acc t ~dst =
+  let acc =
+    Oset.fold_range
+      ~lo:(dst * t.n)
+      ~hi:((dst * t.n) + t.n)
+      (fun i acc -> f acc ~src:(i - (dst * t.n)))
+      t.live_dst acc
+  in
+  if Oset.is_empty t.waiting then acc
+  else
+    Oset.fold
+      (fun i acc -> if i mod t.n = dst then f acc ~src:(i / t.n) else acc)
+      t.waiting acc
+
+let waiting_count t = Oset.cardinal t.waiting
 
 let in_flight t = t.msgs
 
@@ -184,34 +219,32 @@ let apply_split t ~pairs ~until ~mode =
           (update t i Fqueue.empty, dropped + lost)
         | `Buffered ->
           let q =
-            Fqueue.map
-              (fun (m, ready) -> (m, max ready until))
-              (Parray.get t.chans i)
+            Fqueue.map (fun (m, ready) -> (m, max ready until)) (chan t i)
           in
           (update t i q, dropped))
       (t, 0) pairs
 
 let drop_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos (Parray.get t.chans i) with
+  match Fqueue.remove_at pos (chan t i) with
   | None -> t
   | Some (_, q) -> update t i q
 
 let duplicate_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos (Parray.get t.chans i) with
+  match Fqueue.remove_at pos (chan t i) with
   | None -> t
   | Some (m, q) -> update t i (Fqueue.insert_at pos m (Fqueue.insert_at pos m q))
 
 let corrupt_at t ~src ~dst ~pos ~f =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos (Parray.get t.chans i) with
+  match Fqueue.remove_at pos (chan t i) with
   | None -> t
   | Some ((m, ready), q) -> update t i (Fqueue.insert_at pos (f m, ready) q)
 
 let reorder_at t ~src ~dst ~pos =
   let i = idx t ~src ~dst in
-  match Fqueue.remove_at pos (Parray.get t.chans i) with
+  match Fqueue.remove_at pos (chan t i) with
   | None -> t
   | Some (m, q) -> update t i (Fqueue.push m q)
 
@@ -219,10 +252,10 @@ let flush_channel t ~src ~dst = update t (idx t ~src ~dst) Fqueue.empty
 
 let flush_all t =
   { t with
-    chans = Parray.make (t.n * t.n) Fqueue.empty;
-    live = Iset.empty;
-    nlive = 0;
-    waiting = Iset.empty;
+    chans = Imap.empty;
+    live = Oset.empty;
+    live_dst = Oset.empty;
+    waiting = Oset.empty;
     msgs = 0 }
 
 (* [map] preserves queue lengths and ready stamps, so the indexes
@@ -230,24 +263,23 @@ let flush_all t =
 let map f t =
   { t with
     chans =
-      Parray.init (t.n * t.n) (fun i ->
-          Fqueue.map (fun (m, ready) -> (f m, ready)) (Parray.get t.chans i)) }
+      Imap.map (Fqueue.map (fun (m, ready) -> (f m, ready))) t.chans }
 
 (* Folds and snapshots cover every queued message, staged or not —
    live ∪ waiting is exactly the nonempty channels. *)
-let occupied t = Iset.union t.live t.waiting
+let occupied t = Oset.union t.live t.waiting
 
 let fold_messages f acc t =
-  Iset.fold
+  Oset.fold
     (fun i acc ->
       let src = i / t.n and dst = i mod t.n in
       List.fold_left
         (fun acc (m, _) -> f acc ~src ~dst m)
         acc
-        (Fqueue.to_list (Parray.get t.chans i)))
+        (Fqueue.to_list (chan t i)))
     (occupied t) acc
 
 let snapshot t =
   List.map
     (fun i -> (i / t.n, i mod t.n, contents t ~src:(i / t.n) ~dst:(i mod t.n)))
-    (Iset.elements (occupied t))
+    (Oset.elements (occupied t))

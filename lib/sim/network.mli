@@ -3,10 +3,12 @@
 
     The structure is persistent so that the engine can snapshot channel
     contents into traces and so fault injection is a pure
-    transformation.  Internally it is a {!Stdext.Parray} plus an
-    incremental nonempty-channel index: updates cost one diff node
-    (not an n{^2} copy), {!nonempty} is O(live channels) and
-    {!in_flight} is O(1).  Fault primitives (drop / duplicate /
+    transformation.  Internally channels live in a sparse map (absent
+    key = empty channel) indexed by two rank/select sets over channel
+    ids — one source-major, one destination-major — so {!create} and
+    memory are O(occupied channels) rather than O(n{^2}), {!nonempty}
+    is O(live channels), {!nth_live} and {!live_into} are O(log n),
+    and {!in_flight} is O(1).  Fault primitives (drop / duplicate /
     corrupt / flush / split / delay) are defined here; {e when} they
     fire is decided by {!Faults}.
 
@@ -77,8 +79,25 @@ val fold_nonempty :
     same (src, dst) order as {!nonempty}, without materializing the
     list — the scheduler's per-step path. *)
 
+val nth_live : 'm t -> int -> Pid.t * Pid.t
+(** [nth_live net k] is the [k]-th ready channel in the {!nonempty}
+    order, in O(log n) — the scheduler's delivery draw.
+    @raise Invalid_argument unless [0 <= k < live_count net]. *)
+
 val live_count : 'm t -> int
 (** [live_count net] is the number of ready channels, in O(1). *)
+
+val live_into : 'm t -> dst:Pid.t -> int
+(** [live_into net ~dst] counts ready channels into [dst], in
+    O(log n) — the scheduler subtracts crashed destinations' shards
+    from {!live_count} instead of rescanning. *)
+
+val fold_inbound_nonempty :
+  ('acc -> src:Pid.t -> 'acc) -> 'acc -> 'm t -> dst:Pid.t -> 'acc
+(** [fold_inbound_nonempty f acc net ~dst] folds over the sources of
+    every nonempty channel into [dst] — staged heads included — in
+    O(log n + inbound) when nothing is staged.  The crash drain's
+    enumeration. *)
 
 val waiting_count : 'm t -> int
 (** [waiting_count net] is the number of nonempty channels whose head

@@ -7,6 +7,8 @@ let range n = List.init n Fun.id
 
 let others ~self ~n = List.filter (fun k -> k <> self) (range n)
 
+let dense_threshold = 64
+
 let pp = Format.pp_print_int
 
 module Map = Map.Make (Int)

@@ -15,6 +15,15 @@ val others : self:t -> n:int -> t list
 (** [others ~self ~n] is [range n] without [self] — the paper's
     "(∀k : k ≠ j)" quantification domain. *)
 
+val dense_threshold : int
+(** Systems up to this size initialise their peer-keyed maps densely
+    (an explicit zero binding per peer, the historical representation);
+    above it they start sparse with absent keys reading as the zero
+    timestamp, so [init] is O(1) instead of O(n log n).  Small-n
+    behaviour — including the model checker's structural state
+    identity and the fault injector's draw sequence — is unchanged,
+    because below the threshold the representations coincide. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Map : Map.S with type key = t

@@ -1,0 +1,132 @@
+(* Size-augmented AVL set of ints: stdlib-Set balancing (height
+   difference at most 2) with a cardinality field in every node, which
+   adds O(log n) rank/select — the operations the network's live-channel
+   index needs that [Set.Make] cannot answer without an O(n) walk. *)
+
+type t = Leaf | Node of { l : t; v : int; r : t; h : int; s : int }
+
+let empty = Leaf
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+
+let cardinal = function Leaf -> 0 | Node { s; _ } -> s
+
+let mk l v r =
+  Node
+    { l;
+      v;
+      r;
+      h = 1 + max (height l) (height r);
+      s = 1 + cardinal l + cardinal r }
+
+let bal l v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 2 then
+    match l with
+    | Leaf -> assert false
+    | Node { l = ll; v = lv; r = lr; _ } ->
+      if height ll >= height lr then mk ll lv (mk lr v r)
+      else begin
+        match lr with
+        | Leaf -> assert false
+        | Node { l = lrl; v = lrv; r = lrr; _ } ->
+          mk (mk ll lv lrl) lrv (mk lrr v r)
+      end
+  else if hr > hl + 2 then
+    match r with
+    | Leaf -> assert false
+    | Node { l = rl; v = rv; r = rr; _ } ->
+      if height rr >= height rl then mk (mk l v rl) rv rr
+      else begin
+        match rl with
+        | Leaf -> assert false
+        | Node { l = rll; v = rlv; r = rlr; _ } ->
+          mk (mk l v rll) rlv (mk rlr rv rr)
+      end
+  else mk l v r
+
+let rec mem x = function
+  | Leaf -> false
+  | Node { l; v; r; _ } ->
+    if x = v then true else if x < v then mem x l else mem x r
+
+let rec add x = function
+  | Leaf -> mk Leaf x Leaf
+  | Node { l; v; r; _ } as t ->
+    if x = v then t
+    else if x < v then
+      let l' = add x l in
+      if l' == l then t else bal l' v r
+    else
+      let r' = add x r in
+      if r' == r then t else bal l v r'
+
+let rec min_elt = function
+  | Leaf -> invalid_arg "Oset.min_elt: empty"
+  | Node { l = Leaf; v; _ } -> v
+  | Node { l; _ } -> min_elt l
+
+let rec remove_min = function
+  | Leaf -> invalid_arg "Oset.remove_min: empty"
+  | Node { l = Leaf; r; _ } -> r
+  | Node { l; v; r; _ } -> bal (remove_min l) v r
+
+let merge l r =
+  match l, r with
+  | Leaf, t | t, Leaf -> t
+  | _, _ -> bal l (min_elt r) (remove_min r)
+
+let rec remove x = function
+  | Leaf -> Leaf
+  | Node { l; v; r; _ } as t ->
+    if x = v then merge l r
+    else if x < v then
+      let l' = remove x l in
+      if l' == l then t else bal l' v r
+    else
+      let r' = remove x r in
+      if r' == r then t else bal l v r'
+
+(* k-th smallest, 0-based — the index's select. *)
+let rec nth t k =
+  match t with
+  | Leaf -> invalid_arg "Oset.nth: rank out of range"
+  | Node { l; v; r; _ } ->
+    let cl = cardinal l in
+    if k < cl then nth l k else if k = cl then v else nth r (k - cl - 1)
+
+(* Number of elements strictly below [x] — the index's rank. *)
+let rec count_below t x =
+  match t with
+  | Leaf -> 0
+  | Node { l; v; r; _ } ->
+    if x <= v then count_below l x else cardinal l + 1 + count_below r x
+
+(* Elements in the half-open interval [lo, hi). *)
+let count_range t ~lo ~hi =
+  if hi <= lo then 0 else count_below t hi - count_below t lo
+
+let rec fold f t acc =
+  match t with
+  | Leaf -> acc
+  | Node { l; v; r; _ } -> fold f r (f v (fold f l acc))
+
+let rec fold_range ~lo ~hi f t acc =
+  match t with
+  | Leaf -> acc
+  | Node { l; v; r; _ } ->
+    let acc = if lo < v then fold_range ~lo ~hi f l acc else acc in
+    let acc = if lo <= v && v < hi then f v acc else acc in
+    if v + 1 < hi then fold_range ~lo ~hi f r acc else acc
+
+let elements t = List.rev (fold (fun v acc -> v :: acc) t [])
+
+let union a b =
+  (* fold the smaller set into the larger: the index only unions the
+     (usually tiny) waiting set into the live set for snapshots *)
+  let small, big = if cardinal a <= cardinal b then (a, b) else (b, a) in
+  fold add small big
+
+let of_list xs = List.fold_left (fun t x -> add x t) empty xs

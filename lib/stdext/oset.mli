@@ -1,0 +1,46 @@
+(** Persistent ordered int set with O(log n) rank and select.
+
+    A size-augmented AVL tree: the network keeps its live-channel
+    indexes in this structure because the scheduler's delivery draw
+    needs "the [k]-th live channel in ascending order" ({!nth}) and the
+    destination-sharded counts need "how many elements in [lo, hi)"
+    ({!count_range}) — both O(log n), neither answerable by [Set.Make]
+    without a linear walk.  Persistence is load-bearing: network
+    versions share index nodes, so trace snapshots stay free. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** O(1): every node carries its subtree size. *)
+
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val nth : t -> int -> int
+(** [nth t k] is the [k]-th smallest element (0-based), O(log n).
+    @raise Invalid_argument unless [0 <= k < cardinal t]. *)
+
+val count_below : t -> int -> int
+(** [count_below t x] is the number of elements strictly below [x]. *)
+
+val count_range : t -> lo:int -> hi:int -> int
+(** [count_range t ~lo ~hi] is the number of elements in [\[lo, hi)]. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val fold_range : lo:int -> hi:int -> (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_range ~lo ~hi f t acc] folds the elements in [\[lo, hi)] in
+    ascending order, visiting only O(log n + matches) nodes. *)
+
+val elements : t -> int list
+(** Ascending order. *)
+
+val union : t -> t -> t
+(** [union a b] folds the smaller set into the larger. *)
+
+val of_list : int list -> t

@@ -33,3 +33,24 @@ let min_max = function
     List.fold_left (fun (lo, hi) y -> (min lo y, max hi y)) (x, x) xs
 
 let mean_int xs = mean (List.map float_of_int xs)
+
+(* Exact percentiles over a sample Vec: one sort, then one nearest-rank
+   lookup per requested percentile — the load bench asks for p50/p99/
+   p999 of the same latency sample, so sorting once matters.  The rank
+   formula is byte-identical to [percentile]'s, so list- and Vec-based
+   aggregations agree. *)
+let percentiles v ps =
+  let xs = Vec.to_array v in
+  Array.sort compare xs;
+  let n = Array.length xs in
+  List.map
+    (fun p ->
+      if n = 0 then nan
+      else
+        let rank =
+          int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+          |> max 0
+          |> min (n - 1)
+        in
+        xs.(rank))
+    ps

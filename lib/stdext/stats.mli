@@ -23,3 +23,10 @@ val sum : float list -> float
 
 val mean_int : int list -> float
 (** [mean_int xs] is the mean of integer samples. *)
+
+val percentiles : float Vec.t -> float list -> float list
+(** [percentiles v ps] computes one nearest-rank percentile per entry
+    of [ps] (e.g. [[50.; 99.; 99.9]]) with a single sort of the sample
+    — exact, not estimated.  Each result is [nan] when [v] is empty;
+    ties and singletons follow the same nearest-rank rule as
+    {!percentile}, with which this agrees value-for-value. *)

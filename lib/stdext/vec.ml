@@ -21,3 +21,14 @@ let push v x =
   v.len <- v.len + 1
 
 let to_list v = List.init v.len (fun i -> Array.unsafe_get v.data i)
+
+let to_array v = Array.sub v.data 0 v.len
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+(* Keeps the backing array, so a cleared scratch Vec refills without
+   reallocating — the engine's per-step dirty list relies on this. *)
+let clear v = v.len <- 0

@@ -22,3 +22,13 @@ val push : 'a t -> 'a -> unit
 
 val to_list : 'a t -> 'a list
 (** [to_list v] lists elements in push order. *)
+
+val to_array : 'a t -> 'a array
+(** [to_array v] copies the elements into a fresh array, push order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f v] applies [f] in push order. *)
+
+val clear : 'a t -> unit
+(** [clear v] resets the length to 0, keeping the backing storage — a
+    scratch Vec refills without reallocating. *)

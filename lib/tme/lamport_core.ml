@@ -51,7 +51,6 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
   type state = {
     self : Sim.Pid.t;
     n : int;
-    peers : Sim.Pid.t list;  (* [others ~self ~n], computed once *)
     mode : View.mode;
     clock : Logical_clock.t;
     req : Timestamp.t;
@@ -61,12 +60,11 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
 
   let name = C.name
 
-  let peers s = s.peers
+  let peers s = Sim.Pid.others ~self:s.self ~n:s.n
 
   let init ~n self =
     { self;
       n;
-      peers = Sim.Pid.others ~self ~n;
       mode = View.Thinking;
       clock = Logical_clock.create ~pid:self;
       req = Timestamp.zero ~pid:self;
@@ -132,8 +130,14 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     in
     (s, List.map (fun k -> (k, Msg.Request ts)) (peers s))
 
+  (* Early-exit loop over the pid range (no peers list): the first
+     missing grant ends the check, so the n-1 failed attempts a grant
+     takes cost O(n log n) total, not O(n^2). *)
   let granted_by_all s =
-    List.for_all (fun k -> Sim.Pid.Map.mem k s.grant) (peers s)
+    let rec go k =
+      k >= s.n || ((k = s.self || Sim.Pid.Map.mem k s.grant) && go (k + 1))
+    in
+    go 0
 
   let head_allows s =
     match C.entry_rule with

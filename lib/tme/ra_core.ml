@@ -26,30 +26,38 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
   type state = {
     self : Sim.Pid.t;
     n : int;
-    peers : Sim.Pid.t list;  (* [others ~self ~n], computed once *)
     mode : View.mode;
     clock : Logical_clock.t;
     req : Timestamp.t;  (* REQ_j *)
-    local_req : Timestamp.t Sim.Pid.Map.t;  (* j.REQ_k *)
+    local_req : Timestamp.t Sim.Pid.Map.t;
+        (* j.REQ_k; an absent key reads as [Timestamp.zero ~pid:k], so
+           large systems start sparse (see {!Sim.Pid.dense_threshold})
+           without changing a single observable value *)
     received : Sim.Pid.Set.t;  (* received(j.REQ_k): request pending reply *)
   }
 
   let name = C.name
 
-  let peers s = s.peers
+  let peers s = Sim.Pid.others ~self:s.self ~n:s.n
+
+  let local_req_of s k =
+    match Sim.Pid.Map.find_opt k s.local_req with
+    | Some ts -> ts
+    | None -> Timestamp.zero ~pid:k
 
   let init ~n self =
     { self;
       n;
-      peers = Sim.Pid.others ~self ~n;
       mode = View.Thinking;
       clock = Logical_clock.create ~pid:self;
       req = Timestamp.zero ~pid:self;
       local_req =
-        List.fold_left
-          (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
-          Sim.Pid.Map.empty
-          (Sim.Pid.others ~self ~n);
+        (if n <= Sim.Pid.dense_threshold then
+           List.fold_left
+             (fun m k -> Sim.Pid.Map.add k (Timestamp.zero ~pid:k) m)
+             Sim.Pid.Map.empty
+             (Sim.Pid.others ~self ~n)
+         else Sim.Pid.Map.empty);
       received = Sim.Pid.Set.empty }
 
   let view s =
@@ -66,10 +74,16 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     let s = { s with clock; req = ts; mode = View.Hungry } in
     (s, List.map (fun k -> (k, Msg.Request ts)) (peers s))
 
+  (* ∀k ≠ j: REQ_j lt j.REQ_k — an early-exit loop over the pid range
+     rather than a materialized peers list: across the n-1 attempts a
+     grant takes as replies trickle in, the expected total is O(n log n)
+     reads (the failing k moves right as replies arrive), not O(n^2). *)
   let earliest s =
-    List.for_all
-      (fun k -> Timestamp.lt s.req (Sim.Pid.Map.find k s.local_req))
-      (peers s)
+    let rec go k =
+      k >= s.n
+      || ((k = s.self || Timestamp.lt s.req (local_req_of s k)) && go (k + 1))
+    in
+    go 0
 
   let try_enter s =
     if s.mode = View.Hungry && earliest s then begin
@@ -78,12 +92,15 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     end
     else None
 
+  (* Walking [received] (ascending, like the peers list it replaces)
+     costs O(deferred), not O(n) — only processes that actually sent a
+     pending request are candidates. *)
   let deferred_set s =
-    List.filter
-      (fun k ->
-        Sim.Pid.Set.mem k s.received
-        && Timestamp.lt s.req (Sim.Pid.Map.find k s.local_req))
-      (peers s)
+    Sim.Pid.Set.fold
+      (fun k acc ->
+        if Timestamp.lt s.req (local_req_of s k) then k :: acc else acc)
+      s.received []
+    |> List.rev
 
   let release_cs s =
     let deferred = deferred_set s in

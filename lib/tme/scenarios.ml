@@ -49,14 +49,14 @@ type result = {
 
 let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
     ?(live_monitors = false) ?tail_margin ?(think = (2, 8)) ?(eat = (1, 3))
-    ?(passive = []) (module P : Graybox.Protocol.S) ~n ~seed ~steps =
+    ?(passive = []) ?indexed (module P : Graybox.Protocol.S) ~n ~seed ~steps =
   let module Run = H.Make (P) in
   let think_min, think_max = think and eat_min, eat_max = eat in
   let params =
     H.params ~wrapper ~think_min ~think_max ~eat_min ~eat_max ~passive ~n ()
   in
   let record = record && not streaming in
-  let engine = Run.make_engine ~record params ~seed in
+  let engine = Run.make_engine ~record ?indexed params ~seed in
   let lower = function
     | Drop_requests { at; per_chan } ->
       [ Sim.Faults.at at

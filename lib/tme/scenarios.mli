@@ -96,6 +96,7 @@ val run :
   ?think:(int * int) ->
   ?eat:(int * int) ->
   ?passive:Sim.Pid.t list ->
+  ?indexed:bool ->
   (module Graybox.Protocol.S) ->
   n:int -> seed:int -> steps:int -> result
 (** [run proto ~n ~seed ~steps] executes one scenario.  With

@@ -140,12 +140,34 @@ let test_experiments_partition_section () =
          [ R.Recovers_after_heal; R.Deadlocks ])
 
 (* ------------------------------------------------------------------ *)
+(* EXPERIMENTS.md: the LOAD section exists, names the schema, the      *)
+(* methodology caveat, and every reference protocol it sweeps          *)
+
+let test_experiments_load_section () =
+  let text = Lazy.force experiments in
+  check_mentions "EXPERIMENTS.md" text
+    ([ "## Open-loop load (LOAD, `BENCH_load.json`)";
+       "graybox-bench-load/1"; "coordinated omission"; "open-loop";
+       "p50/p99/p999"; "--scan" ]
+     @ List.map
+         (fun (e : R.entry) -> e.R.name)
+         (R.all ~role:R.Reference ()))
+
+(* ------------------------------------------------------------------ *)
 (* DESIGN.md: the inventory covers the partition fault model           *)
 
 let test_design_inventory () =
   check_mentions "DESIGN.md" (Lazy.force design)
     [ "`Split`"; "`Delay`"; "`Heal`"; "partition_expectation";
       "`Lossy`/`Buffered`"; "BENCH_partition.json"; "delivery-ready staging" ]
+
+let test_design_move_indexes () =
+  check_mentions "DESIGN.md" (Lazy.force design)
+    [ "move indexes"; "Fenwick"; "rank/select"; "bit-identical";
+      "~indexed:false"; "dense_threshold"; "Tme.Load" ];
+  (* the README must tell the same scale story *)
+  check_mentions "README.md" (Lazy.force readme)
+    [ "BENCH_load.json"; "p50/p99/p999"; "--scan"; "coordinated omission" ]
 
 let () =
   Alcotest.run "docs"
@@ -156,7 +178,11 @@ let () =
             test_readme_fault_model_table ] );
       ( "experiments",
         [ Alcotest.test_case "partition section present and named" `Quick
-            test_experiments_partition_section ] );
+            test_experiments_partition_section;
+          Alcotest.test_case "load section present and named" `Quick
+            test_experiments_load_section ] );
       ( "design",
         [ Alcotest.test_case "inventory covers the partition model" `Quick
-            test_design_inventory ] ) ]
+            test_design_inventory;
+          Alcotest.test_case "move-index architecture documented" `Quick
+            test_design_move_indexes ] ) ]

@@ -284,6 +284,173 @@ let prop_stats_mean_bounds =
       let m = Stats.mean xs in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+let vec_of_list xs =
+  let v = Vec.create () in
+  List.iter (Vec.push v) xs;
+  v
+
+let test_stats_percentiles_empty () =
+  Alcotest.(check bool) "all nan" true
+    (List.for_all Float.is_nan
+       (Stats.percentiles (Vec.create ()) [ 50.; 99.; 99.9 ]));
+  Alcotest.(check (list feq)) "no percentiles asked" []
+    (Stats.percentiles (vec_of_list [ 1.; 2. ]) [])
+
+let test_stats_percentiles_singleton () =
+  Alcotest.(check (list feq)) "every percentile is the sample"
+    [ 7.; 7.; 7.; 7. ]
+    (Stats.percentiles (vec_of_list [ 7. ]) [ 0.; 50.; 99.9; 100. ])
+
+let test_stats_percentiles_ties () =
+  (* tie-heavy sample: nearest-rank must land inside the tied run, and
+     the p999 of a mostly-constant sample is the rare outlier only when
+     the sample is large enough to resolve it *)
+  let heavy = List.init 999 (fun _ -> 5.) @ [ 100. ] in
+  Alcotest.(check (list feq)) "ties" [ 5.; 5.; 100.; 100. ]
+    (Stats.percentiles (vec_of_list heavy) [ 50.; 99.; 99.91; 100. ]);
+  let small = [ 5.; 5.; 5.; 5.; 100. ] in
+  Alcotest.(check (list feq)) "small sample tail" [ 5.; 100.; 100. ]
+    (Stats.percentiles (vec_of_list small) [ 50.; 99.; 99.9 ])
+
+let prop_stats_percentiles_agree =
+  (* one sort for many percentiles must agree value-for-value with the
+     list-based single-percentile call (chaos campaign reports rely on
+     this to keep goldens stable across the retrofit) *)
+  qtest "percentiles = map percentile"
+    QCheck2.Gen.(
+      pair
+        (list_size (1 -- 60) (float_bound_inclusive 100.))
+        (list_size (0 -- 6) (float_bound_inclusive 100.)))
+    (fun (xs, ps) ->
+      Stats.percentiles (vec_of_list xs) ps
+      = List.map (fun p -> Stats.percentile p xs) ps)
+
+(* ------------------------------------------------------------------ *)
+(* Fenwick                                                             *)
+
+let test_fenwick_basics () =
+  let t = Fenwick.create 5 in
+  Alcotest.(check int) "length" 5 (Fenwick.length t);
+  Alcotest.(check int) "fresh total" 0 (Fenwick.total t);
+  Fenwick.set t 0 2;
+  Fenwick.set t 3 1;
+  Fenwick.add t 3 2;
+  Alcotest.(check int) "get" 3 (Fenwick.get t 3);
+  Alcotest.(check int) "total" 5 (Fenwick.total t);
+  Alcotest.(check int) "prefix 0" 0 (Fenwick.prefix t 0);
+  Alcotest.(check int) "prefix mid" 2 (Fenwick.prefix t 3);
+  Alcotest.(check int) "prefix all" 5 (Fenwick.prefix t 5);
+  (* weight units 0,1 live in slot 0; units 2,3,4 in slot 3 *)
+  Alcotest.(check (list int)) "select walk" [ 0; 0; 3; 3; 3 ]
+    (List.init 5 (Fenwick.select t));
+  Alcotest.check_raises "select out of range"
+    (Invalid_argument "Fenwick.select: rank out of range") (fun () ->
+      ignore (Fenwick.select t 5));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Fenwick.add: negative weight") (fun () ->
+      Fenwick.add t 0 (-3))
+
+let prop_fenwick_matches_array_model =
+  (* random set/add sequences against a plain int array: get, total,
+     every prefix, and a full select walk must agree with the model at
+     every step *)
+  qtest "fenwick = array model" ~count:100
+    QCheck2.Gen.(
+      pair (1 -- 12) (list_size (0 -- 60) (triple bool (0 -- 11) (0 -- 5))))
+    (fun (n, ops) ->
+      let t = Fenwick.create n in
+      let model = Array.make n 0 in
+      List.for_all
+        (fun (is_set, i, v) ->
+          let i = i mod n in
+          if is_set then begin
+            Fenwick.set t i v;
+            model.(i) <- v
+          end
+          else begin
+            Fenwick.add t i v;
+            model.(i) <- model.(i) + v
+          end;
+          let total = Array.fold_left ( + ) 0 model in
+          let prefix i = Array.fold_left ( + ) 0 (Array.sub model 0 i) in
+          let select k =
+            (* first slot whose cumulative weight exceeds k *)
+            let rec go i acc =
+              if acc + model.(i) > k then i else go (i + 1) (acc + model.(i))
+            in
+            go 0 0
+          in
+          Fenwick.total t = total
+          && List.for_all (fun i -> Fenwick.get t i = model.(i))
+               (List.init n Fun.id)
+          && List.for_all (fun i -> Fenwick.prefix t i = prefix i)
+               (List.init (n + 1) Fun.id)
+          && List.for_all (fun k -> Fenwick.select t k = select k)
+               (List.init total Fun.id))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Oset                                                                *)
+
+let test_oset_basics () =
+  let s = Oset.of_list [ 7; 3; 11; 3; 5 ] in
+  Alcotest.(check int) "cardinal dedups" 4 (Oset.cardinal s);
+  Alcotest.(check (list int)) "elements ascending" [ 3; 5; 7; 11 ]
+    (Oset.elements s);
+  Alcotest.(check int) "nth" 7 (Oset.nth s 2);
+  Alcotest.(check int) "count_below" 2 (Oset.count_below s 6);
+  Alcotest.(check int) "count_range" 2 (Oset.count_range s ~lo:5 ~hi:11);
+  Alcotest.(check (list int)) "fold_range ascending" [ 5; 7 ]
+    (List.rev (Oset.fold_range ~lo:4 ~hi:8 (fun x acc -> x :: acc) s []));
+  Alcotest.(check bool) "mem" true (Oset.mem 5 s);
+  Alcotest.(check bool) "remove" false (Oset.mem 5 (Oset.remove 5 s));
+  Alcotest.(check int) "persistent" 4 (Oset.cardinal s);
+  Alcotest.check_raises "nth out of range"
+    (Invalid_argument "Oset.nth: rank out of range") (fun () ->
+      ignore (Oset.nth s 4))
+
+let prop_oset_matches_sorted_list_model =
+  (* random add/remove sequences against a sorted dedup'd list model:
+     membership, rank, select, range counts, and range folds must all
+     agree — these are exactly the queries the network's live-channel
+     index answers during scheduling *)
+  qtest "oset = sorted list model" ~count:150
+    QCheck2.Gen.(list_size (0 -- 80) (pair bool (0 -- 30)))
+    (fun ops ->
+      let s, model =
+        List.fold_left
+          (fun (s, m) (ins, x) ->
+            if ins then (Oset.add x s, List.sort_uniq compare (x :: m))
+            else (Oset.remove x s, List.filter (( <> ) x) m))
+          (Oset.empty, []) ops
+      in
+      let len = List.length model in
+      Oset.cardinal s = len
+      && Oset.elements s = model
+      && List.for_all (fun k -> Oset.nth s k = List.nth model k)
+           (List.init len Fun.id)
+      && List.for_all
+           (fun x ->
+             Oset.mem x s = List.mem x model
+             && Oset.count_below s x
+                = List.length (List.filter (fun y -> y < x) model))
+           (List.init 32 Fun.id)
+      && List.for_all
+           (fun lo ->
+             let hi = lo + 7 in
+             let expect = List.filter (fun y -> lo <= y && y < hi) model in
+             Oset.count_range s ~lo ~hi = List.length expect
+             && List.rev (Oset.fold_range ~lo ~hi (fun x acc -> x :: acc) s [])
+                = expect)
+           (List.init 28 Fun.id))
+
+let prop_oset_union =
+  qtest "union = list union" ~count:150
+    QCheck2.Gen.(pair (list_size (0 -- 40) (0 -- 50)) (list_size (0 -- 40) (0 -- 50)))
+    (fun (a, b) ->
+      Oset.elements (Oset.union (Oset.of_list a) (Oset.of_list b))
+      = List.sort_uniq compare (a @ b))
+
 (* ------------------------------------------------------------------ *)
 (* Vec                                                                 *)
 
@@ -415,4 +582,18 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "min_max" `Quick test_stats_min_max;
-          prop_stats_mean_bounds ] ) ]
+          prop_stats_mean_bounds;
+          Alcotest.test_case "percentiles empty" `Quick
+            test_stats_percentiles_empty;
+          Alcotest.test_case "percentiles singleton" `Quick
+            test_stats_percentiles_singleton;
+          Alcotest.test_case "percentiles ties" `Quick
+            test_stats_percentiles_ties;
+          prop_stats_percentiles_agree ] );
+      ( "fenwick",
+        [ Alcotest.test_case "basics" `Quick test_fenwick_basics;
+          prop_fenwick_matches_array_model ] );
+      ( "oset",
+        [ Alcotest.test_case "basics" `Quick test_oset_basics;
+          prop_oset_matches_sorted_list_model;
+          prop_oset_union ] ) ]
