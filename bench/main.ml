@@ -846,94 +846,142 @@ let perf () =
 (* ------------------------------------------------------------------ *)
 (* mcheck: the tracked model-checker benchmark (BENCH_mcheck.json)      *)
 
+type mc_cfg = {
+  mc_label : string;
+  mc_proto : (module Graybox.Protocol.S);
+  mc_n : int;
+  mc_depth : int;
+  mc_ew : bool;
+  mc_jobs : int;
+  mc_budget : int;  (* max_int = never spill *)
+  mc_por : bool;
+}
+
 let mcheck_bench () =
   let stats_of = function
     | Mcheck.Ok s -> (s, false)
     | Mcheck.Violation { stats; _ } -> (stats, true)
   in
-  let measure (label, proto, n, depth, everywhere, jobs) =
+  let measure c =
     let check () =
-      if everywhere then
-        Mcheck.check_me1_everywhere proto ~n ~jobs ~max_depth:depth
-          ~max_states:1_000_000 ()
+      if c.mc_ew then
+        Mcheck.check_me1_everywhere c.mc_proto ~n:c.mc_n ~jobs:c.mc_jobs
+          ~shards:(min c.mc_jobs 64) ~max_depth:c.mc_depth
+          ~max_states:1_000_000 ~mem_budget:c.mc_budget ~por:c.mc_por ()
       else
-        Mcheck.check_me1 proto ~n ~jobs ~max_depth:depth
-          ~max_states:1_000_000 ()
+        Mcheck.check_me1 c.mc_proto ~n:c.mc_n ~jobs:c.mc_jobs
+          ~shards:(min c.mc_jobs 64) ~max_depth:c.mc_depth
+          ~max_states:1_000_000 ~mem_budget:c.mc_budget ~por:c.mc_por ()
     in
     let r = check () in
     let dt = wall (fun () -> ignore (check ())) in
     let stats, violated = stats_of r in
-    (label, n, depth, everywhere, jobs, stats, violated, dt, r)
+    (c, stats, violated, dt, r)
   in
-  (* the n=3 depth-16 workload (>=100k states) runs once serially and
-     once with --jobs workers: the checker promises identical results
-     for every jobs value, so the bench asserts it on each run *)
+  (* The n=3 depth-16 workload (>=100k states) is the anchor: it runs
+     serially, sharded at jobs 2 and 8 (the checker promises identical
+     results for every jobs/shards value — asserted on each run),
+     spill-forced under a tight memory budget (identical results
+     modulo the memory figures — also asserted), and once with POR
+     (same verdict from strictly fewer states — asserted). *)
+  let base =
+    { mc_label = "ra"; mc_proto = ra; mc_n = 3; mc_depth = 16;
+      mc_ew = false; mc_jobs = 1; mc_budget = max_int; mc_por = false }
+  in
   let grid =
-    [ ("ra", ra, 2, 30, false, 1);
-      ("ra", ra, 3, 14, false, 1);
-      ("ra", ra, 3, 16, false, 1);
-      ("ra", ra, 3, 16, false, !jobs);
+    [ { base with mc_n = 2; mc_depth = 30 };
+      { base with mc_depth = 14 };
+      base;
+      { base with mc_jobs = 2 };
+      { base with mc_jobs = 8 };
+      { base with mc_jobs = 2; mc_budget = 100_000 };
+      { base with mc_por = true };
       (* depth 17 reaches the stale-reply hazard (see EXPERIMENTS.md):
          tracked here so the counterexample's cost stays visible *)
-      ("ra", ra, 3, 17, false, 1);
-      ("ra", ra, 2, 6, true, 1);
-      ( proto_name (module Tme.Ra_mutant),
-        (module Tme.Ra_mutant : Graybox.Protocol.S), 2, 12, false, 1 ) ]
+      { base with mc_depth = 17 };
+      { base with mc_n = 2; mc_depth = 6; mc_ew = true };
+      { base with mc_label = proto_name (module Tme.Ra_mutant);
+        mc_proto = (module Tme.Ra_mutant : Graybox.Protocol.S);
+        mc_n = 2; mc_depth = 12 } ]
   in
   let rows = List.map measure grid in
-  (match
-     List.filter
-       (fun (label, n, depth, ew, _, _, _, _, _) ->
-         label = "ra" && n = 3 && depth = 16 && not ew)
-       rows
-   with
-   | [ (_, _, _, _, _, s1, _, _, r1); (_, _, _, _, _, s2, _, _, r2) ] ->
-     if not (s1 = s2 && r1 = r2) then
-       failwith "mcheck bench: results differ across --jobs values"
-   | _ -> ());
+  let anchor c =
+    c.mc_label = "ra" && c.mc_n = 3 && c.mc_depth = 16 && not c.mc_ew
+  in
+  let find p = List.find (fun (c, _, _, _, _) -> p c) rows in
+  let _, s_serial, _, _, r_serial = find (fun c -> anchor c && c.mc_jobs = 1
+                                                   && c.mc_budget = max_int
+                                                   && not c.mc_por) in
+  List.iter
+    (fun (c, s, _, _, r) ->
+      if anchor c && c.mc_budget = max_int && not c.mc_por
+         && not (s = s_serial && r = r_serial)
+      then failwith "mcheck bench: results differ across --jobs values")
+    rows;
+  (let _, s_spill, _, _, _ =
+     find (fun c -> anchor c && c.mc_budget <> max_int)
+   in
+   if s_spill.Mcheck.spill_bytes = 0 then
+     failwith "mcheck bench: the spill row never spilled";
+   if
+     { s_spill with Mcheck.peak_mem_words = 0; spill_bytes = 0 }
+     <> { s_serial with Mcheck.peak_mem_words = 0; spill_bytes = 0 }
+   then failwith "mcheck bench: out-of-core results differ from in-RAM");
+  (let _, s_por, _, _, _ = find (fun c -> anchor c && c.mc_por) in
+   if s_por.Mcheck.visited >= s_serial.Mcheck.visited then
+     failwith "mcheck bench: POR did not reduce the state count");
   let table =
     Tabular.create
       [ "workload"; "mode"; "jobs"; "explored"; "visited"; "verdict";
-        "sec"; "states/sec" ]
+        "peak-mem-w"; "spill-MB"; "sec"; "states/sec" ]
   in
   List.iter
-    (fun (label, n, depth, ew, j, (s : Mcheck.stats), violated, dt, _) ->
+    (fun (c, (s : Mcheck.stats), violated, dt, _) ->
       Tabular.add_row table
-        [ Printf.sprintf "%s n=%d d=%d" label n depth;
-          (if ew then "everywhere" else "init");
-          string_of_int j;
+        [ Printf.sprintf "%s n=%d d=%d%s%s" c.mc_label c.mc_n c.mc_depth
+            (if c.mc_budget = max_int then "" else " oc")
+            (if c.mc_por then " por" else "");
+          (if c.mc_ew then "everywhere" else "init");
+          string_of_int c.mc_jobs;
           string_of_int s.Mcheck.explored;
           string_of_int s.Mcheck.visited;
           (if violated then "VIOLATED" else "safe");
+          string_of_int s.Mcheck.peak_mem_words;
+          Tabular.cell_float ~decimals:1
+            (float_of_int s.Mcheck.spill_bytes /. 1048576.);
           Tabular.cell_float dt;
           Tabular.cell_float ~decimals:0 (float_of_int s.Mcheck.explored /. dt) ])
     rows;
   Tabular.print
     ~title:
-      (Printf.sprintf
-         "MCHECK: exhaustive-checker throughput (identical results asserted \
-          for --jobs 1 and --jobs %d)"
-         !jobs)
+      "MCHECK: checker throughput ('oc' = out-of-core under --mem-budget; \
+       identical results asserted across jobs/shards and in-RAM vs spilled)"
     table;
   let json =
     Chaos.Jsonx.(
       Obj
-        [ ("schema", String "graybox-bench-mcheck/1");
+        [ ("schema", String "graybox-bench-mcheck/2");
           ("rows",
            List
              (List.map
-                (fun (label, n, depth, ew, j, (s : Mcheck.stats), violated,
-                      dt, _) ->
+                (fun (c, (s : Mcheck.stats), violated, dt, _) ->
                   Obj
-                    [ ("protocol", String label);
-                      ("n", Int n);
-                      ("depth", Int depth);
-                      ("mode", String (if ew then "everywhere" else "init"));
-                      ("jobs", Int j);
+                    [ ("protocol", String c.mc_label);
+                      ("n", Int c.mc_n);
+                      ("depth", Int c.mc_depth);
+                      ("mode", String (if c.mc_ew then "everywhere" else "init"));
+                      ("jobs", Int c.mc_jobs);
+                      ("shards", Int (min c.mc_jobs 64));
+                      ( "mem_budget",
+                        if c.mc_budget = max_int then Null
+                        else Int c.mc_budget );
+                      ("por", Bool c.mc_por);
                       ("explored", Int s.Mcheck.explored);
                       ("visited", Int s.Mcheck.visited);
                       ("truncated", Bool s.Mcheck.truncated);
                       ("violation", Bool violated);
+                      ("peak_mem_words", Int s.Mcheck.peak_mem_words);
+                      ("spill_bytes", Int s.Mcheck.spill_bytes);
                       ("sec", Float dt);
                       ("states_per_sec",
                        Float (float_of_int s.Mcheck.explored /. dt)) ])
@@ -1198,25 +1246,53 @@ let partition_bench () =
 
 let load_bench () =
   (* Every reference protocol under the same open-loop Poisson
-     workload at n = 100 / 1k / 10k: ~80 requests over a 400n-step
-     horizon at rate 0.2/n (constant offered load per horizon as n
-     grows).  Latency percentiles are exact (one sorted sample), and
-     measured from each request's intended arrival — see
-     EXPERIMENTS.md on coordinated omission.  Timing under contention
-     is unfair, so rows run serially regardless of --jobs; the row
-     CONTENTS are seed-deterministic either way. *)
-  let sizes = [ 100; 1_000; 10_000 ] in
+     workload at rate 0.2/n per step (constant offered load as n
+     grows, since a grant costs O(n) steps).  Latency percentiles are
+     exact (one sorted sample) and measured from each request's
+     intended arrival — see EXPERIMENTS.md on coordinated omission.
+
+     Sample sizes: a pX.Y figure computed from fewer than ~2/(1-q)
+     samples is just the maximum wearing a suit (the old 80-request
+     default produced 62 grants, making p99 and p99.9 the same order
+     statistic).  The latency rows (n = 100 and 1000) inject 2000
+     requests so p99.9 rests on real tail mass; the n = 10000 row
+     tracks throughput scale at 200 requests (2000 would need 1e8
+     steps at this rate), and any percentile its sample count cannot
+     support is reported as null, not as a lookalike.
+
+     Timing under contention is unfair, so rows run serially
+     regardless of --jobs (each row timed on its single run — the 1e7
+     steps of the big rows are sample enough); the row CONTENTS are
+     seed-deterministic either way. *)
+  let sizes = [ (100, 2000); (1_000, 2000); (10_000, 200) ] in
   let references = Registry.all ~role:Registry.Reference () in
-  let measure (e : Registry.entry) n =
-    let run () =
+  let measure (e : Registry.entry) (n, requests) =
+    let t0 = Unix.gettimeofday () in
+    let r =
       Tme.Load.run e.Registry.proto ~n ~seed:42
         ~rate:(0.2 /. float_of_int n)
-        ~max_requests:80 ~max_steps:(400 * n) ()
+        ~max_requests:requests
+        ~max_steps:(((5 * requests) + 400) * n)
+        ()
     in
-    let r = run () in
-    let dt = wall (fun () -> ignore (run ())) in
+    let dt = Unix.gettimeofday () -. t0 in
     let ps = Tme.Load.percentiles r [ 50.; 99.; 99.9 ] in
-    (e, n, r, float_of_int r.Tme.Load.steps_run /. dt, ps)
+    (* suppress a percentile unless at least 2 samples lie at or above
+       it: below that it degenerates to the sample maximum.  Exact
+       integer arithmetic in tenths of a percent — the float form
+       2000 *. (1. -. 0.999) lands just under 2. and misfires. *)
+    let supported =
+      List.map2
+        (fun q p ->
+          let tenths = int_of_float (Float.round (q *. 10.)) in
+          if
+            Float.is_nan p
+            || r.Tme.Load.grants * (1000 - tenths) < 2 * 1000
+          then None
+          else Some p)
+        [ 50.; 99.; 99.9 ] ps
+    in
+    (e, n, r, float_of_int r.Tme.Load.steps_run /. dt, supported)
   in
   let rows =
     List.concat_map (fun e -> List.map (measure e) sizes) references
@@ -1228,7 +1304,7 @@ let load_bench () =
   in
   let pct ps i =
     match List.nth_opt ps i with
-    | Some p when not (Float.is_nan p) -> Tabular.cell_float ~decimals:0 p
+    | Some (Some p) -> Tabular.cell_float ~decimals:0 p
     | _ -> "-"
   in
   List.iter
@@ -1242,22 +1318,22 @@ let load_bench () =
     rows;
   Tabular.print
     ~title:
-      "LOAD: open-loop Poisson workload (rate 0.2/n per step, 80 requests, \
-       horizon 400n; latency in steps from intended arrival)"
+      "LOAD: open-loop Poisson workload (rate 0.2/n per step, 2000 requests \
+       on the latency rows; latency in steps from intended arrival, '-' = \
+       too few samples for that percentile)"
     table;
   let json =
     Chaos.Jsonx.(
       Obj
         [ ("schema", String "graybox-bench-load/1");
           ("rate_per_n", Float 0.2);
-          ("max_requests", Int 80);
           ("rows",
            List
              (List.map
                 (fun ((e : Registry.entry), n, (r : Tme.Load.result), sps, ps) ->
                   let pct i =
                     match List.nth_opt ps i with
-                    | Some p when not (Float.is_nan p) -> Float p
+                    | Some (Some p) -> Float p
                     | _ -> Null
                   in
                   Obj
@@ -1265,6 +1341,7 @@ let load_bench () =
                       ("n", Int n);
                       ("seed", Int r.Tme.Load.seed);
                       ("rate", Float r.Tme.Load.rate);
+                      ("max_requests", Int r.Tme.Load.requests);
                       ("steps", Int r.Tme.Load.steps_run);
                       ("steps_per_sec", Float sps);
                       ("requests", Int r.Tme.Load.requests);

@@ -196,7 +196,10 @@ let load_cmd =
         match rate with Some r -> r | None -> 0.2 /. float_of_int n
       in
       let max_steps =
-        match max_steps with Some s -> s | None -> 400 * n
+        (* the default horizon scales with the request target: ~5*R*n
+           steps to inject R requests at the default 0.2/n rate, plus
+           a 400*n drain tail *)
+        match max_steps with Some s -> s | None -> ((5 * requests) + 400) * n
       in
       let t0 = Unix.gettimeofday () in
       let r =
@@ -236,11 +239,16 @@ let load_cmd =
     Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"RATE" ~doc)
   in
   let requests_arg =
-    let doc = "Stop injecting after this many requests." in
-    Arg.(value & opt int 80 & info [ "requests" ] ~docv:"R" ~doc)
+    let doc =
+      "Stop injecting after this many requests.  The default is sized \
+       so the p99.9 latency figure rests on real tail mass: at 80 \
+       requests (the old default) p99 and p99.9 were the same order \
+       statistic."
+    in
+    Arg.(value & opt int 2000 & info [ "requests" ] ~docv:"R" ~doc)
   in
   let max_steps_arg =
-    let doc = "Step horizon (default 400*n)." in
+    let doc = "Step horizon (default (5*R+400)*n)." in
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"STEPS" ~doc)
   in
   let scan_arg =
@@ -455,6 +463,37 @@ let mcheck_cmd =
          & info [ "max-states" ] ~docv:"K"
              ~doc:"Hard bound on the visited-state set.")
   in
+  let shards_arg =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"S"
+             ~doc:
+               "Visited-set shards, 1-64 (default: min(JOBS, 64)).  Every \
+                value returns identical results.")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "mem-budget" ] ~docv:"WORDS"
+             ~doc:
+               "Resident visited-key budget in words; beyond it, key \
+                arenas spill to temp files and the search keeps going \
+                out-of-core.  Default: unlimited (never spill).")
+  in
+  let spill_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spill-dir" ] ~docv:"DIR"
+             ~doc:
+               "Directory for spill files (default: the system temp \
+                dir).  Files are removed when the search finishes.")
+  in
+  let por_arg =
+    Arg.(value & flag
+         & info [ "por" ]
+             ~doc:
+               "Partial-order reduction: at states with a quiet receiver, \
+                explore only its deliveries.  Same verdict, fewer states; \
+                only por-safe protocols accept it (see `graybox-cli \
+                protocols`).")
+  in
   let everywhere_arg =
     Arg.(value & flag
          & info [ "everywhere" ]
@@ -463,7 +502,8 @@ let mcheck_cmd =
                 processes, arbitrary in-flight messages): check the \
                 invariant from everywhere, not just from Init.")
   in
-  let action protocol n depth jobs max_states everywhere =
+  let action protocol n depth jobs shards max_states mem_budget spill_dir por
+      everywhere =
     match resolve_entry protocol with
     | Error e -> `Error (false, e)
     | Result.Ok entry
@@ -477,28 +517,40 @@ let mcheck_cmd =
             protocol
             (String.concat ", " (Graybox.Registry.everywhere_checkable_names ()))
         )
+    | Result.Ok entry when por && not entry.Graybox.Registry.por_safe ->
+      (* same shape as the --everywhere gate: the capability lives in
+         the registry, the error names who has it *)
+      `Error
+        ( false,
+          Printf.sprintf
+            "--por: %S keeps exhaustive semantics (por-safe: %s)" protocol
+            (String.concat ", " (Graybox.Registry.por_safe_names ())) )
     | Result.Ok entry ->
       let proto = entry.Graybox.Registry.proto in
       let t0 = Unix.gettimeofday () in
+      let mem_budget = Option.value mem_budget ~default:max_int in
       let result =
         if everywhere then
-          Mcheck.check_me1_everywhere proto ~n ~jobs ~max_depth:depth
-            ~max_states ()
+          Mcheck.check_me1_everywhere proto ~n ~jobs ?shards ~max_depth:depth
+            ~max_states ~mem_budget ?spill_dir ~por ()
         else
-          Mcheck.check_me1 proto ~n ~jobs ~max_depth:depth ~max_states ()
+          Mcheck.check_me1 proto ~n ~jobs ?shards ~max_depth:depth ~max_states
+            ~mem_budget ?spill_dir ~por ()
       in
       let dt = Unix.gettimeofday () -. t0 in
       let print_stats (s : Mcheck.stats) =
         Printf.printf
-          "  invariant       : %s (%s mode)\n\
+          "  invariant       : %s (%s mode%s)\n\
           \  states explored : %d\n\
           \  states visited  : %d\n\
           \  depth reached   : %d (truncated: %b)\n\
+          \  peak memory     : %d words resident, %d bytes spilled\n\
           \  throughput      : %.0f states/s (%.3fs, %d job%s)\n"
           s.Mcheck.name
           (if everywhere then "everywhere" else "init")
+          (if por then ", por" else "")
           s.Mcheck.explored s.Mcheck.visited s.Mcheck.depth_reached
-          s.Mcheck.truncated
+          s.Mcheck.truncated s.Mcheck.peak_mem_words s.Mcheck.spill_bytes
           (float_of_int s.Mcheck.explored /. dt)
           dt jobs
           (if jobs = 1 then "" else "s")
@@ -520,7 +572,8 @@ let mcheck_cmd =
     Term.(
       ret
         (const action $ protocol_arg $ mc_n_arg $ depth_arg $ jobs_arg
-       $ max_states_arg $ everywhere_arg))
+       $ shards_arg $ max_states_arg $ mem_budget_arg $ spill_dir_arg
+       $ por_arg $ everywhere_arg))
   in
   Cmd.v
     (Cmd.info "mcheck"
@@ -555,13 +608,14 @@ let protocols_cmd =
             ("default_delta", Chaos.Jsonx.Int e.default_delta);
             ("everywhere_checkable", Chaos.Jsonx.Bool e.everywhere_checkable);
             ("lspec_monitorable", Chaos.Jsonx.Bool e.lspec_monitorable);
+            ("por_safe", Chaos.Jsonx.Bool e.por_safe);
             ("sweep_rank", Chaos.Jsonx.of_int_option e.sweep_rank);
             ("doc", Chaos.Jsonx.String e.doc) ]
       in
       print_endline
         (Chaos.Jsonx.to_string
            (Chaos.Jsonx.Obj
-              [ ("schema", Chaos.Jsonx.String "graybox-protocols/1");
+              [ ("schema", Chaos.Jsonx.String "graybox-protocols/2");
                 ( "protocols",
                   Chaos.Jsonx.List (List.map entry_json entries) ) ]))
     end
@@ -569,7 +623,7 @@ let protocols_cmd =
       let t =
         Stdext.Tabular.create
           [ "name"; "role"; "expect"; "partition"; "delta"; "everywhere";
-            "lspec"; "sweep"; "description" ]
+            "lspec"; "por"; "sweep"; "description" ]
       in
       List.iter
         (fun e ->
@@ -581,6 +635,7 @@ let protocols_cmd =
               Stdext.Tabular.cell_int e.default_delta;
               Stdext.Tabular.cell_bool e.everywhere_checkable;
               Stdext.Tabular.cell_bool e.lspec_monitorable;
+              Stdext.Tabular.cell_bool e.por_safe;
               (match e.sweep_rank with
                | Some r -> Stdext.Tabular.cell_int r
                | None -> "-");

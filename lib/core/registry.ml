@@ -13,13 +13,14 @@ type entry = {
   default_delta : int;
   everywhere_checkable : bool;
   lspec_monitorable : bool;
+  por_safe : bool;
   sweep_rank : int option;
   doc : string;
 }
 
 let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
-    ?(everywhere_checkable = true) ?(lspec_monitorable = true) ?sweep_rank
-    ~doc (module P : Protocol.S) =
+    ?(everywhere_checkable = true) ?(lspec_monitorable = true) ?por_safe
+    ?sweep_rank ~doc (module P : Protocol.S) =
   let expectation =
     match expectation with
     | Some e -> e
@@ -38,6 +39,16 @@ let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
       | Negative_control -> Deadlocks
       | Ablation -> Partition_observe)
   in
+  let por_safe =
+    match por_safe with
+    | Some b -> b
+    (* references are verified exhaustively elsewhere and their
+       expected verdict is Ok, so trading interleavings for reach is
+       safe; controls and ablations exist to be caught, and their
+       counterexamples are compared across runs — keep those sweeps
+       exhaustive unless a registration opts in explicitly *)
+    | None -> role = Reference
+  in
   { name = P.name;
     proto = (module P);
     role;
@@ -46,6 +57,7 @@ let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
     default_delta = delta;
     everywhere_checkable;
     lspec_monitorable;
+    por_safe;
     sweep_rank;
     doc }
 
@@ -86,6 +98,9 @@ let everywhere_checkable_names () =
   List.filter_map
     (fun e -> if e.everywhere_checkable then Some e.name else None)
     !table
+
+let por_safe_names () =
+  List.filter_map (fun e -> if e.por_safe then Some e.name else None) !table
 
 let role_label = function
   | Reference -> "reference"

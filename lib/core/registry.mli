@@ -70,6 +70,13 @@ type entry = {
       (** the Lspec / TME_Spec monitors apply to this implementation's
           views (false for the central-coordinator baseline, whose
           coordinator is not a specification-level process) *)
+  por_safe : bool;
+      (** partial-order reduction ([mcheck --por]) may be applied when
+          model-checking mode-level invariants of this entry.  The
+          reduction itself guards its ample sets dynamically; this
+          flag is {e policy}: negative controls and ablations exist to
+          produce comparable counterexamples, so their sweeps stay
+          exhaustive *)
   sweep_rank : int option;
       (** position in the default chaos sweep ([None] = not swept by
           default); {!default_sweep} orders by rank *)
@@ -83,6 +90,7 @@ val entry :
   ?delta:int ->
   ?everywhere_checkable:bool ->
   ?lspec_monitorable:bool ->
+  ?por_safe:bool ->
   ?sweep_rank:int ->
   doc:string ->
   (module Protocol.S) ->
@@ -93,7 +101,8 @@ val entry :
     [partition_expectation] likewise ([Reference ->
     Recovers_after_heal], [Negative_control -> Deadlocks], [Ablation
     -> Partition_observe]); [delta = 8]; [everywhere_checkable =
-    true]; [lspec_monitorable = true]; no sweep rank. *)
+    true]; [lspec_monitorable = true]; [por_safe] follows the role
+    ([Reference -> true], otherwise [false]); no sweep rank. *)
 
 val register : entry -> unit
 (** Append to the table.  Registration order is the listing order of
@@ -123,6 +132,10 @@ val default_reference : unit -> entry option
 val everywhere_checkable_names : unit -> string list
 (** Names of the entries whose [perturb] supports everywhere-mode
     checking; for capability error messages. *)
+
+val por_safe_names : unit -> string list
+(** Names of the entries for which [mcheck --por] is allowed; for
+    capability error messages. *)
 
 val role_label : role -> string
 (** ["reference"], ["negative-control"], ["ablation"]. *)

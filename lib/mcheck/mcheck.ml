@@ -1,14 +1,15 @@
 (* High-throughput explicit-state checker over Protocol.S.
 
-   Three design decisions carry the throughput (see mcheck.mli for the
+   Four design decisions carry the throughput (see mcheck.mli for the
    user-facing contract):
 
    - process states and messages are hash-consed into small integer
      ids, and a global state is a flat int array: the interned id of
      every process, then every channel as a length-prefixed run of
-     interned message ids.  Dedup hashing is an FNV fold over that
-     array, equality is an int compare against an arena slice, and
-     successor keys are spliced directly out of the parent's array
+     interned message ids.  Dedup hashing is two FNV folds over that
+     array (a mixed probe/route hash plus an independent stored
+     fingerprint), equality is an int compare against an arena slice,
+     and successor keys are spliced directly out of the parent's array
      into reusable scratch buffers — the steady-state hot path
      allocates nothing per successor and never deep-traverses (let
      alone marshals) a process state.  Deep hashing happens once per
@@ -20,19 +21,50 @@
      never re-running the protocol.  Per-process views are cached at
      intern time, so predicate checks are pointer reads.
 
-   - the BFS is level-synchronous with parent-pointer traces.  With
-     [jobs = 1] each level runs as a single serial sweep.  With
-     [jobs > 1] each level's predicate checks and successor
-     expansions fan out over a domain pool (strictly read-only
-     against the visited table and the intern/memo tables), and a
-     serial merge phase inserts results in frontier order; memo
-     misses are recomputed serially there.  Results — including
-     stats — are identical for every ~jobs value because admissions
-     always happen serially in frontier order.  Per-state memory is
-     O(1): queue entries carry a compact (parent, label) pair, and
-     the counterexample path is rebuilt only on violation. *)
+   - the visited set is sharded by hash range: each shard owns a slice
+     of key space (routed by the high bits of the mixed hash, see
+     Stdext.Pool.shard_of) with its own open-addressing slot array and
+     key arena, so the admission phase fans the candidate stream out
+     over a domain pool and every domain inserts into its own shard
+     with no locking.  Admission order is still globally fixed — every
+     candidate carries a (frontier-index, emission-index) tag and each
+     shard admits its candidates in tag order — so ids, traces and
+     stats are identical for every ~jobs value AND every shard count.
+     When the hot arenas outgrow ~mem_budget words, they are flushed
+     to per-shard Stdext.Blockfile temp files (flat int words, no
+     Marshal); frontier states are re-read by word offset at expansion
+     time and spilled keys dedup against a stored ~125-bit fingerprint
+     (mixed hash + independent FNV-64 fold), so visited capacity is
+     bounded by disk, not RAM.
+
+   - the BFS is level-synchronous with parent-pointer traces, swept in
+     fixed-size chunks.  Each chunk runs a read-only expansion phase
+     (predicate checks, successor splicing, per-shard routing; memo
+     misses flag the whole parent), a serial fixup that recomputes
+     flagged parents in frontier order (so intern ids stay
+     deterministic), and a shard-parallel admission phase.  Near the
+     ~max_states bound the admission falls back to a serial sweep in
+     global tag order, so the hard bound admits exactly the states the
+     serial checker would.  Per-state resident memory is O(1): three
+     packed index words (location, fingerprint, parent+label) plus the
+     key itself until it spills.
+
+   Optional partial-order reduction (~por) explores, at states that
+   have one, only the deliveries into a "quiet receiver": the lowest
+   process p that is hungry with entry disabled (no client move, and
+   none can be enabled by other processes' moves), whose in-channels
+   are all nonempty, and whose pending head deliveries are all silent
+   (no sends) and leave p hungry.  Those deliveries commute with every
+   other enabled action (FIFO appends land behind the heads), are
+   invisible to mode-level predicates, and strictly consume in-flight
+   messages (so no cycle is reduced everywhere and nothing is deferred
+   forever).  The ample decision reads only memoized data, never the
+   visited set, so reduced runs are as jobs- and shard-deterministic
+   as exhaustive ones.  See EXPERIMENTS.md for the soundness argument;
+   the registry's por_safe flag gates which protocols opt in. *)
 
 module Vec = Stdext.Vec
+module Blockfile = Stdext.Blockfile
 
 type stats = {
   name : string;
@@ -41,6 +73,8 @@ type stats = {
   frontier_peak : int;
   depth_reached : int;
   truncated : bool;
+  peak_mem_words : int;
+  spill_bytes : int;
 }
 
 type 'v result =
@@ -83,76 +117,170 @@ let decode_ilabel il =
   | 3 -> L_release b
   | _ -> L_deliver (a, b)
 
-(* ------------------------------------------------------------------ *)
-(* The visited set: an open-addressing hash table over int-array keys
-   stored back-to-back in a growable int arena.  Slots interleave
-   (id + 1, hash) pairs so a probe costs one cache line before the
-   arena compare.  One probe sequence answers "seen before?" and
-   inserts in the same pass ([find_or_add]); [mem] is read-only and
-   safe to call from several domains while no insert is in flight.
-   Ids are assigned in insertion order. *)
+(* Two hashes in one pass over the key: [h1] is an FNV-32 fold pushed
+   through a splitmix-style finalizer — its low bits probe the shard's
+   slot array, its high bits pick the shard (Pool.shard_of), so the
+   two never correlate; [fp] is an independent FNV-64-style fold kept
+   as the stored fingerprint that stands in for a spilled key's bytes
+   at dedup time.  Together a spilled-key match asserts ~125 hash
+   bits plus the exact length. *)
+let hash2 (k : int array) off len =
+  let h = ref 0x811c9dc5 in
+  let g = ref 0x2545F4914F6CDD1D in
+  for i = off to off + len - 1 do
+    let x = k.(i) in
+    h := (!h * 0x01000193) lxor x;
+    g := (!g lxor x) * 0x100000001b3
+  done;
+  let a = !h * 0x9e3779b97f4a7c1 in
+  let a = a lxor (a lsr 31) in
+  let a = a * 0x2545F4914F6CDD1D in
+  ((a lxor (a lsr 29)) land max_int, !g land max_int)
 
-module Keyset = struct
-  type t = {
-    mutable slots : int array;  (* 2i: state id + 1 (0 = empty); 2i+1: hash *)
+(* A growable int buffer with exposed backing, so record streams can
+   be built by blits and parsed by direct indexing (Vec boxes its
+   interface behind bounds checks; candidate records are the hot
+   aisle of the admission phase). *)
+module Buf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let ensure b extra =
+    let need = b.len + extra in
+    if need > Array.length b.data then begin
+      let d = Array.make (max need (max 16 (2 * Array.length b.data))) 0 in
+      Array.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end
+
+  let push b x =
+    ensure b 1;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let blit b (src : int array) off len =
+    ensure b len;
+    Array.blit src off b.data b.len len;
+    b.len <- b.len + len
+
+  let clear b = b.len <- 0
+  let contents b = Array.sub b.data 0 b.len
+end
+
+(* ------------------------------------------------------------------ *)
+(* The sharded visited set.  Each shard owns a hash-range slice of key
+   space: an open-addressing slot array (interleaved (local id + 1,
+   hash) pairs, one cache line per probe), a hot int arena holding the
+   keys admitted since the last spill, and three packed index words
+   per state — location ((global word offset << 20) | length),
+   fingerprint, and parent ((parent ref + 1) << 16 | label).  A state
+   ref packs (local id << 6) | shard.  Shard-local reads and inserts
+   never touch another shard, so the admission phase runs one domain
+   per shard with no synchronization; all cross-shard coordination
+   happens in the serial parts of the sweep.
+
+   Spill: when the hot arenas together exceed [mem_budget] words (the
+   checkpoint runs between chunks), every shard appends its arena to
+   its own Blockfile and resets; [disk] is the count of words flushed,
+   which makes stored offsets stable global offsets.  A spilled key is
+   re-read positionally for expansion and compared by fingerprint for
+   dedup. *)
+module Table = struct
+  type shard = {
+    mutable slots : int array;  (* 2i: local id + 1 (0 = empty); 2i+1: h1 *)
     mutable mask : int;  (* slot-pair count - 1, a power of 2 *)
     mutable count : int;
-    mutable arena : int array;  (* concatenated keys *)
-    mutable arena_len : int;
-    offs : int Vec.t;  (* id -> offset of its key in [arena] *)
-    lens : int Vec.t;  (* id -> key length *)
+    mutable arena : int array;  (* keys admitted since the last spill *)
+    mutable used : int;  (* hot words *)
+    mutable disk : int;  (* words flushed; global offset of arena.(0) *)
+    fp : int Vec.t;  (* local id -> stored fingerprint *)
+    loc : int Vec.t;  (* local id -> (global offset lsl 20) lor length *)
+    parents : int Vec.t;  (* local id -> packed (parent ref, label) *)
+    mutable file : Blockfile.t option;
   }
 
-  let create () =
-    { slots = Array.make (2 * 8192) 0;
-      mask = 8191;
-      count = 0;
-      arena = Array.make 65536 0;
-      arena_len = 0;
-      offs = Vec.create ();
-      lens = Vec.create () }
+  type t = {
+    shards : shard array;
+    nshards : int;
+    spill_dir : string;
+    mem_budget : int;
+    mutable spill_words : int;
+    mutable peak_words : int;
+  }
 
-  let count t = t.count
-  let len t id = Vec.get t.lens id
+  let len_bits = 20
+  let len_mask = (1 lsl len_bits) - 1
 
-  let read t id (buf : int array) =
-    Array.blit t.arena (Vec.get t.offs id) buf 0 (Vec.get t.lens id)
+  let create ~shards ~mem_budget ~spill_dir =
+    if shards < 1 || shards > 64 then
+      invalid_arg "Mcheck: need 1 <= shards <= 64";
+    if mem_budget < 1 then invalid_arg "Mcheck: need mem_budget >= 1";
+    { shards =
+        Array.init shards (fun _ ->
+            { slots = Array.make (2 * 1024) 0;
+              mask = 1023;
+              count = 0;
+              arena = Array.make 4096 0;
+              used = 0;
+              disk = 0;
+              fp = Vec.create ();
+              loc = Vec.create ();
+              parents = Vec.create ();
+              file = None });
+      nshards = shards;
+      spill_dir;
+      mem_budget;
+      spill_words = 0;
+      peak_words = 0 }
 
-  let hash_key (k : int array) klen =
-    let h = ref 0x811c9dc5 in
-    for i = 0 to klen - 1 do
-      h := (!h * 0x01000193) lxor k.(i)
-    done;
-    !h land max_int
+  let route t h1 = Stdext.Pool.shard_of ~hash:h1 ~shards:t.nshards
+  let pack_ref ~shard ~local = (local lsl 6) lor shard
 
-  let key_equal t id (k : int array) klen =
-    Vec.get t.lens id = klen
+  let count t = Array.fold_left (fun a sh -> a + sh.count) 0 t.shards
+  let hot_words t = Array.fold_left (fun a sh -> a + sh.used) 0 t.shards
+
+  let key_len t r = Vec.get t.shards.(r land 63).loc (r lsr 6) land len_mask
+  let parent_packed t r = Vec.get t.shards.(r land 63).parents (r lsr 6)
+
+  (* Equality of stored state [local] against a candidate key: length,
+     then a word compare when the key is hot, the fingerprint when it
+     has spilled (the caller already matched the 62-bit slot hash). *)
+  let matches sh local ~fp (k : int array) koff klen =
+    let l = Vec.get sh.loc local in
+    l land len_mask = klen
     &&
-    let off = Vec.get t.offs id in
-    let arena = t.arena in
-    let rec eq i = i = klen || (arena.(off + i) = k.(i) && eq (i + 1)) in
-    eq 0
+    let off = l lsr len_bits in
+    if off >= sh.disk then begin
+      let a = sh.arena in
+      let base = off - sh.disk in
+      let rec eq i = i = klen || (a.(base + i) = k.(koff + i) && eq (i + 1)) in
+      eq 0
+    end
+    else Vec.get sh.fp local = fp
 
-  let mem t k klen =
-    let h = hash_key k klen in
+  (* Read-only membership probe; safe from several domains while no
+     insert into this shard is in flight. *)
+  let mem_sh sh ~h1 ~fp k koff klen =
+    let mask = sh.mask and slots = sh.slots in
     let rec probe i =
-      match t.slots.(2 * i) with
+      match slots.(2 * i) with
       | 0 -> false
       | s ->
-        (t.slots.((2 * i) + 1) = h && key_equal t (s - 1) k klen)
-        || probe ((i + 1) land t.mask)
+        (slots.((2 * i) + 1) = h1 && matches sh (s - 1) ~fp k koff klen)
+        || probe ((i + 1) land mask)
     in
-    probe (h land t.mask)
+    probe (h1 land mask)
 
-  let grow_slots t =
-    let pairs = (t.mask + 1) * 2 in
+  let grow_slots sh =
+    let pairs = (sh.mask + 1) * 2 in
     let slots = Array.make (2 * pairs) 0 in
     let mask = pairs - 1 in
-    for i = 0 to t.mask do
-      match t.slots.(2 * i) with
+    for i = 0 to sh.mask do
+      match sh.slots.(2 * i) with
       | 0 -> ()
       | s ->
-        let h = t.slots.((2 * i) + 1) in
+        let h = sh.slots.((2 * i) + 1) in
         let rec place j =
           if slots.(2 * j) = 0 then begin
             slots.(2 * j) <- s;
@@ -162,42 +290,139 @@ module Keyset = struct
         in
         place (h land mask)
     done;
-    t.slots <- slots;
-    t.mask <- mask
+    sh.slots <- slots;
+    sh.mask <- mask
 
-  let append_arena t (k : int array) klen =
-    if t.arena_len + klen > Array.length t.arena then begin
+  let append_arena sh (k : int array) koff klen =
+    if sh.used + klen > Array.length sh.arena then begin
       let arena =
-        Array.make (max (Array.length t.arena * 2) (t.arena_len + klen)) 0
+        Array.make (max (Array.length sh.arena * 2) (sh.used + klen)) 0
       in
-      Array.blit t.arena 0 arena 0 t.arena_len;
-      t.arena <- arena
+      Array.blit sh.arena 0 arena 0 sh.used;
+      sh.arena <- arena
     end;
-    Array.blit k 0 t.arena t.arena_len klen;
-    t.arena_len <- t.arena_len + klen
+    Array.blit k koff sh.arena sh.used klen;
+    sh.used <- sh.used + klen
 
-  (* [Some id] if the key was already present; [None] after inserting
-     it with the next id ([count t - 1] afterwards).  Only the first
-     [klen] elements of [k] are read, so a scratch buffer works. *)
-  let find_or_add t k klen =
-    if 2 * (t.count + 1) > t.mask then grow_slots t;
-    let h = hash_key k klen in
+  (* One probe pass answers "seen before?" and inserts on miss.
+     Returns the existing local id (>= 0), or [-local - 1] for a fresh
+     insert.  Shard-local: safe to run one call per shard
+     concurrently. *)
+  let find_or_add sh ~h1 ~fp (k : int array) koff klen ~parent =
+    if 2 * (sh.count + 1) > sh.mask then grow_slots sh;
     let rec probe i =
-      match t.slots.(2 * i) with
+      match sh.slots.(2 * i) with
       | 0 ->
-        t.slots.(2 * i) <- t.count + 1;
-        t.slots.((2 * i) + 1) <- h;
-        t.count <- t.count + 1;
-        Vec.push t.offs t.arena_len;
-        Vec.push t.lens klen;
-        append_arena t k klen;
-        None
+        let local = sh.count in
+        sh.slots.(2 * i) <- local + 1;
+        sh.slots.((2 * i) + 1) <- h1;
+        sh.count <- local + 1;
+        if klen > len_mask then failwith "Mcheck: state key exceeds 2^20 words";
+        Vec.push sh.loc (((sh.disk + sh.used) lsl len_bits) lor klen);
+        Vec.push sh.fp fp;
+        Vec.push sh.parents parent;
+        append_arena sh k koff klen;
+        -local - 1
       | s ->
-        if t.slots.((2 * i) + 1) = h && key_equal t (s - 1) k klen then
-          Some (s - 1)
-        else probe ((i + 1) land t.mask)
+        if sh.slots.((2 * i) + 1) = h1 && matches sh (s - 1) ~fp k koff klen
+        then s - 1
+        else probe ((i + 1) land sh.mask)
     in
-    probe (h land t.mask)
+    probe (h1 land sh.mask)
+
+  (* Serial bounded admission (seeds and the near-max_states sweep):
+     -2 = bound hit on a novel key (the caller's [truncated]), -1 =
+     already visited (or bound hit on a visited key), else the fresh
+     ref. *)
+  let admit t (k : int array) koff klen ~parent ~max_states =
+    let h1, fp = hash2 k koff klen in
+    let si = route t h1 in
+    let sh = t.shards.(si) in
+    if count t >= max_states then
+      if mem_sh sh ~h1 ~fp k koff klen then -1 else -2
+    else
+      match find_or_add sh ~h1 ~fp k koff klen ~parent with
+      | r when r >= 0 -> -1
+      | fresh -> pack_ref ~shard:si ~local:(-fresh - 1)
+
+  (* Load the key of state [r] into [buf]: a blit when hot, a
+     positional Blockfile read when spilled.  [readers] is the
+     caller's per-shard read-handle cache (one open fd per shard per
+     sweeping domain, so concurrent expansion never shares a seek
+     pointer). *)
+  let read t (readers : Blockfile.reader option array) r (buf : int array) =
+    let si = r land 63 in
+    let sh = t.shards.(si) in
+    let l = Vec.get sh.loc (r lsr 6) in
+    let off = l lsr len_bits and len = l land len_mask in
+    if off >= sh.disk then Array.blit sh.arena (off - sh.disk) buf 0 len
+    else begin
+      let rd =
+        match readers.(si) with
+        | Some rd -> rd
+        | None ->
+          let rd =
+            match sh.file with
+            | Some f -> Blockfile.reader f
+            | None -> assert false (* off < disk implies a spill happened *)
+          in
+          readers.(si) <- Some rd;
+          rd
+      in
+      Blockfile.pread rd ~woff:off buf ~off:0 ~len
+    end
+
+  (* Resident words at a checkpoint: the hot arenas plus the 3-word
+     per-state index (location, fingerprint, parent).  Slot-array
+     geometry is excluded on purpose — it depends on the shard count,
+     and this figure is asserted identical across shard counts (it
+     adds ~4 words/state; EXPERIMENTS.md documents the accounting). *)
+  let resident_words t =
+    Array.fold_left (fun a sh -> a + sh.used + (3 * sh.count)) 0 t.shards
+
+  let note_peak t =
+    let w = resident_words t in
+    if w > t.peak_words then t.peak_words <- w
+
+  (* Between-chunks checkpoint: record the residency peak and, when
+     the hot arenas outgrow the budget, stream every shard's arena to
+     its blockfile.  Runs at fixed points of the sweep (after seeding
+     and after each chunk's admission), so peak and spill figures are
+     identical for every ~jobs and every shard count. *)
+  let checkpoint t =
+    note_peak t;
+    if hot_words t > t.mem_budget then
+      Array.iter
+        (fun sh ->
+          if sh.used > 0 then begin
+            let f =
+              match sh.file with
+              | Some f -> f
+              | None ->
+                let f =
+                  Blockfile.create ~dir:t.spill_dir ~prefix:"mcheck-shard"
+                in
+                sh.file <- Some f;
+                f
+            in
+            let at = Blockfile.append f sh.arena ~off:0 ~len:sh.used in
+            assert (at = sh.disk);
+            t.spill_words <- t.spill_words + sh.used;
+            sh.disk <- sh.disk + sh.used;
+            sh.used <- 0;
+            if Array.length sh.arena > 65536 then sh.arena <- Array.make 4096 0
+          end)
+        t.shards
+
+  let cleanup t =
+    Array.iter
+      (fun sh ->
+        match sh.file with
+        | Some f ->
+          Blockfile.remove f;
+          sh.file <- None
+        | None -> ())
+      t.shards
 end
 
 module Search (P : Graybox.Protocol.S) = struct
@@ -223,8 +448,8 @@ module Search (P : Graybox.Protocol.S) = struct
   type memo = (int * (int * int) list) option ref
 
   (* Interners and transition memos.  All writes happen in the serial
-     phases (seeding, serial sweep, merge, replay); parallel expansion
-     only reads. *)
+     phases (seeding, serial sweep, miss fixup, replay); parallel
+     expansion only reads. *)
   type ctx = {
     n : int;
     proc_id : int StateH.t;
@@ -354,20 +579,33 @@ module Search (P : Graybox.Protocol.S) = struct
     k
 
   (* Reusable per-sweep buffers: parent key, successor key, views,
-     channel offsets.  A scratch belongs to exactly one sequential
-     sweep (the serial BFS, one parallel chunk, a replay). *)
+     channel offsets, plus this sweep's spill read handles.  A scratch
+     belongs to exactly one sequential sweep (the serial parts, one
+     expansion piece, a replay). *)
   type scratch = {
     mutable kbuf : int array;
     mutable sbuf : int array;
     vbuf : Graybox.View.t array;
     offs : int array;
+    readers : Blockfile.reader option array;
   }
 
   let make_scratch ctx =
     { kbuf = Array.make 256 0;
       sbuf = Array.make 256 0;
       vbuf = Array.make ctx.n (Vec.get ctx.view_of 0);
-      offs = Array.make (ctx.n * ctx.n) 0 }
+      offs = Array.make (ctx.n * ctx.n) 0;
+      readers = Array.make 64 None }
+
+  let close_scratch st =
+    Array.iteri
+      (fun i rd ->
+        match rd with
+        | Some rd ->
+          Blockfile.close_reader rd;
+          st.readers.(i) <- None
+        | None -> ())
+      st.readers
 
   let ensure_kbuf st l =
     if Array.length st.kbuf < l then
@@ -482,76 +720,183 @@ module Search (P : Graybox.Protocol.S) = struct
       r
     end
 
+  (* ---------------- partial-order reduction ---------------- *)
+
+  exception Por_miss
+
+  (* The quiet-receiver ample set: the lowest process p that is hungry
+     with entry disabled (so p has no client move, and no other
+     process's move can enable one — nothing else writes p's state),
+     every in-channel (q,p), q <> p, nonempty, the self-channel empty,
+     and every pending head delivery into p silent (no sends) and
+     leaving p hungry.  At such a state only the deliveries into p are
+     explored: they commute with every other enabled action (FIFO
+     appends land behind the heads), are invisible to mode-level
+     predicates, and strictly consume in-flight messages, so no cycle
+     of the reduced graph is reduced at every state.  The decision
+     reads only views, channel heads and memos — never the visited set
+     — so it is identical for every ~jobs and shard count; in a
+     read-only sweep a missing memo raises [Por_miss] and the parent
+     is recomputed serially through the read-write path, which takes
+     the same decision. *)
+  let ample_owner ctx ~rw st =
+    let n = ctx.n in
+    if n < 2 then -1
+    else begin
+      let rec try_p p =
+        if p >= n then -1
+        else
+          let pid = st.kbuf.(p) in
+          let v = Vec.get ctx.view_of pid in
+          if not (Graybox.View.hungry v) then try_p (p + 1)
+          else begin
+            let enter =
+              if rw then compute_enter ctx pid (Vec.get ctx.m_enter pid)
+              else
+                match !(Vec.get ctx.m_enter pid) with
+                | Some r -> r
+                | None -> raise Por_miss
+            in
+            if enter <> None then try_p (p + 1)
+            else begin
+              let ok = ref true in
+              let q = ref 0 in
+              while !ok && !q < n do
+                let src = !q in
+                let off = st.offs.((src * n) + p) in
+                if src = p then begin
+                  (* no protocol sends to itself; a nonempty
+                     self-channel (only an exotic seed could build
+                     one) disqualifies conservatively *)
+                  if st.kbuf.(off) > 0 then ok := false
+                end
+                else if st.kbuf.(off) = 0 then ok := false
+                else begin
+                  let mid = st.kbuf.(off + 1) in
+                  let pid', sends' =
+                    if rw then compute_deliver ctx pid ~src mid
+                    else begin
+                      let idx = deliver_find ctx (deliver_key pid ~src mid) in
+                      if idx >= 0 then Vec.get ctx.d_res idx
+                      else raise Por_miss
+                    end
+                  in
+                  if
+                    sends' <> []
+                    || not (Graybox.View.hungry (Vec.get ctx.view_of pid'))
+                  then ok := false
+                end;
+                incr q
+              done;
+              if !ok then p else try_p (p + 1)
+            end
+          end
+      in
+      try_p 0
+    end
+
   (* The maximally nondeterministic client (request / enter / release
      whenever the view allows) interleaved with every FIFO delivery.
      Iterates the successors of the state in [st.kbuf] (length
      [klen]), calling [f label slen] with each successor key in
      [st.sbuf] — valid only during [f] — in a fixed order (client
      actions by process, then deliveries by channel), so every sweep
-     enumerates identically.
+     enumerates identically.  With [por = true], a state that has an
+     ample owner emits only the deliveries into it (in channel
+     order).
 
      [rw = true]: serial context — memo misses run the protocol and
      cache the result; [miss] is never called.
      [rw = false]: parallel context — the ctx is read-only and a memo
-     miss invokes [miss label] instead; the serial merge recomputes
-     that parent via the [rw = true] path.  Both paths build keys
-     with [splice], so the results are identical. *)
-  let iter_successors ctx ~rw st klen ~miss ~f =
+     miss (in enumeration or in the ample decision) invokes [miss]
+     instead; the serial fixup recomputes that parent via the
+     [rw = true] path.  Both paths build keys with [splice], so the
+     results are identical. *)
+  let iter_successors ctx ~rw ~por st klen ~miss ~f =
     let n = ctx.n in
     fill_offsets ctx st;
     let emit il p pop src (pid', sends') =
       f il (splice ctx st klen ~p ~pid' ~pop ~src ~sends')
     in
-    for p = 0 to n - 1 do
+    let owner =
+      if not por then -1
+      else
+        match ample_owner ctx ~rw st with
+        | p -> p
+        | exception Por_miss -> -2
+    in
+    if owner = -2 then miss 0
+    else if owner >= 0 then begin
+      let p = owner in
       let pid = st.kbuf.(p) in
-      let v = Vec.get ctx.view_of pid in
-      if Graybox.View.thinking v then begin
-        let cell = Vec.get ctx.m_request pid in
-        if rw then emit (il_request p) p (-1) p (compute_client ctx pid cell P.request_cs)
-        else
-          match !cell with
-          | Some r -> emit (il_request p) p (-1) p r
-          | None -> miss (il_request p)
-      end;
-      if Graybox.View.hungry v then begin
-        let cell = Vec.get ctx.m_enter pid in
-        if rw then (
-          match compute_enter ctx pid cell with
-          | None -> ()  (* entry not enabled *)
-          | Some r -> emit (il_enter p) p (-1) p r)
-        else
-          match !cell with
-          | Some None -> ()  (* computed: entry not enabled *)
-          | Some (Some r) -> emit (il_enter p) p (-1) p r
-          | None -> miss (il_enter p)
-      end;
-      if Graybox.View.eating v then begin
-        let cell = Vec.get ctx.m_release pid in
-        if rw then emit (il_release p) p (-1) p (compute_client ctx pid cell P.release_cs)
-        else
-          match !cell with
-          | Some r -> emit (il_release p) p (-1) p r
-          | None -> miss (il_release p)
-      end
-    done;
-    for src = 0 to n - 1 do
-      for dst = 0 to n - 1 do
-        let ci = (src * n) + dst in
+      for src = 0 to n - 1 do
+        let ci = (src * n) + p in
         let off = st.offs.(ci) in
         if st.kbuf.(off) > 0 then begin
           let mid = st.kbuf.(off + 1) in
-          let pid = st.kbuf.(dst) in
-          if rw then
-            emit (il_deliver src dst) dst ci dst (compute_deliver ctx pid ~src mid)
-          else begin
-            let idx = deliver_find ctx (deliver_key pid ~src mid) in
-            if idx >= 0 then
-              emit (il_deliver src dst) dst ci dst (Vec.get ctx.d_res idx)
-            else miss (il_deliver src dst)
-          end
+          let r =
+            if rw then compute_deliver ctx pid ~src mid
+            else Vec.get ctx.d_res (deliver_find ctx (deliver_key pid ~src mid))
+          in
+          emit (il_deliver src p) p ci p r
         end
       done
-    done
+    end
+    else begin
+      for p = 0 to n - 1 do
+        let pid = st.kbuf.(p) in
+        let v = Vec.get ctx.view_of pid in
+        if Graybox.View.thinking v then begin
+          let cell = Vec.get ctx.m_request pid in
+          if rw then
+            emit (il_request p) p (-1) p (compute_client ctx pid cell P.request_cs)
+          else
+            match !cell with
+            | Some r -> emit (il_request p) p (-1) p r
+            | None -> miss (il_request p)
+        end;
+        if Graybox.View.hungry v then begin
+          let cell = Vec.get ctx.m_enter pid in
+          if rw then (
+            match compute_enter ctx pid cell with
+            | None -> ()  (* entry not enabled *)
+            | Some r -> emit (il_enter p) p (-1) p r)
+          else
+            match !cell with
+            | Some None -> ()  (* computed: entry not enabled *)
+            | Some (Some r) -> emit (il_enter p) p (-1) p r
+            | None -> miss (il_enter p)
+        end;
+        if Graybox.View.eating v then begin
+          let cell = Vec.get ctx.m_release pid in
+          if rw then
+            emit (il_release p) p (-1) p (compute_client ctx pid cell P.release_cs)
+          else
+            match !cell with
+            | Some r -> emit (il_release p) p (-1) p r
+            | None -> miss (il_release p)
+        end
+      done;
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          let ci = (src * n) + dst in
+          let off = st.offs.(ci) in
+          if st.kbuf.(off) > 0 then begin
+            let mid = st.kbuf.(off + 1) in
+            let pid = st.kbuf.(dst) in
+            if rw then
+              emit (il_deliver src dst) dst ci dst
+                (compute_deliver ctx pid ~src mid)
+            else begin
+              let idx = deliver_find ctx (deliver_key pid ~src mid) in
+              if idx >= 0 then
+                emit (il_deliver src dst) dst ci dst (Vec.get ctx.d_res idx)
+              else miss (il_deliver src dst)
+            end
+          end
+        done
+      done
+    end
 
   (* ---------------- everywhere-mode seeding ---------------- *)
 
@@ -614,230 +959,411 @@ module Search (P : Graybox.Protocol.S) = struct
 
   (* ---------------- the level-synchronous BFS ---------------- *)
 
-  (* Packed-int labels (see [decode_ilabel]). *)
-  type succ =
-    | S_new of int * int array
-        (* memo-built key, not visited at expansion time *)
-    | S_miss of int  (* transition not memoized yet *)
+  (* Candidate records flow from expansion to admission as flat int
+     runs: [tag; seq; il; h1; fp; klen; key words].  [tag] is the
+     parent's index in the level, [seq] the emission index within the
+     parent — (tag, seq) is the global admission order, which neither
+     the domain count nor the shard count can perturb. *)
+  let rec_words = 6
 
-  type expansion =
-    | E_violation of Graybox.View.t array
-    | E_depth_capped
-    | E_succs of succ list
+  (* One expansion piece's results: the first violating tag (with its
+     witness views), the tags whose expansion hit a memo miss, and the
+     per-shard candidate records of the clean parents. *)
+  type a_res = {
+    r_bad : int;
+    r_witness : Graybox.View.t array option;
+    r_misses : Buf.t;
+    r_buckets : Buf.t array;
+    r_counts : int array;
+  }
 
-  let chunk size xs =
-    let rec split i acc = function
-      | tl when i = size -> (List.rev acc, tl)
-      | [] -> (List.rev acc, [])
-      | x :: tl -> split (i + 1) (x :: acc) tl
-    in
-    let rec go = function
-      | [] -> []
-      | xs ->
-        let c, rest = split 0 [] xs in
-        c :: go rest
-    in
-    go xs
+  (* States per chunk.  Fixed (never derived from ~jobs): chunk
+     boundaries are spill/peak checkpoints and violation cut points,
+     so they must be identical for every domain count. *)
+  let chunk_states = 8192
 
-  let run ~n ~jobs ~max_depth ~max_states ~name ~seeds predicate =
+  let run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
+      ~name ~seeds predicate =
     if jobs < 1 then invalid_arg "Mcheck: need jobs >= 1";
     if max_states < 1 then invalid_arg "Mcheck: need max_states >= 1";
     let ctx = make_ctx ~n in
-    let table = Keyset.create () in
-    let parents : (int * label) Vec.t = Vec.create () in
+    let table = Table.create ~shards ~mem_budget ~spill_dir in
+    let nshards = table.Table.nshards in
+    let seed_labels : label Vec.t = Vec.create () in
     let truncated = ref false in
-    (* max_states is a hard bound on the visited set: once reached, no
-       new state is admitted (already-admitted ones are still checked
-       and expanded, so the bound never abandons admitted work). *)
-    let admit key klen ~parent ~label =
-      if Keyset.count table >= max_states then begin
-        if not (Keyset.mem table key klen) then truncated := true;
-        None
-      end
-      else
-        match Keyset.find_or_add table key klen with
-        | Some _ -> None
-        | None ->
-          Vec.push parents (parent, label);
-          Some (Keyset.count table - 1)
-    in
-    (* Same, for the hot path: the label variant is built only when
-       the probe admits the state. *)
-    let admit_il key klen ~parent ~il =
-      if Keyset.count table >= max_states then begin
-        if not (Keyset.mem table key klen) then truncated := true;
-        None
-      end
-      else
-        match Keyset.find_or_add table key klen with
-        | Some _ -> None
-        | None ->
-          Vec.push parents (parent, decode_ilabel il);
-          Some (Keyset.count table - 1)
-    in
-    let roots =
-      List.filter_map
-        (fun (label, key) ->
-          admit key (Array.length key) ~parent:(-1) ~label)
-        (seeds ctx)
-    in
-    let st = make_scratch ctx in
     let explored = ref 0 in
     let frontier_peak = ref 0 in
     let depth_reached = ref 0 in
+    (* (tag, ref, witness views) of the first violation in frontier
+       order, if any *)
     let violation = ref None in
-    let frontier = ref roots in
+    (* Seeds are admitted serially in seed order; a seed state's
+       parent word packs its index into [seed_labels] (ref part 0). *)
+    let roots = Buf.create () in
+    List.iter
+      (fun (label, key) ->
+        let si = Vec.length seed_labels in
+        if si >= 1 lsl 16 then invalid_arg "Mcheck: need max_seeds < 65536";
+        Vec.push seed_labels label;
+        match
+          Table.admit table key 0 (Array.length key) ~parent:si ~max_states
+        with
+        | -2 -> truncated := true
+        | -1 -> ()
+        | r -> Buf.push roots r)
+      (seeds ctx);
+    Table.checkpoint table;
+    let st = make_scratch ctx in
+    let frontier = ref (Buf.contents roots) in
     let depth = ref 0 in
-    let next = ref [] in
-    (* Load the state [id] into [st.kbuf] (returning its length) and
-       its views into [st.vbuf]. *)
-    let load id =
-      let klen = Keyset.len table id in
-      ensure_kbuf st klen;
-      Keyset.read table id st.kbuf;
-      views_into ctx st;
-      klen
-    in
-    (* Expand the non-violating state [id] (already loaded, length
-       [klen]) serially, admitting fresh successors in order. *)
-    let expand_serial id klen d =
-      if d >= max_depth then truncated := true
-      else
-        iter_successors ctx ~rw:true st klen
-          ~miss:(fun _ -> assert false)
-          ~f:(fun il slen ->
-            match admit_il st.sbuf slen ~parent:id ~il with
-            | Some id' -> next := id' :: !next
-            | None -> ())
-    in
-    while !frontier <> [] && !violation = None do
-      let level = !frontier in
-      let width = List.length level in
-      if width > !frontier_peak then frontier_peak := width;
-      depth_reached := !depth;
-      let d = !depth in
-      next := [];
-      if jobs = 1 then begin
-        (* Serial sweep: predicate, then expand, state by state in
-           frontier order; stops at the first violation. *)
-        let rec sweep idx = function
-          | [] -> ()
-          | id :: rest ->
-            let klen = load id in
-            if not (predicate st.vbuf) then begin
-              explored := !explored + idx + 1;
-              violation := Some (id, Array.copy st.vbuf)
+    Fun.protect
+      ~finally:(fun () ->
+        close_scratch st;
+        Table.cleanup table)
+      (fun () ->
+        while Array.length !frontier > 0 && !violation = None do
+          let level = !frontier in
+          let width = Array.length level in
+          if width > !frontier_peak then frontier_peak := width;
+          depth_reached := !depth;
+          let capped = !depth >= max_depth in
+          let next = Buf.create () in
+          let rw = jobs = 1 in
+
+          (* One chunk [lo, hi) of the level: expansion pieces in
+             parallel, serial miss fixup, shard-parallel admission. *)
+          let process_chunk lo hi =
+            let pieces =
+              let w = hi - lo in
+              let k = min jobs w in
+              List.init k (fun i ->
+                  (lo + (w * i / k), lo + (w * (i + 1) / k)))
+            in
+            (* Phase A: read-only against the visited table and the
+               intern/memo tables.  Every candidate is pre-filtered
+               against its owning shard (a duplicate from an earlier
+               chunk costs one probe and no record); within-chunk
+               duplicates are caught by the admission probe. *)
+            let worker (plo, phi) =
+              let ws = make_scratch ctx in
+              let staging = Array.init nshards (fun _ -> Buf.create ()) in
+              let stag_cnt = Array.make nshards 0 in
+              let buckets = Array.init nshards (fun _ -> Buf.create ()) in
+              let counts = Array.make nshards 0 in
+              let misses = Buf.create () in
+              let bad = ref (-1) in
+              let witness = ref None in
+              let tag = ref plo in
+              while !bad < 0 && !tag < phi do
+                let t = !tag in
+                let r = level.(t) in
+                let klen = Table.key_len table r in
+                ensure_kbuf ws klen;
+                Table.read table ws.readers r ws.kbuf;
+                views_into ctx ws;
+                if not (predicate ws.vbuf) then begin
+                  bad := t;
+                  witness := Some (Array.copy ws.vbuf)
+                end
+                else if not capped then begin
+                  let missed = ref false in
+                  let seq = ref 0 in
+                  iter_successors ctx ~rw ~por ws klen
+                    ~miss:(fun _ -> missed := true)
+                    ~f:(fun il slen ->
+                      let s = !seq in
+                      incr seq;
+                      if not !missed then begin
+                        let h1, fp = hash2 ws.sbuf 0 slen in
+                        let si = Table.route table h1 in
+                        let sh = table.Table.shards.(si) in
+                        if not (Table.mem_sh sh ~h1 ~fp ws.sbuf 0 slen) then begin
+                          let b = staging.(si) in
+                          Buf.push b t;
+                          Buf.push b s;
+                          Buf.push b il;
+                          Buf.push b h1;
+                          Buf.push b fp;
+                          Buf.push b slen;
+                          Buf.blit b ws.sbuf 0 slen;
+                          stag_cnt.(si) <- stag_cnt.(si) + 1
+                        end
+                      end);
+                  if !missed then begin
+                    Array.iter Buf.clear staging;
+                    Array.fill stag_cnt 0 nshards 0;
+                    Buf.push misses t
+                  end
+                  else
+                    for si = 0 to nshards - 1 do
+                      let g = staging.(si) in
+                      if g.Buf.len > 0 then begin
+                        Buf.blit buckets.(si) g.Buf.data 0 g.Buf.len;
+                        counts.(si) <- counts.(si) + stag_cnt.(si);
+                        Buf.clear g;
+                        stag_cnt.(si) <- 0
+                      end
+                    done
+                end;
+                tag := t + 1
+              done;
+              close_scratch ws;
+              { r_bad = !bad;
+                r_witness = !witness;
+                r_misses = misses;
+                r_buckets = buckets;
+                r_counts = counts }
+            in
+            let results = Stdext.Pool.map ~jobs worker pieces in
+            (* Pieces cover ascending tag ranges, so the first piece
+               reporting a violation holds the globally first one. *)
+            let vtag = ref max_int in
+            List.iter
+              (fun res ->
+                if !vtag = max_int && res.r_bad >= 0 then begin
+                  vtag := res.r_bad;
+                  violation :=
+                    Some (res.r_bad, level.(res.r_bad), Option.get res.r_witness)
+                end)
+              results;
+            let vlimit = if !vtag = max_int then hi else !vtag in
+            explored :=
+              !explored + (vlimit - lo) + (if !vtag = max_int then 0 else 1);
+            if capped && vlimit > lo then truncated := true;
+            (* Serial miss fixup, in frontier order: recompute flagged
+               parents read-write so intern ids and memos grow exactly
+               as a fully serial sweep's would. *)
+            let miss_buckets = Array.init nshards (fun _ -> Buf.create ()) in
+            let miss_counts = Array.make nshards 0 in
+            if not capped then
+              List.iter
+                (fun res ->
+                  let m = res.r_misses in
+                  for i = 0 to m.Buf.len - 1 do
+                    let t = m.Buf.data.(i) in
+                    if t < vlimit then begin
+                      let r = level.(t) in
+                      let klen = Table.key_len table r in
+                      ensure_kbuf st klen;
+                      Table.read table st.readers r st.kbuf;
+                      let seq = ref 0 in
+                      iter_successors ctx ~rw:true ~por st klen
+                        ~miss:(fun _ -> assert false)
+                        ~f:(fun il slen ->
+                          let s = !seq in
+                          incr seq;
+                          let h1, fp = hash2 st.sbuf 0 slen in
+                          let si = Table.route table h1 in
+                          let sh = table.Table.shards.(si) in
+                          if not (Table.mem_sh sh ~h1 ~fp st.sbuf 0 slen)
+                          then begin
+                            let b = miss_buckets.(si) in
+                            Buf.push b t;
+                            Buf.push b s;
+                            Buf.push b il;
+                            Buf.push b h1;
+                            Buf.push b fp;
+                            Buf.push b slen;
+                            Buf.blit b st.sbuf 0 slen;
+                            miss_counts.(si) <- miss_counts.(si) + 1
+                          end)
+                    end
+                  done)
+                results;
+            (* Shard [si]'s candidate stream in (tag, seq) order:
+               piece buckets concatenate to an ascending-tag stream
+               (pieces are disjoint ascending ranges, emissions within
+               a parent are in seq order), and the miss bucket merges
+               in by tag (a parent is either clean or missed, never
+               both). *)
+            let merged_records si =
+              let m = Buf.create () in
+              let mb = miss_buckets.(si) in
+              let mi = ref 0 in
+              let copy_rec (b : Buf.t) i =
+                let klen = b.Buf.data.(i + 5) in
+                Buf.blit m b.Buf.data i (rec_words + klen);
+                i + rec_words + klen
+              in
+              List.iter
+                (fun res ->
+                  let b = res.r_buckets.(si) in
+                  let i = ref 0 in
+                  while !i < b.Buf.len do
+                    let t = b.Buf.data.(!i) in
+                    if t >= vlimit then i := b.Buf.len
+                    else begin
+                      while
+                        !mi < mb.Buf.len && mb.Buf.data.(!mi) < t
+                      do
+                        mi := copy_rec mb !mi
+                      done;
+                      i := copy_rec b !i
+                    end
+                  done)
+                results;
+              while !mi < mb.Buf.len do
+                mi := copy_rec mb !mi
+              done;
+              m
+            in
+            let total_cand =
+              List.fold_left
+                (fun a res -> Array.fold_left ( + ) a res.r_counts)
+                (Array.fold_left ( + ) 0 miss_counts)
+                results
+            in
+            if Table.count table + total_cand <= max_states then begin
+              (* Fast path: the bound cannot bite this chunk, so every
+                 shard admits its own stream on its own domain with no
+                 bound bookkeeping and no locks. *)
+              let shard_admit si =
+                let m = merged_records si in
+                let sh = table.Table.shards.(si) in
+                let out = Buf.create () in
+                let i = ref 0 in
+                while !i < m.Buf.len do
+                  let d = m.Buf.data in
+                  let t = d.(!i) in
+                  let s = d.(!i + 1) in
+                  let il = d.(!i + 2) in
+                  let h1 = d.(!i + 3) in
+                  let fp = d.(!i + 4) in
+                  let klen = d.(!i + 5) in
+                  let parent = ((level.(t) + 1) lsl 16) lor il in
+                  (match
+                     Table.find_or_add sh ~h1 ~fp d (!i + rec_words) klen
+                       ~parent
+                   with
+                  | r when r >= 0 -> ()
+                  | fresh ->
+                    Buf.push out t;
+                    Buf.push out s;
+                    Buf.push out (Table.pack_ref ~shard:si ~local:(-fresh - 1)));
+                  i := !i + rec_words + klen
+                done;
+                out
+              in
+              let outs =
+                Array.of_list
+                  (Stdext.Pool.map ~jobs shard_admit (List.init nshards Fun.id))
+              in
+              (* Serial k-way merge of the per-shard admissions back
+                 into one (tag, seq)-ordered frontier. *)
+              let cur = Array.make nshards 0 in
+              let continue = ref true in
+              while !continue do
+                let best = ref (-1) in
+                for si = 0 to nshards - 1 do
+                  if cur.(si) < outs.(si).Buf.len then
+                    if !best < 0 then best := si
+                    else begin
+                      let d = outs.(si).Buf.data and i = cur.(si) in
+                      let e = outs.(!best).Buf.data and j = cur.(!best) in
+                      if
+                        d.(i) < e.(j)
+                        || (d.(i) = e.(j) && d.(i + 1) < e.(j + 1))
+                      then best := si
+                    end
+                done;
+                match !best with
+                | -1 -> continue := false
+                | si ->
+                  Buf.push next outs.(si).Buf.data.(cur.(si) + 2);
+                  cur.(si) <- cur.(si) + 3
+              done
             end
             else begin
-              expand_serial id klen d;
-              if rest = [] then explored := !explored + width
-              else sweep (idx + 1) rest
-            end
-        in
-        sweep 0 level
-      end
-      else begin
-        (* Parallel expansion: read-only against the visited table and
-           the intern/memo tables.  A [Keyset.mem] pre-filter drops
-           successors already visited in previous levels, shrinking
-           the serial merge; within-level duplicates are caught by the
-           merge's own probe, so results do not depend on it. *)
-        let expand_chunk ids =
-          let st = make_scratch ctx in
-          List.map
-            (fun id ->
-              let klen = Keyset.len table id in
-              ensure_kbuf st klen;
-              Keyset.read table id st.kbuf;
-              views_into ctx st;
-              if not (predicate st.vbuf) then E_violation (Array.copy st.vbuf)
-              else if d >= max_depth then E_depth_capped
-              else begin
-                let succs = ref [] in
-                iter_successors ctx ~rw:false st klen
-                  ~miss:(fun il -> succs := S_miss il :: !succs)
-                  ~f:(fun il slen ->
-                    if not (Keyset.mem table st.sbuf slen) then
-                      succs :=
-                        S_new (il, Array.sub st.sbuf 0 slen) :: !succs);
-                E_succs (List.rev !succs)
-              end)
-            ids
-        in
-        let results =
-          List.concat
-            (Stdext.Pool.map ~jobs expand_chunk
-               (chunk (max 1 ((width + (4 * jobs) - 1) / (4 * jobs))) level))
-        in
-        (* Merge serially in frontier order.  [merge_one] commits one
-           non-violating state's successors; a parent with a memo miss
-           is recomputed serially so the next occurrence anywhere is a
-           memo hit. *)
-        let merge_one id r =
-          match r with
-          | E_violation _ -> assert false
-          | E_depth_capped -> truncated := true
-          | E_succs succs ->
-            if
-              List.exists
-                (function S_miss _ -> true | S_new _ -> false)
-                succs
-            then begin
-              let klen = load id in
-              expand_serial id klen d
-            end
-            else
-              List.iter
-                (function
-                  | S_miss _ -> assert false
-                  | S_new (il, key) -> (
+              (* Near the visited bound: admit serially in global
+                 (tag, seq) order, exactly the order a single-table
+                 serial sweep admits in, so the hard bound keeps and
+                 rejects the same states. *)
+              let ms = Array.init nshards merged_records in
+              let cur = Array.make nshards 0 in
+              let continue = ref true in
+              while !continue do
+                let best = ref (-1) in
+                for si = 0 to nshards - 1 do
+                  if cur.(si) < ms.(si).Buf.len then
+                    if !best < 0 then best := si
+                    else begin
+                      let d = ms.(si).Buf.data and i = cur.(si) in
+                      let e = ms.(!best).Buf.data and j = cur.(!best) in
+                      if
+                        d.(i) < e.(j)
+                        || (d.(i) = e.(j) && d.(i + 1) < e.(j + 1))
+                      then best := si
+                    end
+                done;
+                match !best with
+                | -1 -> continue := false
+                | si ->
+                  let d = ms.(si).Buf.data and i = cur.(si) in
+                  let t = d.(i) in
+                  let il = d.(i + 2) in
+                  let h1 = d.(i + 3) in
+                  let fp = d.(i + 4) in
+                  let klen = d.(i + 5) in
+                  let sh = table.Table.shards.(si) in
+                  if Table.count table >= max_states then begin
+                    if not (Table.mem_sh sh ~h1 ~fp d (i + rec_words) klen)
+                    then truncated := true
+                  end
+                  else begin
+                    let parent = ((level.(t) + 1) lsl 16) lor il in
                     match
-                      admit_il key (Array.length key) ~parent:id ~il
+                      Table.find_or_add sh ~h1 ~fp d (i + rec_words) klen
+                        ~parent
                     with
-                    | Some id' -> next := id' :: !next
-                    | None -> ()))
-                succs
+                    | r when r >= 0 -> ()
+                    | fresh ->
+                      Buf.push next
+                        (Table.pack_ref ~shard:si ~local:(-fresh - 1))
+                  end;
+                  cur.(si) <- i + rec_words + klen
+              done
+            end;
+            Table.checkpoint table
+          in
+          let c0 = ref 0 in
+          while !c0 < width && !violation = None do
+            let hi = min width (!c0 + chunk_states) in
+            process_chunk !c0 hi;
+            c0 := hi
+          done;
+          frontier := Buf.contents next;
+          incr depth
+        done;
+        Table.note_peak table;
+        let stats =
+          { name;
+            explored = !explored;
+            visited = Table.count table;
+            frontier_peak = !frontier_peak;
+            depth_reached = !depth_reached;
+            truncated = !truncated;
+            peak_mem_words = table.Table.peak_words;
+            spill_bytes = 8 * table.Table.spill_words }
         in
-        (* First violation in frontier order wins; the states before
-           it still commit their successors, exactly as the serial
-           sweep would have, so stats match for every ~jobs. *)
-        let rec merge idx ids rs =
-          match (ids, rs) with
-          | [], [] -> ()
-          | id :: _, E_violation vs :: _ ->
-            explored := !explored + idx + 1;
-            violation := Some (id, vs)
-          | id :: ids, r :: rs ->
-            merge_one id r;
-            if ids = [] then explored := !explored + width
-            else merge (idx + 1) ids rs
-          | _ -> assert false
-        in
-        merge 0 level results
-      end;
-      frontier := List.rev !next;
-      incr depth
-    done;
-    let stats =
-      { name;
-        explored = !explored;
-        visited = Keyset.count table;
-        frontier_peak = !frontier_peak;
-        depth_reached = !depth_reached;
-        truncated = !truncated }
-    in
-    match !violation with
-    | None -> Ok stats
-    | Some (id, witness) ->
-      (* Parent-pointer walk: the only place a trace is materialized. *)
-      let rec build acc id =
-        let parent, label = Vec.get parents id in
-        let acc =
-          match label with L_root -> acc | l -> label_to_string l :: acc
-        in
-        if parent < 0 then acc else build acc parent
-      in
-      Violation { trace = build [] id; witness; stats }
+        match !violation with
+        | None -> Ok stats
+        | Some (_, r, witness) ->
+          (* Parent-pointer walk: the only place a trace is
+             materialized.  Only packed index words are read, so a
+             spilled run rebuilds its trace without touching disk. *)
+          let rec build acc r =
+            let p = Table.parent_packed table r in
+            let pr = (p lsr 16) - 1 in
+            if pr < 0 then
+              match Vec.get seed_labels (p land 0xFFFF) with
+              | L_root -> acc
+              | l -> label_to_string l :: acc
+            else
+              build
+                (label_to_string (decode_ilabel (p land 0xFFFF)) :: acc)
+                pr
+          in
+          Violation { trace = build [] r; witness; stats })
 
   (* Materialized successor list, for replay: (label string, key). *)
   let successor_list ctx k =
@@ -846,7 +1372,7 @@ module Search (P : Graybox.Protocol.S) = struct
     ensure_kbuf st klen;
     Array.blit k 0 st.kbuf 0 klen;
     let acc = ref [] in
-    iter_successors ctx ~rw:true st klen
+    iter_successors ctx ~rw:true ~por:false st klen
       ~miss:(fun _ -> assert false)
       ~f:(fun il slen ->
         acc :=
@@ -861,16 +1387,25 @@ end
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let explore (module P : Graybox.Protocol.S) ~n ~jobs ~max_depth ~max_states
-    ~name predicate =
+let default_spill_dir () = Filename.get_temp_dir_name ()
+
+let explore (module P : Graybox.Protocol.S) ~n ~jobs ~shards ~max_depth
+    ~max_states ~mem_budget ~spill_dir ~por ~name predicate =
   let module S = Search (P) in
-  S.run ~n ~jobs ~max_depth ~max_states ~name
+  S.run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
+    ~name
     ~seeds:(fun ctx -> [ (L_root, S.initial ctx) ])
     predicate
 
-let check_invariant proto ~n ?(jobs = 1) ?(max_depth = 30)
-    ?(max_states = 200_000) ~name p =
-  explore proto ~n ~jobs ~max_depth ~max_states ~name p
+let check_invariant proto ~n ?(jobs = 1) ?shards ?(max_depth = 30)
+    ?(max_states = 200_000) ?(mem_budget = max_int) ?spill_dir ?(por = false)
+    ~name p =
+  let shards = match shards with Some s -> s | None -> min jobs 64 in
+  let spill_dir =
+    match spill_dir with Some d -> d | None -> default_spill_dir ()
+  in
+  explore proto ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir
+    ~por ~name p
 
 let me1 views =
   Array.fold_left
@@ -878,19 +1413,28 @@ let me1 views =
     0 views
   <= 1
 
-let check_me1 proto ~n ?jobs ?max_depth ?max_states () =
-  check_invariant proto ~n ?jobs ?max_depth ?max_states ~name:"ME1" me1
+let check_me1 proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
+    ?spill_dir ?por () =
+  check_invariant proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
+    ?spill_dir ?por ~name:"ME1" me1
 
-let check_everywhere (module P : Graybox.Protocol.S) ~n ?(jobs = 1)
-    ?(max_depth = 30) ?(max_states = 200_000) ?(max_seeds = 256) ~name p =
+let check_everywhere (module P : Graybox.Protocol.S) ~n ?(jobs = 1) ?shards
+    ?(max_depth = 30) ?(max_states = 200_000) ?(mem_budget = max_int)
+    ?spill_dir ?(por = false) ?(max_seeds = 256) ~name p =
+  let shards = match shards with Some s -> s | None -> min jobs 64 in
+  let spill_dir =
+    match spill_dir with Some d -> d | None -> default_spill_dir ()
+  in
   let module S = Search (P) in
-  S.run ~n ~jobs ~max_depth ~max_states ~name
+  S.run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
+    ~name
     ~seeds:(S.everywhere_seeds ~max_seeds)
     p
 
-let check_me1_everywhere proto ~n ?jobs ?max_depth ?max_states ?max_seeds () =
-  check_everywhere proto ~n ?jobs ?max_depth ?max_states ?max_seeds ~name:"ME1"
-    me1
+let check_me1_everywhere proto ~n ?jobs ?shards ?max_depth ?max_states
+    ?mem_budget ?spill_dir ?por ?max_seeds () =
+  check_everywhere proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
+    ?spill_dir ?por ?max_seeds ~name:"ME1" me1
 
 let replay (module P : Graybox.Protocol.S) ~n trace =
   let module S = Search (P) in

@@ -8,19 +8,37 @@
     time, an eating process may release at any time — so the explored
     behaviours over-approximate every client the harness can express.
 
-    The checker is built for throughput.  Process states and messages
-    are hash-consed to small integer ids (deep hashing paid once per
-    {e distinct} value, never per state), a global state is a flat int
-    array probed against an arena-backed visited set in a single pass,
-    successor keys are spliced from the parent's by int blits into
-    reusable scratch buffers, and transitions are memoized on ids — in
-    steady state a successor costs no allocation and no protocol call.
-    Queue entries carry a compact parent pointer instead of a trace
-    (the counterexample path is rebuilt only on violation), so
-    per-state memory is O(1), and each BFS level's expansion can fan
-    out over a domain pool.  Results — including [stats] — are
-    {e identical for every [jobs] value}: parallelism changes
-    wall-clock, never the answer.
+    The checker is built for throughput and scale.  Process states and
+    messages are hash-consed to small integer ids (deep hashing paid
+    once per {e distinct} value, never per state), a global state is a
+    flat int array, successor keys are spliced from the parent's by
+    int blits into reusable scratch buffers, and transitions are
+    memoized on ids — in steady state a successor costs no allocation
+    and no protocol call.  The visited set is {e sharded by hash
+    range}: each shard owns a slice of key space with its own probe
+    table and key arena, so with [jobs > 1] the admission phase runs
+    one domain per shard with no locking.  When the resident key
+    arenas outgrow [mem_budget] words they are streamed to per-shard
+    temp files ({!Stdext.Blockfile}) and deduplication falls back to
+    stored ~125-bit fingerprints — visited capacity is bounded by
+    disk, not RAM, and [stats] reports both the resident peak and the
+    bytes spilled.  Queue entries carry a compact parent pointer
+    instead of a trace (the counterexample path is rebuilt only on
+    violation), so per-state memory is O(1) words.  Results —
+    including the trace and every [stats] field — are {e identical for
+    every [jobs] value and every [shards] value}: parallelism and
+    sharding change wall-clock, never the answer.
+
+    [por] enables a conservative partial-order reduction: at states
+    that have a {e quiet receiver} — a hungry process with entry
+    disabled whose pending deliveries are all silent and
+    mode-preserving — only that process's deliveries are explored.
+    Sound for mode-level predicates such as ME1 (the skipped
+    interleavings are permutations reaching the same states; see
+    EXPERIMENTS.md for the ample-set argument), and still
+    deterministic across [jobs] and [shards].  It is {e off} by
+    default and gated per protocol by the registry's [por_safe] flag:
+    negative controls and ablations keep exhaustive semantics.
 
     Two exploration modes mirror the paper's central distinction
     (Figure 1 / Theorem 1) between [C ⇒ A]init and [C ⇒ A]:
@@ -45,6 +63,11 @@ type stats = {
   frontier_peak : int;  (** widest BFS level *)
   depth_reached : int;
   truncated : bool;  (** hit the depth or state bound before closure *)
+  peak_mem_words : int;
+      (** peak resident visited-set words (hot key arenas plus the
+          3-word per-state index; probe-table geometry excluded so the
+          figure is identical across shard counts) *)
+  spill_bytes : int;  (** bytes streamed to spill files, 0 if none *)
 }
 
 type 'v result =
@@ -56,30 +79,42 @@ type 'v result =
           perturbation (["corrupt(p#i)"] or ["inflight(src->dst,m)"]) *)
 
 val check_me1 :
-  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
-  ?max_states:int -> unit -> Graybox.View.t array result
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
+  ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
+  ?por:bool -> unit -> Graybox.View.t array result
 (** [check_me1 proto ~n ()] explores the protocol with [n] processes
     from its initial states under every interleaving of client steps
     and FIFO deliveries, checking mutual exclusion (at most one eater)
     in every reachable state.  Default bounds: [max_depth = 30],
     [max_states = 200_000]; [max_states] is a hard bound on the
-    visited set.  [jobs] (default 1) sets the expansion domain count;
-    every value returns the same result. *)
+    visited set.  [jobs] (default 1) sets the expansion domain count
+    and [shards] (default [min jobs 64], max 64) the visited-set shard
+    count; every combination returns the same result.  [mem_budget]
+    (default unlimited) caps resident visited-key words — beyond it,
+    key arenas spill to temp blockfiles under [spill_dir] (default the
+    system temp dir; files are removed on exit).  [por] (default
+    false) enables the quiet-receiver partial-order reduction; only
+    set it for protocols the registry marks [por_safe]. *)
 
 val check_invariant :
-  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
-  ?max_states:int -> name:string -> (Graybox.View.t array -> bool) ->
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
+  ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
+  ?por:bool -> name:string -> (Graybox.View.t array -> bool) ->
   Graybox.View.t array result
 (** [check_invariant proto ~n ~name p] checks an arbitrary view-level
     state predicate the same way.  [p] must be pure — with [jobs > 1]
     it runs on several domains at once — and must not retain its
     argument array, which is reused between states (the [witness] of a
     {!Violation} is a private copy).  [name] is echoed in [stats.name]
-    so reports can say which invariant failed. *)
+    so reports can say which invariant failed.  With [~por:true] the
+    predicate must additionally depend on the views' {e modes} only
+    (as ME1 does): the reduction treats mode-preserving deliveries as
+    invisible. *)
 
 val check_me1_everywhere :
-  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
-  ?max_states:int -> ?max_seeds:int -> unit -> Graybox.View.t array result
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
+  ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
+  ?por:bool -> ?max_seeds:int -> unit -> Graybox.View.t array result
 (** Like {!check_me1}, but the frontier is seeded with perturbed
     states — every {!Graybox.Protocol.S.perturb} corruption of every
     process, plus single arbitrary in-flight messages on every channel
@@ -88,8 +123,9 @@ val check_me1_everywhere :
     that merely implements the spec from Init generally fails it. *)
 
 val check_everywhere :
-  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?max_depth:int ->
-  ?max_states:int -> ?max_seeds:int -> name:string ->
+  (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
+  ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
+  ?por:bool -> ?max_seeds:int -> name:string ->
   (Graybox.View.t array -> bool) -> Graybox.View.t array result
 (** Everywhere-mode {!check_invariant}. *)
 

@@ -1,5 +1,9 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+let shard_of ~hash ~shards =
+  if shards < 1 then invalid_arg "Pool.shard_of: need shards >= 1";
+  if shards = 1 then 0 else (hash lsr 33) mod shards
+
 type 'b slot = Empty | Done of 'b | Raised of exn * Printexc.raw_backtrace
 
 let map ~jobs f xs =

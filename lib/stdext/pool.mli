@@ -10,6 +10,15 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the whole machine. *)
 
+val shard_of : hash:int -> shards:int -> int
+(** [shard_of ~hash ~shards] routes a hashed key to its owning shard
+    (in [0 .. shards-1]) by the {e high} bits of [hash], so data that
+    is also open-address-probed by the low bits of the same hash never
+    correlates shard choice with probe position.  The model checker
+    routes successor states to per-domain visited-set shards with
+    this.  [hash] must already be well mixed.
+    @raise Invalid_argument when [shards < 1]. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] on up to
     [jobs] domains (the caller's domain included) and returns the

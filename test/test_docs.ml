@@ -75,7 +75,7 @@ let table_rows ~doc ~header text =
 let test_readme_protocol_table () =
   let rows =
     table_rows ~doc:"README.md"
-      ~header:"| name | role | expect | partition | what it is |"
+      ~header:"| name | role | expect | partition | por | what it is |"
       (Lazy.force readme)
   in
   let entries = R.all () in
@@ -85,7 +85,7 @@ let test_readme_protocol_table () =
   List.iter2
     (fun (e : R.entry) row ->
       match row with
-      | name :: role :: expect :: partition :: _ ->
+      | name :: role :: expect :: partition :: por :: _ ->
         Alcotest.(check string) "name, in registration order" e.R.name name;
         Alcotest.(check string)
           (e.R.name ^ ": role column")
@@ -96,7 +96,11 @@ let test_readme_protocol_table () =
         Alcotest.(check string)
           (e.R.name ^ ": partition column")
           (R.partition_expectation_label e.R.partition_expectation)
-          partition
+          partition;
+        Alcotest.(check string)
+          (e.R.name ^ ": por column")
+          (if e.R.por_safe then "yes" else "no")
+          por
       | _ -> Alcotest.fail (e.R.name ^ ": row has too few columns"))
     entries rows
 
@@ -154,6 +158,18 @@ let test_experiments_load_section () =
          (R.all ~role:R.Reference ()))
 
 (* ------------------------------------------------------------------ *)
+(* EXPERIMENTS.md: the MCHECK section names the out-of-core and POR    *)
+(* machinery, its schema, and every por-safe protocol                  *)
+
+let test_experiments_mcheck_section () =
+  let text = Lazy.force experiments in
+  check_mentions "EXPERIMENTS.md" text
+    ([ "graybox-bench-mcheck/2"; "--mem-budget"; "--spill-dir"; "--shards";
+       "--por"; "--jobs"; "out-of-core"; "partial-order reduction";
+       "quiet receiver"; "peak_mem_words"; "spill_bytes"; "por_safe" ]
+     @ R.por_safe_names ())
+
+(* ------------------------------------------------------------------ *)
 (* DESIGN.md: the inventory covers the partition fault model           *)
 
 let test_design_inventory () =
@@ -169,6 +185,14 @@ let test_design_move_indexes () =
   check_mentions "README.md" (Lazy.force readme)
     [ "BENCH_load.json"; "p50/p99/p999"; "--scan"; "coordinated omission" ]
 
+let test_design_checker_section () =
+  check_mentions "DESIGN.md" (Lazy.force design)
+    [ "sharded"; "Stdext.Blockfile"; "--mem-budget"; "fingerprint";
+      "(tag, seq)"; "quiet receiver"; "por_safe"; "Pool.shard_of" ];
+  (* the README must surface the out-of-core and POR knobs *)
+  check_mentions "README.md" (Lazy.force readme)
+    [ "--mem-budget"; "--por"; "--shards"; "BENCH_mcheck.json" ]
+
 let () =
   Alcotest.run "docs"
     [ ( "readme",
@@ -180,9 +204,13 @@ let () =
         [ Alcotest.test_case "partition section present and named" `Quick
             test_experiments_partition_section;
           Alcotest.test_case "load section present and named" `Quick
-            test_experiments_load_section ] );
+            test_experiments_load_section;
+          Alcotest.test_case "mcheck section present and named" `Quick
+            test_experiments_mcheck_section ] );
       ( "design",
         [ Alcotest.test_case "inventory covers the partition model" `Quick
             test_design_inventory;
           Alcotest.test_case "move-index architecture documented" `Quick
-            test_design_move_indexes ] ) ]
+            test_design_move_indexes;
+          Alcotest.test_case "checker architecture documented" `Quick
+            test_design_checker_section ] ) ]

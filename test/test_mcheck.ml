@@ -176,6 +176,118 @@ let test_max_states_hard_bound () =
       (stats.Mcheck.explored <= stats.Mcheck.visited)
   | Mcheck.Violation _ -> Alcotest.fail "ra is safe"
 
+(* -- sharded / out-of-core differential suite ----------------------- *)
+
+(* Every (jobs, shards, mem_budget) configuration must return the same
+   result — traces byte-identical, stats field-for-field equal except
+   the two memory figures, which depend on mem_budget (but on nothing
+   else).  The reference is the fully serial in-RAM run. *)
+
+let scrub_mem = function
+  | Mcheck.Ok s -> Mcheck.Ok { s with Mcheck.peak_mem_words = 0; spill_bytes = 0 }
+  | Mcheck.Violation { trace; witness; stats = s } ->
+    Mcheck.Violation
+      { trace;
+        witness;
+        stats = { s with Mcheck.peak_mem_words = 0; spill_bytes = 0 } }
+
+let check_differential name run () =
+  let reference = run ~jobs:1 ~shards:1 ~mem_budget:max_int in
+  (* fixed budget => full equality including memory stats, across a
+     seeded-random draw of (jobs, shards) configurations *)
+  let rng = Random.State.make [| 0xd1f; 0x5eed |] in
+  for _ = 1 to 4 do
+    let jobs = 1 + Random.State.int rng 4 in
+    let shards = 1 + Random.State.int rng 8 in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: jobs=%d shards=%d == serial" name jobs shards)
+      true
+      (run ~jobs ~shards ~mem_budget:max_int = reference)
+  done;
+  (* tiny budget forces the spill path; everything but the memory
+     figures must be unchanged, and spilling must actually happen *)
+  let spilled = run ~jobs:3 ~shards:4 ~mem_budget:64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: spill-forced == in-RAM (modulo memory stats)" name)
+    true
+    (scrub_mem spilled = scrub_mem reference);
+  let stats_of = function
+    | Mcheck.Ok s -> s
+    | Mcheck.Violation { stats; _ } -> stats
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: spill engaged" name)
+    true
+    ((stats_of spilled).Mcheck.spill_bytes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: in-RAM run never spills" name)
+    true
+    ((stats_of reference).Mcheck.spill_bytes = 0);
+  (* memory stats themselves are jobs- and shards-invariant at a
+     fixed budget *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: spilled stats jobs/shards-invariant" name)
+    true
+    (run ~jobs:1 ~shards:7 ~mem_budget:64 = spilled)
+
+let diff_safe ~jobs ~shards ~mem_budget =
+  Mcheck.check_me1 ra ~n:3 ~jobs ~shards ~mem_budget ~max_depth:8 ()
+
+let diff_violation ~jobs ~shards ~mem_budget =
+  Mcheck.check_me1 mutant ~n:2 ~jobs ~shards ~mem_budget ~max_depth:20 ()
+
+let diff_everywhere ~jobs ~shards ~mem_budget =
+  Mcheck.check_me1_everywhere m1 ~n:2 ~jobs ~shards ~mem_budget ~max_depth:4 ()
+
+let diff_bounded ~jobs ~shards ~mem_budget =
+  (* exercises the near-max_states serial admission path *)
+  Mcheck.check_me1 ra ~n:3 ~jobs ~shards ~mem_budget ~max_depth:30
+    ~max_states:500 ()
+
+(* -- partial-order reduction ---------------------------------------- *)
+
+let test_por_reduces_and_agrees () =
+  (* on a por_safe reference protocol the reduction must prove the
+     same result with strictly fewer states *)
+  let run por = Mcheck.check_me1 ra ~n:3 ~por ~max_depth:10 () in
+  match (run false, run true) with
+  | Mcheck.Ok full, Mcheck.Ok reduced ->
+    Alcotest.(check bool) "strictly fewer states visited" true
+      (reduced.Mcheck.visited < full.Mcheck.visited);
+    Alcotest.(check bool) "strictly fewer states explored" true
+      (reduced.Mcheck.explored < full.Mcheck.explored)
+  | _ -> Alcotest.fail "ra is safe with and without POR"
+
+let test_por_still_catches_violations () =
+  (* the ample conditions are dynamic, so the reduction is sound even
+     on the buggy mutant: the violation must still be found, and its
+     trace must replay *)
+  match Mcheck.check_me1 mutant ~n:2 ~por:true ~max_depth:20 () with
+  | Mcheck.Ok _ -> Alcotest.fail "POR must not mask the mutant's violation"
+  | Mcheck.Violation { trace; witness; _ } ->
+    (match Mcheck.replay mutant ~n:2 trace with
+    | None -> Alcotest.fail "POR trace must be executable"
+    | Some views ->
+      Alcotest.(check bool) "replay reaches the witness" true (views = witness))
+
+let test_por_deterministic () =
+  let run jobs shards =
+    Mcheck.check_me1 ra ~n:3 ~jobs ~shards ~por:true ~max_depth:10 ()
+  in
+  Alcotest.(check bool) "POR invariant under jobs and shards" true
+    (run 1 1 = run 3 4)
+
+(* -- memory accounting ---------------------------------------------- *)
+
+let test_peak_mem_reported () =
+  match Mcheck.check_me1 ra ~n:2 ~max_depth:10 () with
+  | Mcheck.Ok stats ->
+    (* 3 index words per state plus at least one key word each *)
+    Alcotest.(check bool) "peak covers the index" true
+      (stats.Mcheck.peak_mem_words >= 4 * stats.Mcheck.visited);
+    Alcotest.(check int) "no spill without pressure" 0 stats.Mcheck.spill_bytes
+  | Mcheck.Violation _ -> Alcotest.fail "ra is safe"
+
 let () =
   Alcotest.run "mcheck"
     [ ( "safety",
@@ -219,4 +331,22 @@ let () =
             test_everywhere_ra_shallow_safe ] );
       ( "bounds",
         [ Alcotest.test_case "max_states is hard" `Quick
-            test_max_states_hard_bound ] ) ]
+            test_max_states_hard_bound ] );
+      ( "differential",
+        [ Alcotest.test_case "safe run" `Quick
+            (check_differential "ra n=3" diff_safe);
+          Alcotest.test_case "violating run" `Quick
+            (check_differential "mutant n=2" diff_violation);
+          Alcotest.test_case "everywhere run" `Quick
+            (check_differential "lamport-m1 everywhere" diff_everywhere);
+          Alcotest.test_case "bounded run" `Quick
+            (check_differential "ra n=3 max_states=500" diff_bounded) ] );
+      ( "por",
+        [ Alcotest.test_case "fewer states, same verdict" `Quick
+            test_por_reduces_and_agrees;
+          Alcotest.test_case "violations not masked" `Quick
+            test_por_still_catches_violations;
+          Alcotest.test_case "deterministic" `Quick test_por_deterministic ] );
+      ( "memory",
+        [ Alcotest.test_case "peak and spill reported" `Quick
+            test_peak_mem_reported ] ) ]

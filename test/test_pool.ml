@@ -57,9 +57,50 @@ let test_jobs_validation () =
         (fun () -> ignore (Pool.map ~jobs Fun.id [ 1 ])))
     [ 0; -1 ]
 
+(* -- shard routing -------------------------------------------------- *)
+
+let test_shard_of_range () =
+  (* every hash lands in range, and a realistic mixed-hash stream
+     spreads over all shards *)
+  let seen = Array.make 8 0 in
+  for i = 0 to 9999 do
+    (* splitmix-style mix so high bits vary, as Mcheck's hash does *)
+    let h = i * 0x9e3779b97f4a7c1 in
+    let h = (h lxor (h lsr 31)) land max_int in
+    let s = Pool.shard_of ~hash:h ~shards:8 in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 8);
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d populated" i) true (c > 0))
+    seen
+
+let test_shard_of_single () =
+  Alcotest.(check int) "one shard takes all" 0
+    (Pool.shard_of ~hash:max_int ~shards:1)
+
+let test_shard_of_high_bits () =
+  (* low-bit changes (the probe bits) must not move the shard *)
+  let h = 0x1234 * 0x9e3779b97f4a7c1 land max_int in
+  Alcotest.(check int) "low bits ignored"
+    (Pool.shard_of ~hash:h ~shards:8)
+    (Pool.shard_of ~hash:(h lxor 0xFFFF) ~shards:8)
+
+let test_shard_of_validation () =
+  Alcotest.check_raises "shards = 0 rejected"
+    (Invalid_argument "Pool.shard_of: need shards >= 1") (fun () ->
+      ignore (Pool.shard_of ~hash:1 ~shards:0))
+
 let () =
   Alcotest.run "pool"
-    [ ( "map",
+    [ ( "shard_of",
+        [ Alcotest.test_case "range and spread" `Quick test_shard_of_range;
+          Alcotest.test_case "single shard" `Quick test_shard_of_single;
+          Alcotest.test_case "routes by high bits" `Quick
+            test_shard_of_high_bits;
+          Alcotest.test_case "validation" `Quick test_shard_of_validation ] );
+      ( "map",
         [ Alcotest.test_case "input ordering" `Quick test_ordering;
           Alcotest.test_case "matches List.map (uneven work)" `Quick
             test_matches_list_map_uneven_work;

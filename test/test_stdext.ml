@@ -529,6 +529,113 @@ let prop_parray_versions_survive_rerooting =
       let ok (p, expected) = Parray.to_list p = expected in
       List.for_all ok versions && List.for_all ok (List.rev versions))
 
+(* ------------------------------------------------------------------ *)
+(* Blockfile                                                           *)
+
+let with_blockfile f =
+  let t = Blockfile.create ~dir:(Filename.get_temp_dir_name ()) ~prefix:"t" in
+  Fun.protect ~finally:(fun () -> Blockfile.remove t) (fun () -> f t)
+
+let test_blockfile_roundtrip () =
+  with_blockfile (fun t ->
+      let a = [| 1; -2; max_int; min_int; 0; 42 |] in
+      let off1 = Blockfile.append t a ~off:0 ~len:6 in
+      let off2 = Blockfile.append t a ~off:2 ~len:3 in
+      Alcotest.(check int) "first offset" 0 off1;
+      Alcotest.(check int) "second offset" 6 off2;
+      Alcotest.(check int) "words" 9 (Blockfile.words t);
+      let r = Blockfile.reader t in
+      Fun.protect
+        ~finally:(fun () -> Blockfile.close_reader r)
+        (fun () ->
+          let buf = Array.make 9 0 in
+          Blockfile.pread r ~woff:0 buf ~off:0 ~len:9;
+          Alcotest.(check (array int))
+            "all words, extremes included"
+            [| 1; -2; max_int; min_int; 0; 42; max_int; min_int; 0 |]
+            buf;
+          (* positional re-read of an interior slice *)
+          let mid = Array.make 2 0 in
+          Blockfile.pread r ~woff:2 mid ~off:0 ~len:2;
+          Alcotest.(check (array int)) "interior slice" [| max_int; min_int |] mid))
+
+let test_blockfile_reader_sees_later_appends () =
+  (* the spill path opens readers lazily and keeps them across later
+     flushes: a reader must see words appended after it was opened *)
+  with_blockfile (fun t ->
+      ignore (Blockfile.append t [| 10; 11 |] ~off:0 ~len:2);
+      let r = Blockfile.reader t in
+      Fun.protect
+        ~finally:(fun () -> Blockfile.close_reader r)
+        (fun () ->
+          ignore (Blockfile.append t [| 20; 21; 22 |] ~off:0 ~len:3);
+          let buf = Array.make 3 0 in
+          Blockfile.pread r ~woff:2 buf ~off:0 ~len:3;
+          Alcotest.(check (array int)) "write-through" [| 20; 21; 22 |] buf))
+
+let test_blockfile_records () =
+  with_blockfile (fun t ->
+      ignore (Blockfile.append_record t [| 5; 6; 7 |] ~off:0 ~len:3);
+      ignore (Blockfile.append_record t [||] ~off:0 ~len:0);
+      ignore (Blockfile.append_record t [| 9 |] ~off:0 ~len:1);
+      let r = Blockfile.reader t in
+      Fun.protect
+        ~finally:(fun () -> Blockfile.close_reader r)
+        (fun () ->
+          let got = ref [] in
+          Blockfile.iter_records r (fun buf len ->
+              got := Array.to_list (Array.sub buf 0 len) :: !got);
+          Alcotest.(check (list (list int)))
+            "records in order" [ [ 5; 6; 7 ]; []; [ 9 ] ] (List.rev !got)))
+
+let test_blockfile_remove_idempotent () =
+  let t = Blockfile.create ~dir:(Filename.get_temp_dir_name ()) ~prefix:"t" in
+  let p = Blockfile.path t in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists p);
+  Blockfile.remove t;
+  Blockfile.remove t;
+  Alcotest.(check bool) "file gone" false (Sys.file_exists p)
+
+let test_blockfile_bad_ranges () =
+  with_blockfile (fun t ->
+      ignore (Blockfile.append t [| 1; 2 |] ~off:0 ~len:2);
+      Alcotest.(check bool) "bad slice rejected" true
+        (match Blockfile.append t [| 1 |] ~off:0 ~len:2 with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      let r = Blockfile.reader t in
+      Fun.protect
+        ~finally:(fun () -> Blockfile.close_reader r)
+        (fun () ->
+          let buf = Array.make 4 0 in
+          Alcotest.(check bool) "read past eof rejected" true
+            (match Blockfile.pread r ~woff:1 buf ~off:0 ~len:4 with
+            | () -> false
+            | exception Invalid_argument _ -> true)))
+
+let prop_blockfile_matches_array_model =
+  qtest ~count:50 "blockfile append/pread matches an int-array model"
+    QCheck2.Gen.(small_list (small_list (int_range (-1000) 1000)))
+    (fun slices ->
+      with_blockfile (fun t ->
+          let model = ref [] in
+          List.iter
+            (fun ws ->
+              let a = Array.of_list ws in
+              let at = Blockfile.append t a ~off:0 ~len:(Array.length a) in
+              assert (at = List.length !model);
+              model := !model @ ws)
+            slices;
+          let all = Array.of_list !model in
+          let n = Array.length all in
+          let r = Blockfile.reader t in
+          Fun.protect
+            ~finally:(fun () -> Blockfile.close_reader r)
+            (fun () ->
+              let buf = Array.make (max n 1) 0 in
+              Blockfile.pread r ~woff:0 buf ~off:0 ~len:n;
+              Array.sub buf 0 n = all)))
+
 let () =
   Alcotest.run "stdext"
     [ ( "rng",
@@ -596,4 +703,13 @@ let () =
       ( "oset",
         [ Alcotest.test_case "basics" `Quick test_oset_basics;
           prop_oset_matches_sorted_list_model;
-          prop_oset_union ] ) ]
+          prop_oset_union ] );
+      ( "blockfile",
+        [ Alcotest.test_case "roundtrip" `Quick test_blockfile_roundtrip;
+          Alcotest.test_case "reader sees later appends" `Quick
+            test_blockfile_reader_sees_later_appends;
+          Alcotest.test_case "records" `Quick test_blockfile_records;
+          Alcotest.test_case "remove idempotent" `Quick
+            test_blockfile_remove_idempotent;
+          Alcotest.test_case "bad ranges" `Quick test_blockfile_bad_ranges;
+          prop_blockfile_matches_array_model ] ) ]
