@@ -1151,7 +1151,21 @@ let partition_bench () =
   let tail_margin = 2000 in
   let widths = [ 1; 2; 3 ] in
   let modes = [ Sim.Faults.Lossy; Sim.Faults.Buffered ] in
-  let sweep = List.map entry_of (Registry.default_sweep ()) in
+  (* the default sweep plus every entry registered with a non-wedge
+     during-partition level: the epoch columns below are the
+     instrument those levels are measured with (ra-lease's per-group
+     service, the split-brain ablations' unsafety) *)
+  let sweep =
+    let base = Registry.default_sweep () in
+    let extra =
+      Registry.all ()
+      |> List.filter (fun (e : Registry.entry) ->
+             e.Registry.during_partition <> Registry.Wedge
+             && not (List.mem e.Registry.name base))
+      |> List.map (fun (e : Registry.entry) -> e.Registry.name)
+    in
+    List.map entry_of (base @ extra)
+  in
   let grid =
     List.concat_map
       (fun (e : Registry.entry) ->
@@ -1180,7 +1194,27 @@ let partition_bench () =
     let latency =
       mean_opt (List.map (fun r -> r.Tme.Scenarios.recovery_latency) runs)
     in
-    (e, width, mode, recovered, latency)
+    (* during-split service, from the regime-epoch monitors: whether
+       every seed's weakened per-epoch spec held, and how many CS
+       entries the protocol granted while the partition was up —
+       0 for a wedging protocol, >0 for a partition-tolerant one. *)
+    let epoch_safe =
+      List.for_all
+        (fun r ->
+          match r.Tme.Scenarios.epoch_spec with
+          | Some ep -> Graybox.Tme_spec.Epoch.safe ep
+          | None -> true)
+        runs
+    in
+    let split_grants =
+      List.fold_left
+        (fun acc r ->
+          match r.Tme.Scenarios.epoch_spec with
+          | Some ep -> acc + ep.Graybox.Tme_spec.Epoch.split_entries
+          | None -> acc)
+        0 runs
+    in
+    (e, width, mode, recovered, latency, epoch_safe, split_grants)
   in
   let rows = Pool.map ~jobs:!jobs measure grid in
   let mode_label = function
@@ -1190,16 +1224,20 @@ let partition_bench () =
   let table =
     Tabular.create
       [ "protocol+W'(delta)"; "width"; "heal mode"; "recovered";
-        "latency after heal" ]
+        "latency after heal"; "during"; "epoch-safe"; "split grants" ]
   in
   List.iter
-    (fun ((e : Registry.entry), width, mode, recovered, latency) ->
+    (fun ((e : Registry.entry), width, mode, recovered, latency, epoch_safe,
+          split_grants) ->
       Tabular.add_row table
         [ Printf.sprintf "%s+W'(%d)" e.Registry.name e.Registry.default_delta;
           Printf.sprintf "%d|%d" width (n - width);
           mode_label mode;
           Tabular.cell_bool recovered;
-          cell_opt_float latency ])
+          cell_opt_float latency;
+          Registry.during_partition_label e.Registry.during_partition;
+          Tabular.cell_bool epoch_safe;
+          Tabular.cell_int split_grants ])
     rows;
   Tabular.print
     ~title:
@@ -1211,7 +1249,7 @@ let partition_bench () =
   let json =
     Chaos.Jsonx.(
       Obj
-        [ ("schema", String "graybox-bench-partition/1");
+        [ ("schema", String "graybox-bench-partition/2");
           ("n", Int n);
           ("from_t", Int from_t);
           ("until_t", Int until_t);
@@ -1219,7 +1257,8 @@ let partition_bench () =
           ("rows",
            List
              (List.map
-                (fun ((e : Registry.entry), width, mode, recovered, latency) ->
+                (fun ((e : Registry.entry), width, mode, recovered, latency,
+                      epoch_safe, split_grants) ->
                   Obj
                     [ ("protocol", String e.Registry.name);
                       ("delta", Int e.Registry.default_delta);
@@ -1227,13 +1266,19 @@ let partition_bench () =
                        String
                          (Registry.partition_expectation_label
                             e.Registry.partition_expectation));
+                      ("during_partition",
+                       String
+                         (Registry.during_partition_label
+                            e.Registry.during_partition));
                       ("width", Int width);
                       ("mode", String (mode_label mode));
                       ("recovered", Bool recovered);
                       ("latency_after_heal",
-                       match latency with
-                       | None -> Null
-                       | Some l -> Float l) ])
+                       (match latency with
+                        | None -> Null
+                        | Some l -> Float l));
+                      ("epoch_safe", Bool epoch_safe);
+                      ("split_grants", Int split_grants) ])
                 rows)) ])
   in
   Out_channel.with_open_text "BENCH_partition.json" (fun oc ->
@@ -1277,19 +1322,8 @@ let load_bench () =
     in
     let dt = Unix.gettimeofday () -. t0 in
     let ps = Tme.Load.percentiles r [ 50.; 99.; 99.9 ] in
-    (* suppress a percentile unless at least 2 samples lie at or above
-       it: below that it degenerates to the sample maximum.  Exact
-       integer arithmetic in tenths of a percent — the float form
-       2000 *. (1. -. 0.999) lands just under 2. and misfires. *)
     let supported =
-      List.map2
-        (fun q p ->
-          let tenths = int_of_float (Float.round (q *. 10.)) in
-          if
-            Float.is_nan p
-            || r.Tme.Load.grants * (1000 - tenths) < 2 * 1000
-          then None
-          else Some p)
+      Stats.suppress_unsupported ~samples:r.Tme.Load.grants
         [ 50.; 99.; 99.9 ] ps
     in
     (e, n, r, float_of_int r.Tme.Load.steps_run /. dt, supported)

@@ -25,7 +25,30 @@ open Cmdliner
 
 let parse_fault s =
   let fail msg = Error (`Msg msg) in
+  let parse_groups spec =
+    (* "0,1|2,3" — pids grouped by '|'; unlisted pids form the
+       implicit remainder group (Sim.Faults.split_groups) *)
+    let group g =
+      List.filter_map int_of_string_opt (String.split_on_char ',' g)
+    in
+    match List.map group (String.split_on_char '|' spec) with
+    | groups when List.for_all (fun g -> g <> []) groups && groups <> [] ->
+      Some groups
+    | _ -> None
+  in
+  let parse_split ~mode range groups =
+    match String.split_on_char '-' range with
+    | [ a; b ] ->
+      (match int_of_string_opt a, int_of_string_opt b, parse_groups groups with
+       | Some from_t, Some until_t, Some groups ->
+         Ok [ Tme.Scenarios.Split { groups; from_t; until_t; mode } ]
+       | _ -> fail "split: expected split:FROM-TO:0,1|2,3")
+    | _ -> fail "split: expected split:FROM-TO:0,1|2,3"
+  in
   match String.split_on_char ':' s with
+  | [ "split"; range; groups ] -> parse_split ~mode:Sim.Faults.Lossy range groups
+  | [ "split-buf"; range; groups ] ->
+    parse_split ~mode:Sim.Faults.Buffered range groups
   | [ "burst"; at ] ->
     (match int_of_string_opt at with
      | Some at -> Ok (Tme.Scenarios.burst ~at)
@@ -57,7 +80,8 @@ let parse_fault s =
   | _ ->
     fail
       "expected KIND:TIME (burst, drop, duplicate, corrupt-msgs, reorder, \
-       flush, corrupt-state, reset) or drop-requests:FROM-TO"
+       flush, corrupt-state, reset), drop-requests:FROM-TO, or \
+       split[-buf]:FROM-TO:0,1|2,3"
 
 let fault_conv =
   Arg.conv
@@ -171,6 +195,11 @@ let run_cmd =
        | Some report ->
          print_endline "-- TME_Spec online monitors --";
          print_endline (Unityspec.Report.to_string report));
+      (match r.epoch_spec with
+       | None -> ()
+       | Some ep ->
+         print_endline "-- Regime-epoch monitors --";
+         Format.printf "%a@." Graybox.Tme_spec.Epoch.pp ep);
       (* exit nonzero on a non-recovering run so `run` can gate CI *)
       `Ok (if r.analysis.Graybox.Stabilize.recovered then 0 else 1)
   in
@@ -605,6 +634,8 @@ let protocols_cmd =
             ( "partition_expect",
               Chaos.Jsonx.String
                 (partition_expectation_label e.partition_expectation) );
+            ( "during_partition",
+              Chaos.Jsonx.String (during_partition_label e.during_partition) );
             ("default_delta", Chaos.Jsonx.Int e.default_delta);
             ("everywhere_checkable", Chaos.Jsonx.Bool e.everywhere_checkable);
             ("lspec_monitorable", Chaos.Jsonx.Bool e.lspec_monitorable);
@@ -615,15 +646,15 @@ let protocols_cmd =
       print_endline
         (Chaos.Jsonx.to_string
            (Chaos.Jsonx.Obj
-              [ ("schema", Chaos.Jsonx.String "graybox-protocols/2");
+              [ ("schema", Chaos.Jsonx.String "graybox-protocols/3");
                 ( "protocols",
                   Chaos.Jsonx.List (List.map entry_json entries) ) ]))
     end
     else begin
       let t =
         Stdext.Tabular.create
-          [ "name"; "role"; "expect"; "partition"; "delta"; "everywhere";
-            "lspec"; "por"; "sweep"; "description" ]
+          [ "name"; "role"; "expect"; "partition"; "during"; "delta";
+            "everywhere"; "lspec"; "por"; "sweep"; "description" ]
       in
       List.iter
         (fun e ->
@@ -632,6 +663,7 @@ let protocols_cmd =
               role_label e.role;
               expectation_label e.expectation;
               partition_expectation_label e.partition_expectation;
+              during_partition_label e.during_partition;
               Stdext.Tabular.cell_int e.default_delta;
               Stdext.Tabular.cell_bool e.everywhere_checkable;
               Stdext.Tabular.cell_bool e.lspec_monitorable;
@@ -644,7 +676,8 @@ let protocols_cmd =
       Stdext.Tabular.print
         ~title:
           "protocol registry (expect gates wrapped chaos cells; partition \
-           gates the --partitions cells; sweep = default campaign order)"
+           gates the --partitions heal cells; during gates the during-split \
+           cells; sweep = default campaign order)"
         t
     end;
     `Ok 0
@@ -755,6 +788,11 @@ let chaos_cmd =
              seeds budget seed n steps)
         (Chaos.Campaign.summary_table report);
       print_newline ();
+      if Chaos.Campaign.has_during_cells report then begin
+        Stdext.Tabular.print ~title:"during-partition availability"
+          (Chaos.Campaign.during_table report);
+        print_newline ()
+      end;
       List.iter
         (fun cx ->
           Format.printf "%a@.@." Chaos.Campaign.pp_counterexample cx)

@@ -71,7 +71,15 @@ type row = {
   row_plan : S.fault_spec list;
   row_verdict : Outcome.verdict;
   row_latency : int option;
+  row_epoch : (bool * int) option;
+      (* during-split cells only: (epoch-safe, during-split CS entries)
+         from the regime-epoch monitors; [None] elsewhere so the
+         non-partition report stays byte-identical *)
 }
+
+let epoch_safe r = match r.row_epoch with Some (ok, _) -> ok | None -> true
+
+let split_grants r = match r.row_epoch with Some (_, g) -> g | None -> 0
 
 type latency_stats = {
   samples : int;
@@ -86,6 +94,9 @@ type cell = {
   cell_protocol : string;
   cell_wrapped : bool;
   cell_expect : expectation;
+  cell_during : Registry.during_partition option;
+      (* [Some] marks a during-split cell: the expectation then gates
+         the rows' epoch-safety verdicts, not their outcome verdicts *)
   rows : row list;
   counts : (Outcome.verdict * int) list;
   latency : latency_stats option;
@@ -136,7 +147,7 @@ let split_plans cfg ~mode =
       let seed = run_seed cfg i in
       (seed, Plan_gen.split_plan (Rng.create (plan_seed seed)) gen_cfg ~mode))
 
-let run_row ~cfg ~proto ~wrapper (seed, plan) =
+let run_row ~cfg ~proto ~wrapper ~want_epoch (seed, plan) =
   let r =
     S.run proto ~wrapper ~faults:plan ~streaming:cfg.streaming ~n:cfg.n ~seed
       ~steps:cfg.steps
@@ -144,7 +155,14 @@ let run_row ~cfg ~proto ~wrapper (seed, plan) =
   { row_seed = seed;
     row_plan = plan;
     row_verdict = Outcome.classify ~n:cfg.n r.S.analysis;
-    row_latency = r.S.recovery_latency }
+    row_latency = r.S.recovery_latency;
+    row_epoch =
+      (if want_epoch then
+         Option.map
+           (fun (e : Graybox.Tme_spec.Epoch.report) ->
+             (Graybox.Tme_spec.Epoch.safe e, e.Graybox.Tme_spec.Epoch.split_entries))
+           r.S.epoch_spec
+       else None) }
 
 let latency_stats rows =
   (* One sorted pass serves median, p95, and max (p100 is the maximum
@@ -169,15 +187,29 @@ let latency_stats rows =
         lat_max = max_ }
   | _ -> None
 
-let cell_ok expect rows =
-  match expect with
-  | Expect_recover ->
-    List.for_all (fun r -> r.row_verdict = Outcome.Recovered) rows
-  | Expect_failure ->
-    List.exists (fun r -> Outcome.is_failure r.row_verdict) rows
-  | Observe -> true
+(* A cell's expectation gates outcome verdicts; a during-split cell's
+   expectation gates the epoch-safety verdicts instead, with [Weak_me1]
+   additionally requiring during-split availability (the registry's
+   lattice doc is the single statement of these readings). *)
+let cell_ok ~during expect rows =
+  match during with
+  | None -> (
+    match expect with
+    | Expect_recover ->
+      List.for_all (fun r -> r.row_verdict = Outcome.Recovered) rows
+    | Expect_failure ->
+      List.exists (fun r -> Outcome.is_failure r.row_verdict) rows
+    | Observe -> true)
+  | Some d -> (
+    match expect with
+    | Expect_recover ->
+      List.for_all epoch_safe rows
+      && (d <> Registry.Weak_me1
+         || List.exists (fun r -> split_grants r > 0) rows)
+    | Expect_failure -> List.exists (fun r -> not (epoch_safe r)) rows
+    | Observe -> true)
 
-let make_cell ~label ~protocol ~wrapped ~expect rows =
+let make_cell ~label ~protocol ~wrapped ~expect ~during rows =
   let counts =
     List.map
       (fun v ->
@@ -188,16 +220,29 @@ let make_cell ~label ~protocol ~wrapped ~expect rows =
     cell_protocol = protocol;
     cell_wrapped = wrapped;
     cell_expect = expect;
+    cell_during = during;
     rows;
     counts;
     latency = latency_stats rows;
-    cell_ok = cell_ok expect rows }
+    cell_ok = cell_ok ~during expect rows }
 
 let canary_plan cfg =
   let from_t = max 1 (cfg.steps / 10) in
   [ S.Drop_requests_window { from_t; until_t = from_t + 60 } ]
 
 let wrapper_of cfg = S.wrapped ~delta:cfg.delta ()
+
+(* One planned cell: everything [run] needs to execute and label it. *)
+type cell_spec = {
+  sp_label : string;
+  sp_protocol : string;
+  sp_wrapped : bool;
+  sp_expect : expectation;
+  sp_during : Registry.during_partition option;
+  sp_proto : (module Graybox.Protocol.S);
+  sp_wrapper : Graybox.Harness.wrapper_mode;
+  sp_seeded : (int * S.fault_spec list) list;
+}
 
 let cells_of_config cfg =
   let wrapped = wrapper_of cfg in
@@ -209,25 +254,25 @@ let cells_of_config cfg =
         | None -> raise (Unknown_protocol name)
         | Some e ->
           let proto = e.Registry.proto in
-          (* the entry's expectation gates the wrapped cell; unwrapped
-             cells of recovery-gated protocols are merely observed *)
-          let unwrapped_expect =
-            match e.Registry.expectation with
-            | Expect_failure -> Expect_failure
-            | Expect_recover | Observe -> Observe
-          in
           let wrapped_cell =
-            ( Printf.sprintf "%s+W'(%d)" name cfg.delta,
-              name,
-              true,
-              e.Registry.expectation,
-              proto,
-              wrapped,
-              seeded )
+            { sp_label = Printf.sprintf "%s+W'(%d)" name cfg.delta;
+              sp_protocol = name;
+              sp_wrapped = true;
+              sp_expect = e.Registry.expectation;
+              sp_during = None;
+              sp_proto = proto;
+              sp_wrapper = wrapped;
+              sp_seeded = seeded }
           in
           let unwrapped_cell =
-            (name, name, false, unwrapped_expect, proto, Graybox.Harness.Off,
-             seeded)
+            { sp_label = name;
+              sp_protocol = name;
+              sp_wrapped = false;
+              sp_expect = Registry.demote_unwrapped e.Registry.expectation;
+              sp_during = None;
+              sp_proto = proto;
+              sp_wrapper = Graybox.Harness.Off;
+              sp_seeded = seeded }
           in
           if cfg.include_unwrapped then [ wrapped_cell; unwrapped_cell ]
           else [ wrapped_cell ])
@@ -243,21 +288,38 @@ let cells_of_config cfg =
           match Registry.find name with
           | None -> raise (Unknown_protocol name)
           | Some e ->
-            let pe = e.Registry.partition_expectation in
-            let lossy_expect = Registry.expectation_of_partition pe in
-            (* a buffered heal loses nothing, so a Deadlocks entry may
-               legitimately crawl back once the flood drains: only the
-               lossy cell carries the failure gate *)
-            let buffered_expect =
-              match lossy_expect with
-              | Expect_failure -> Observe
-              | (Expect_recover | Observe) as x -> x
+            let heal_expect =
+              Registry.expectation_of_partition e.Registry.partition_expectation
             in
-            [ ( Printf.sprintf "%s+W'(%d)/split-lossy" name cfg.delta,
-                name, true, lossy_expect, e.Registry.proto, wrapped, lossy );
-              ( Printf.sprintf "%s+W'(%d)/split-buf" name cfg.delta,
-                name, true, buffered_expect, e.Registry.proto, wrapped,
-                buffered ) ])
+            let during = e.Registry.during_partition in
+            let during_expect = Registry.expectation_of_during during in
+            let cell ~suffix ~wrapped:w ~expect ~during ~seeded =
+              { sp_label =
+                  (if w then
+                     Printf.sprintf "%s+W'(%d)/%s" name cfg.delta suffix
+                   else Printf.sprintf "%s/%s" name suffix);
+                sp_protocol = name;
+                sp_wrapped = w;
+                sp_expect = expect;
+                sp_during = during;
+                sp_proto = e.Registry.proto;
+                sp_wrapper = (if w then wrapped else Graybox.Harness.Off);
+                sp_seeded = seeded }
+            in
+            [ cell ~suffix:"split-lossy" ~wrapped:true ~expect:heal_expect
+                ~during:None ~seeded:lossy;
+              cell ~suffix:"split-buf" ~wrapped:true
+                ~expect:(Registry.demote_buffered heal_expect)
+                ~during:None ~seeded:buffered;
+              (* the during-split cells share the lossy plan stream, so
+                 their epochs line up with the lossy heal cell's runs *)
+              cell ~suffix:"during-split" ~wrapped:true ~expect:during_expect
+                ~during:(Some during) ~seeded:lossy ]
+            @ (if cfg.include_unwrapped then
+                 [ cell ~suffix:"during-split" ~wrapped:false
+                     ~expect:(Registry.demote_unwrapped during_expect)
+                     ~during:(Some during) ~seeded:lossy ]
+               else []))
         cfg.protocols
     end
   in
@@ -269,13 +331,14 @@ let cells_of_config cfg =
       match Registry.default_reference () with
       | None -> []
       | Some e ->
-        [ ( Printf.sprintf "%s/deadlock-canary" e.Registry.name,
-            e.Registry.name,
-            false,
-            Expect_failure,
-            e.Registry.proto,
-            Graybox.Harness.Off,
-            [ (cfg.base_seed, canary_plan cfg) ] ) ]
+        [ { sp_label = Printf.sprintf "%s/deadlock-canary" e.Registry.name;
+            sp_protocol = e.Registry.name;
+            sp_wrapped = false;
+            sp_expect = Expect_failure;
+            sp_during = None;
+            sp_proto = e.Registry.proto;
+            sp_wrapper = Graybox.Harness.Off;
+            sp_seeded = [ (cfg.base_seed, canary_plan cfg) ] } ]
   in
   proto_cells @ partition_cells @ canary
 
@@ -291,10 +354,16 @@ let counterexamples_of cfg cells =
       | Observe -> 2
     in
     let candidates =
+      (* during-split cells are excluded: they share the lossy heal
+         cell's plan stream (any outcome failure shrinks there), and
+         their own gate reads the epoch monitors, which the
+         verdict-driven shrinker cannot re-confirm *)
       List.stable_sort
         (fun a b -> compare (priority a) (priority b))
         (List.filter
-           (fun c -> List.exists (fun r -> Outcome.is_failure r.row_verdict) c.rows)
+           (fun c ->
+             c.cell_during = None
+             && List.exists (fun r -> Outcome.is_failure r.row_verdict) c.rows)
            cells)
     in
     candidates
@@ -333,18 +402,22 @@ let run cfg =
   let specs = cells_of_config cfg in
   let tasks =
     List.concat_map
-      (fun (_, _, _, _, proto, wrapper, seeded) ->
-        List.map (fun sp -> (proto, wrapper, sp)) seeded)
+      (fun spec ->
+        List.map
+          (fun sp ->
+            (spec.sp_proto, spec.sp_wrapper, spec.sp_during <> None, sp))
+          spec.sp_seeded)
       specs
   in
   let rows =
     Pool.map ~jobs:cfg.jobs
-      (fun (proto, wrapper, sp) -> run_row ~cfg ~proto ~wrapper sp)
+      (fun (proto, wrapper, want_epoch, sp) ->
+        run_row ~cfg ~proto ~wrapper ~want_epoch sp)
       tasks
   in
   let cells, leftover =
     List.fold_left
-      (fun (acc, rows) (label, protocol, wrapped, expect, _, _, seeded) ->
+      (fun (acc, rows) spec ->
         let rec take k xs =
           if k = 0 then ([], xs)
           else
@@ -354,8 +427,12 @@ let run cfg =
               (x :: taken, rest)
             | [] -> assert false (* |rows| = sum of cell sizes *)
         in
-        let cell_rows, rows = take (List.length seeded) rows in
-        (make_cell ~label ~protocol ~wrapped ~expect cell_rows :: acc, rows))
+        let cell_rows, rows = take (List.length spec.sp_seeded) rows in
+        ( make_cell ~label:spec.sp_label ~protocol:spec.sp_protocol
+            ~wrapped:spec.sp_wrapped ~expect:spec.sp_expect
+            ~during:spec.sp_during cell_rows
+          :: acc,
+          rows ))
       ([], rows) specs
   in
   assert (leftover = []);
@@ -400,6 +477,37 @@ let summary_table report =
     report.cells;
   t
 
+(* The during-split companion table: epoch-safety and during-split
+   availability per cell, only populated when partition cells ran. *)
+let during_table report =
+  let t =
+    Tabular.create
+      [ "cell"; "during"; "expect"; "runs"; "epoch-safe"; "split-grants";
+        "ok" ]
+  in
+  List.iter
+    (fun c ->
+      match c.cell_during with
+      | None -> ()
+      | Some d ->
+        let safe = List.length (List.filter epoch_safe c.rows) in
+        let grants =
+          List.fold_left (fun acc r -> acc + split_grants r) 0 c.rows
+        in
+        Tabular.add_row t
+          [ c.cell_label;
+            Registry.during_partition_label d;
+            expectation_label c.cell_expect;
+            Tabular.cell_int (List.length c.rows);
+            Tabular.cell_int safe;
+            Tabular.cell_int grants;
+            Tabular.cell_bool c.cell_ok ])
+    report.cells;
+  t
+
+let has_during_cells report =
+  List.exists (fun c -> c.cell_during <> None) report.cells
+
 let pp_counterexample ppf cx =
   Format.fprintf ppf
     "@[<v>counterexample: %s (seed %d, verdict %s)@,\
@@ -415,17 +523,29 @@ let pp_counterexample ppf cx =
 
 let json_of_row r =
   Jsonx.Obj
-    [ ("seed", Jsonx.Int r.row_seed);
-      ("plan", Jsonx.List (List.map (fun s -> Jsonx.String (Plan_gen.spec_label s)) r.row_plan));
-      ("verdict", Jsonx.String (Outcome.label r.row_verdict));
-      ("recovery_latency", Jsonx.of_int_option r.row_latency) ]
+    ([ ("seed", Jsonx.Int r.row_seed);
+       ("plan", Jsonx.List (List.map (fun s -> Jsonx.String (Plan_gen.spec_label s)) r.row_plan));
+       ("verdict", Jsonx.String (Outcome.label r.row_verdict));
+       ("recovery_latency", Jsonx.of_int_option r.row_latency) ]
+    @
+    (* epoch fields exist only on during-split rows, so non-partition
+       reports keep their golden bytes *)
+    match r.row_epoch with
+    | None -> []
+    | Some (ok, grants) ->
+      [ ("epoch_safe", Jsonx.Bool ok); ("split_entries", Jsonx.Int grants) ])
 
 let json_of_cell c =
   Jsonx.Obj
-    [ ("cell", Jsonx.String c.cell_label);
-      ("protocol", Jsonx.String c.cell_protocol);
-      ("wrapped", Jsonx.Bool c.cell_wrapped);
-      ("expect", Jsonx.String (expectation_label c.cell_expect));
+    ([ ("cell", Jsonx.String c.cell_label);
+       ("protocol", Jsonx.String c.cell_protocol);
+       ("wrapped", Jsonx.Bool c.cell_wrapped);
+       ("expect", Jsonx.String (expectation_label c.cell_expect)) ]
+    @ (match c.cell_during with
+      | None -> []
+      | Some d ->
+        [ ("during", Jsonx.String (Registry.during_partition_label d)) ])
+    @ [
       ( "counts",
         Jsonx.Obj
           (List.map (fun (v, k) -> (Outcome.label v, Jsonx.Int k)) c.counts) );
@@ -440,7 +560,7 @@ let json_of_cell c =
               ("p95", Jsonx.Float l.lat_p95);
               ("max", Jsonx.Float l.lat_max) ] );
       ("ok", Jsonx.Bool c.cell_ok);
-      ("runs", Jsonx.List (List.map json_of_row c.rows)) ]
+      ("runs", Jsonx.List (List.map json_of_row c.rows)) ])
 
 let json_of_counterexample cx =
   let plan_json plan =

@@ -55,13 +55,17 @@ type config = {
       (** add the partition fault family to the sweep: generated plans
           may contain group partitions and link delays
           ({!Plan_gen.config}[ ~partitions:true]), and each protocol
-          gains two extra wrapped cells — [/split-lossy] and
-          [/split-buf] — holding exactly one group partition per run,
-          gated by the registry's
-          {!Graybox.Registry.entry.partition_expectation} (the
-          buffered cell demotes a deadlock expectation to [Observe]:
-          nothing is lost under a buffered heal, so recovery is
-          legitimate there) *)
+          gains extra partition cells — the heal-recovery pair
+          [/split-lossy] and [/split-buf] (one group partition per
+          run, gated by
+          {!Graybox.Registry.entry.partition_expectation}), and the
+          [/during-split] cells (wrapped, plus unwrapped when
+          [include_unwrapped]) sharing the lossy plan stream and gated
+          by {!Graybox.Registry.entry.during_partition} against the
+          regime-epoch safety verdict.  All gate readings and the
+          unwrapped/buffered demotions are the registry's expectation
+          lattice — see {!Graybox.Registry.expectation_of_during}'s
+          doc block. *)
 }
 
 val default_protocols : string list
@@ -104,6 +108,10 @@ type row = {
   row_plan : Tme.Scenarios.fault_spec list;
   row_verdict : Outcome.verdict;
   row_latency : int option;
+  row_epoch : (bool * int) option;
+      (** during-split cells only: (epoch-safety verdict, during-split
+          CS entries) from {!Graybox.Tme_spec.Epoch}; [None] on every
+          other cell, keeping non-partition reports byte-identical *)
 }
 
 type latency_stats = {
@@ -119,6 +127,9 @@ type cell = {
   cell_protocol : string;
   cell_wrapped : bool;
   cell_expect : expectation;
+  cell_during : Graybox.Registry.during_partition option;
+      (** [Some] marks a during-split cell, whose expectation gates the
+          rows' epoch-safety verdicts rather than their outcomes *)
   rows : row list;
   counts : (Outcome.verdict * int) list;  (** one entry per {!Outcome.all} *)
   latency : latency_stats option;  (** over recovered rows; [None] if none *)
@@ -148,6 +159,14 @@ val run : config -> report
 val summary_table : report -> Stdext.Tabular.t
 (** One row per cell: verdict counts, recovery-latency median/p95, and
     the gate verdict. *)
+
+val during_table : report -> Stdext.Tabular.t
+(** One row per during-split cell: the registered during-partition
+    level, epoch-safe run count, total during-split CS entries, and the
+    gate verdict.  Empty when the campaign ran without partitions. *)
+
+val has_during_cells : report -> bool
+(** Whether {!during_table} has any rows to show. *)
 
 val pp_counterexample : Format.formatter -> counterexample -> unit
 (** Human-readable rendering ending in the ready-to-paste OCaml plan. *)

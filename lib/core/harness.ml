@@ -279,4 +279,18 @@ module Make (P : Protocol.S) = struct
     Reorder { chan; count }
 
   let fault_flush chan : (node, envelope) Sim.Faults.kind = Flush chan
+
+  (* Not a fault at all from the protocol's point of view: the
+     simulated group membership service announcing each process's
+     connected group.  Lowered as [Mutate_state] so the engine stays
+     protocol-agnostic; scheduled only for [membership_aware]
+     protocols, so the rest see plans identical to before the GMS
+     existed. *)
+  let fault_view_change ~members_of : (node, envelope) Sim.Faults.kind =
+    Mutate_state
+      { proc = Any_proc;
+        f =
+          (fun _rng node ->
+            { node with
+              proto = P.on_view_change ~members:(members_of node.self) node.proto }) }
 end

@@ -131,4 +131,12 @@ module Make (P : Protocol.S) : sig
     Sim.Faults.chan_selector -> count:int -> (node, envelope) Sim.Faults.kind
 
   val fault_flush : Sim.Faults.chan_selector -> (node, envelope) Sim.Faults.kind
+
+  val fault_view_change :
+    members_of:(Sim.Pid.t -> Sim.Pid.t list) -> (node, envelope) Sim.Faults.kind
+  (** The group membership service speaking: every process receives
+      {!Protocol.S.on_view_change} with [members_of self].  Scheduled
+      by the scenario layer at partition open and heal, and only for
+      [membership_aware] protocols — classical protocols never see
+      these events, so their plans (and traces) are unchanged. *)
 end

@@ -51,6 +51,21 @@ module type S = sig
       legitimate restart state (the fault injector may also use
       {!init}). *)
 
+  val membership_aware : bool
+  (** Whether this implementation subscribes to the simulated group
+      membership service: during a {!Sim.Faults.Split} window the
+      fault injector announces each process's connected group via
+      {!on_view_change}.  [false] for classical TME programs — they
+      receive no announcements and their executions are unchanged. *)
+
+  val on_view_change : members:Sim.Pid.t list -> state -> state
+  (** Membership announcement: [members] is the set of processes
+      (including self) the membership service currently believes
+      reachable.  Called at partition open and heal for subscribing
+      implementations ([membership_aware = true]); must be the
+      identity for the rest.  Like {!on_message}, must be total from
+      any state. *)
+
   val perturb : n:int -> state -> state list
   (** Everywhere-mode model-checking hook ([Mcheck.check_everywhere]):
       a {e bounded, deterministic} enumeration of transiently corrupted

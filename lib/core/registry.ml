@@ -4,12 +4,15 @@ type expectation = Expect_recover | Expect_failure | Observe
 
 type partition_expectation = Recovers_after_heal | Deadlocks | Partition_observe
 
+type during_partition = Weak_me1 | Wedge | Unsafe
+
 type entry = {
   name : string;
   proto : (module Protocol.S);
   role : role;
   expectation : expectation;
   partition_expectation : partition_expectation;
+  during_partition : during_partition;
   default_delta : int;
   everywhere_checkable : bool;
   lspec_monitorable : bool;
@@ -18,9 +21,10 @@ type entry = {
   doc : string;
 }
 
-let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
-    ?(everywhere_checkable = true) ?(lspec_monitorable = true) ?por_safe
-    ?sweep_rank ~doc (module P : Protocol.S) =
+let entry ?(role = Reference) ?expectation ?partition_expectation
+    ?during_partition ?(delta = 8) ?(everywhere_checkable = true)
+    ?(lspec_monitorable = true) ?por_safe ?sweep_rank ~doc
+    (module P : Protocol.S) =
   let expectation =
     match expectation with
     | Some e -> e
@@ -39,6 +43,17 @@ let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
       | Negative_control -> Deadlocks
       | Ablation -> Partition_observe)
   in
+  let during_partition =
+    match during_partition with
+    | Some d -> d
+    | None -> (
+      (* the classical programs need grants from severed peers, so by
+         default a split wedges them; negative controls are expected
+         to be caught by the epoch monitors *)
+      match role with
+      | Reference | Ablation -> Wedge
+      | Negative_control -> Unsafe)
+  in
   let por_safe =
     match por_safe with
     | Some b -> b
@@ -54,6 +69,7 @@ let entry ?(role = Reference) ?expectation ?partition_expectation ?(delta = 8)
     role;
     expectation;
     partition_expectation;
+    during_partition;
     default_delta = delta;
     everywhere_checkable;
     lspec_monitorable;
@@ -117,10 +133,31 @@ let partition_expectation_label = function
   | Deadlocks -> "deadlocks"
   | Partition_observe -> "observe"
 
+let during_partition_label = function
+  | Weak_me1 -> "weak-me1"
+  | Wedge -> "wedge"
+  | Unsafe -> "unsafe"
+
+(* The expectation lattice — base readings and demotions.  Documented
+   once, in the interface; the campaign calls these and adds no rules
+   of its own. *)
+
 let expectation_of_partition = function
   | Recovers_after_heal -> Expect_recover
   | Deadlocks -> Expect_failure
   | Partition_observe -> Observe
+
+let expectation_of_during = function
+  | Weak_me1 | Wedge -> Expect_recover
+  | Unsafe -> Expect_failure
+
+let demote_unwrapped = function
+  | Expect_recover -> Observe
+  | (Expect_failure | Observe) as e -> e
+
+let demote_buffered = function
+  | Expect_failure -> Observe
+  | (Expect_recover | Observe) as e -> e
 
 let unknown_protocol_message name =
   Printf.sprintf "unknown protocol %S (known: %s)" name

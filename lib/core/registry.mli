@@ -52,16 +52,41 @@ type partition_expectation =
           cell is informational, since nothing is lost there *)
   | Partition_observe  (** measured, not gated *)
 
+(** What a {e wrapped} run of this protocol should do {e while} a
+    group partition is open — the during-partition half of the
+    regime-epoch specs ({!Tme_spec.Epoch}); the heal side is
+    {!partition_expectation}.  Gated by the campaign's during-split
+    cells against the epoch monitors' safety verdict (per-group ME1
+    plus the cross-heal dual-holder obligation). *)
+type during_partition =
+  | Weak_me1
+      (** degrades explicitly to per-group mutual exclusion: every
+          wrapped during-split run must be epoch-safe, {e and} at
+          least one run must enter the CS while the split is open —
+          availability inside severed groups is the point of the
+          degradation *)
+  | Wedge
+      (** refuses service across the split rather than degrade: runs
+          must still be epoch-safe (trivially, nobody new enters), but
+          no during-split availability is required *)
+  | Unsafe
+      (** violates even per-group ME1 or lets dual holders survive the
+          heal: at least one wrapped during-split run must be caught
+          epoch-unsafe, or the epoch monitors have lost their teeth *)
+
 type entry = {
   name : string;  (** {!Protocol.S.name} of [proto], the lookup key *)
   proto : (module Protocol.S);
   role : role;
   expectation : expectation;
-      (** how a {e wrapped} chaos cell over this protocol is gated;
-          unwrapped cells demote [Expect_recover] to [Observe] *)
+      (** how a {e wrapped} chaos cell over this protocol is gated
+          (unwrapped cells are demoted — see {!demote_unwrapped}) *)
   partition_expectation : partition_expectation;
-      (** how the campaign's partition cells ([--partitions]) over
-          this protocol are gated *)
+      (** how the campaign's heal-recovery partition cells
+          ([--partitions]) over this protocol are gated *)
+  during_partition : during_partition;
+      (** how the campaign's during-split cells are gated: the
+          regime-epoch verdict expected while a partition is open *)
   default_delta : int;  (** wrapper timeout for default sweeps *)
   everywhere_checkable : bool;
       (** [perturb] enumerates a real corruption set, so everywhere-mode
@@ -87,6 +112,7 @@ val entry :
   ?role:role ->
   ?expectation:expectation ->
   ?partition_expectation:partition_expectation ->
+  ?during_partition:during_partition ->
   ?delta:int ->
   ?everywhere_checkable:bool ->
   ?lspec_monitorable:bool ->
@@ -100,9 +126,12 @@ val entry :
     Expect_recover], otherwise [Expect_failure]);
     [partition_expectation] likewise ([Reference ->
     Recovers_after_heal], [Negative_control -> Deadlocks], [Ablation
-    -> Partition_observe]); [delta = 8]; [everywhere_checkable =
-    true]; [lspec_monitorable = true]; [por_safe] follows the role
-    ([Reference -> true], otherwise [false]); no sweep rank. *)
+    -> Partition_observe]); [during_partition] likewise ([Reference |
+    Ablation -> Wedge] — the classical programs block on severed
+    quorums — [Negative_control -> Unsafe]); [delta = 8];
+    [everywhere_checkable = true]; [lspec_monitorable = true];
+    [por_safe] follows the role ([Reference -> true], otherwise
+    [false]); no sweep rank. *)
 
 val register : entry -> unit
 (** Append to the table.  Registration order is the listing order of
@@ -147,13 +176,46 @@ val expectation_label : expectation -> string
 val partition_expectation_label : partition_expectation -> string
 (** ["recovers-after-heal"], ["deadlocks"], ["observe"]. *)
 
+val during_partition_label : during_partition -> string
+(** ["weak-me1"], ["wedge"], ["unsafe"]. *)
+
+(** {2 The expectation lattice}
+
+    Every campaign cell is gated by an {!expectation}, obtained by
+    reading the entry's registered metadata through the demotions
+    below.  This block is the {e only} statement of the rules — the
+    campaign applies these functions verbatim and documents nothing of
+    its own.
+
+    Base readings:
+    - a standard chaos cell is gated by [entry.expectation] directly;
+    - a heal-recovery partition cell by {!expectation_of_partition}
+      ([Recovers_after_heal -> Expect_recover], [Deadlocks ->
+      Expect_failure], [Partition_observe -> Observe]);
+    - a during-split cell by {!expectation_of_during} ([Weak_me1 |
+      Wedge -> Expect_recover] over the {e epoch-safety} verdict —
+      every run must satisfy per-group ME1 and the cross-heal
+      obligation, with [Weak_me1] additionally requiring during-split
+      CS entries in at least one run — and [Unsafe -> Expect_failure]:
+      at least one run must be caught epoch-unsafe).
+
+    Demotions, applied to the base reading:
+    - {!demote_unwrapped}, for any cell run without the wrapper:
+      [Expect_recover -> Observe] — only wrapped runs owe recovery (or
+      epoch-safety); failure gates survive, since a protocol that is
+      broken unwrapped must still demonstrate it;
+    - {!demote_buffered}, for partition cells under a buffered heal:
+      [Expect_failure -> Observe] — a buffered heal loses nothing, so
+      an entry expected to deadlock (or to be epoch-unsafe) under loss
+      may legitimately crawl back. *)
+
 val expectation_of_partition : partition_expectation -> expectation
-(** The chaos-gate reading of a partition expectation: how a
-    lossy-heal partition cell is gated ([Recovers_after_heal ->
-    Expect_recover], [Deadlocks -> Expect_failure], [Partition_observe
-    -> Observe]).  Buffered-heal cells demote [Expect_failure] to
-    [Observe] — a buffered heal loses nothing, so a [Deadlocks] entry
-    may legitimately crawl back. *)
+
+val expectation_of_during : during_partition -> expectation
+
+val demote_unwrapped : expectation -> expectation
+
+val demote_buffered : expectation -> expectation
 
 val unknown_protocol_message : string -> string
 (** [unknown_protocol_message name] is the one shared error string for

@@ -49,3 +49,80 @@ val me1_online : unit -> View.t array Unityspec.Online.t
 val me2_online : n:int -> View.t array Unityspec.Online.t
 
 val me3_online : unit -> Harness.entry_record Unityspec.Online.t
+
+(** {2 Epoch-indexed monitors}
+
+    The regime-epoch restatement of TME_Spec over a
+    {!Sim.Regime.timeline}: during a [Global] epoch the classical
+    clauses apply unchanged; during a [Split] epoch ME1 weakens to at
+    most one CS holder {e per connected group}, ME2 opens no new
+    obligations (a minority group may starve legitimately — open
+    obligations still discharge whenever served), and ME3 compares
+    only entries that could have communicated (same group, or either
+    entry in a global epoch).  A cross-epoch {e heal obligation}
+    watches every regime change: the eater set carried across the
+    transition may violate the new topology (one holder per side of a
+    heal); it is tolerated while it only shrinks and must reach a
+    topology-legal state before the run ends — no dual-holder
+    survives heal-complete.
+
+    One monitor serves both observation modes: {!Epoch.feed}/
+    {!Epoch.feed_entry} stream snapshots as the engine runs, and
+    {!Epoch.of_trace} replays a recorded trace through the same fold,
+    so the two reports are equal field-for-field (asserted across the
+    registry × partition-plan grid in tests). *)
+
+module Epoch : sig
+  type row = {
+    topo : Sim.Regime.topo;
+    me1 : Unityspec.Temporal.verdict;
+        (** per-group mutual exclusion during this epoch *)
+    row_entries : int;  (** CS entries while this epoch governed *)
+  }
+
+  type report = {
+    rows : row list;  (** one per epoch of the timeline, in order *)
+    heal : Unityspec.Temporal.verdict;  (** the cross-epoch obligation *)
+    me2 : Unityspec.Temporal.verdict;
+    me3 : Unityspec.Temporal.verdict;
+    split_entries : int;
+        (** CS entries during [Split] epochs — the during-partition
+            grant availability a tolerant protocol must keep nonzero *)
+    snapshots : int;
+  }
+
+  type t
+  (** Mutable accumulator — create one per run. *)
+
+  val create : n:int -> timeline:Sim.Regime.timeline -> t
+
+  val feed : t -> time:int -> View.t array -> unit
+  (** Consume the next snapshot's views (read during the call only). *)
+
+  val feed_entry : t -> time:int -> Harness.entry_record -> unit
+  (** Consume the next oracle CS entry, before the snapshot of the
+      event that produced it. *)
+
+  val report : t -> report
+
+  val safe : report -> bool
+  (** The safety half alone: every epoch's ME1 holds and the
+      cross-epoch heal obligation holds.  This is the verdict the
+      campaign's during-split cells gate on ({!Registry.during_partition}) —
+      liveness and ordering are reported but not gated there. *)
+
+  val ok : ?margin:int -> report -> bool
+  (** [safe], ME3 holds, and ME2 is clean up to obligations opened
+      within the final [margin] snapshots (default 300). *)
+
+  val of_trace :
+    timeline:Sim.Regime.timeline ->
+    n:int ->
+    entries:Harness.entry_record list ->
+    vtrace ->
+    report
+  (** Offline recomputation: replay a recorded trace (entries fed at
+      their ["enter-cs"] events) through the same fold. *)
+
+  val pp : Format.formatter -> report -> unit
+end

@@ -142,6 +142,8 @@ let on_message ~from msg s =
 let corrupt rng s = Store.corrupt rng s
 
 let reset ~n self = Store.set_mode (init ~n self) v_mode View.Hungry
+let membership_aware = false
+let on_view_change ~members:_ s = s
 
 (* Everywhere-mode seeds: mirrors Ra_core.perturb over the store —
    mode flips and phantom received-sets, timestamps kept legitimate. *)

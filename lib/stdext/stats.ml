@@ -39,6 +39,22 @@ let mean_int xs = mean (List.map float_of_int xs)
    p999 of the same latency sample, so sorting once matters.  The rank
    formula is byte-identical to [percentile]'s, so list- and Vec-based
    aggregations agree. *)
+(* A percentile is supported when at least 2 samples lie at or above
+   it; with fewer, the order statistic degenerates to the sample
+   maximum wearing a suit.  Exact integer arithmetic in tenths of a
+   percent — the float form [n *. (1. -. 0.999)] lands just under 2.
+   and misfires at exactly-supported sample sizes. *)
+let percentile_supported ~samples q =
+  let tenths = int_of_float (Float.round (q *. 10.)) in
+  samples * (1000 - tenths) >= 2 * 1000
+
+let suppress_unsupported ~samples qs ps =
+  List.map2
+    (fun q p ->
+      if Float.is_nan p || not (percentile_supported ~samples q) then None
+      else Some p)
+    qs ps
+
 let percentiles v ps =
   let xs = Vec.to_array v in
   Array.sort compare xs;

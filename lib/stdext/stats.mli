@@ -24,6 +24,22 @@ val sum : float list -> float
 val mean_int : int list -> float
 (** [mean_int xs] is the mean of integer samples. *)
 
+val percentile_supported : samples:int -> float -> bool
+(** [percentile_supported ~samples q] holds when at least 2 of
+    [samples] lie at or above the [q]-th percentile — the threshold
+    below which a reported pX.Y figure degenerates to the sample
+    maximum.  Exact integer arithmetic in tenths of a percent, so a
+    sample size that supports [q] exactly is accepted (the float form
+    [samples *. (1. -. q /. 100.)] misfires there). *)
+
+val suppress_unsupported :
+  samples:int -> float list -> float list -> float option list
+(** [suppress_unsupported ~samples qs ps] maps each percentile value
+    [p] (computed at level [q], both lists in lockstep) to [Some p]
+    when {!percentile_supported} accepts its level and [p] is not
+    [nan], and [None] otherwise — the uniform "report null, not a
+    lookalike" rule for benchmark percentile columns. *)
+
 val percentiles : float Vec.t -> float list -> float list
 (** [percentiles v ps] computes one nearest-rank percentile per entry
     of [ps] (e.g. [[50.; 99.; 99.9]]) with a single sort of the sample

@@ -99,6 +99,8 @@ let corrupt rng s =
     pending = (if s.self = coordinator then [] else s.pending) }
 
 let reset ~n self = init ~n self
+let membership_aware = false
+let on_view_change ~members:_ s = s
 
 (* Everywhere-mode seeds: a stolen grant, a phantom mode, a coordinator
    that believes a grant is outstanding when none is. *)

@@ -247,6 +247,9 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     let s = init ~n self in
     { s with mode = View.Hungry; queue = [ Timestamp.zero ~pid:self ] }
 
+  let membership_aware = false
+  let on_view_change ~members:_ s = s
+
   (* Everywhere-mode seeds: a mode no message explains, phantom grants
      (replies recorded that were never sent), a phantom queue entry for
      a peer that never requested — precisely the corruptions the

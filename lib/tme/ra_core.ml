@@ -186,6 +186,9 @@ module Make (C : CONFIG) : Graybox.Protocol.S = struct
     let s = init ~n self in
     { s with mode = View.Hungry }
 
+  let membership_aware = false
+  let on_view_change ~members:_ s = s
+
   (* Everywhere-mode seeds: corruptions of the variables no message has
      justified — a mode nobody was told about, a received-set full of
      requests never sent.  Timestamps are left legitimate (zero-ish):

@@ -40,6 +40,7 @@ type result = {
   analysis : Graybox.Stabilize.analysis;
   recovery_latency : int option;
   live_spec : Unityspec.Report.t option;
+  epoch_spec : Graybox.Tme_spec.Epoch.report option;
   sent_total : int;
   wrapper_sends : int;
   protocol_sends : int;
@@ -104,7 +105,30 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
       [ Sim.Faults.at at (Sim.Faults.Delay { chan; dist }) ]
   in
   let plan = List.concat_map lower faults in
-  let vtrace, entry_log, analysis, recovery_latency, live_spec =
+  (* regime epochs: the piecewise-constant topology this plan induces.
+     A plan without effective split/crash windows has the one-epoch
+     trivial timeline — no epoch monitor, no extra fault events, and
+     byte-identical reports to the pre-epoch code. *)
+  let timeline = Sim.Regime.of_plan ~n plan in
+  let epochal = Sim.Regime.nontrivial timeline in
+  let plan =
+    (* the group membership service: membership-aware protocols hear
+       about every topology change via [on_view_change].  Appended
+       after the base plan so same-time events fire after the
+       Split/Heal that caused them; classical protocols get no events
+       and keep their exact pre-GMS plans. *)
+    if epochal && P.membership_aware then
+      plan
+      @ (Sim.Regime.epochs timeline
+        |> List.filter (fun (t : Sim.Regime.topo) -> t.Sim.Regime.since > 0)
+        |> List.map (fun topo ->
+               Sim.Faults.at topo.Sim.Regime.since
+                 (Run.fault_view_change
+                    ~members_of:(fun self ->
+                      Sim.Regime.group_members topo self))))
+    else plan
+  in
+  let vtrace, entry_log, analysis, recovery_latency, live_spec, epoch_spec =
     if not streaming then begin
       (* record-then-analyse: run the horizon, then fold the trace *)
       Run.Run.run ~plan ~steps engine;
@@ -119,7 +143,14 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
         in
         Graybox.Stabilize.service_round_latency vtrace ~after
       in
-      (vtrace, entry_log, analysis, recovery_latency, None)
+      let epoch_spec =
+        if epochal && record then
+          Some
+            (Graybox.Tme_spec.Epoch.of_trace ~timeline ~n ~entries:entry_log
+               vtrace)
+        else None
+      in
+      (vtrace, entry_log, analysis, recovery_latency, None, epoch_spec)
     end
     else begin
       (* Streaming: no trace.  One observer keeps the spec-level
@@ -137,6 +168,10 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
       let me1 = ref (Graybox.Tme_spec.me1_online ()) in
       let me2 = ref (Graybox.Tme_spec.me2_online ~n) in
       let me3 = ref (Graybox.Tme_spec.me3_online ()) in
+      let em =
+        if epochal then Some (Graybox.Tme_spec.Epoch.create ~n ~timeline)
+        else None
+      in
       let stuttering = ref false in
       let refresh (nodes : Run.node array) p =
         views.(p) <- Run.view nodes.(p);
@@ -165,7 +200,11 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
                  entry_req_vc = req_vcs.(pid) }
              in
              entries := e :: !entries;
-             if live_monitors then me3 := Unityspec.Online.feed !me3 e
+             if live_monitors then me3 := Unityspec.Online.feed !me3 e;
+             match em with
+             | Some em ->
+               Graybox.Tme_spec.Epoch.feed_entry em ~time:s.Sim.Observer.time e
+             | None -> ()
            end;
            refresh nodes pid
          | Sim.Trace.Fault _ ->
@@ -179,7 +218,11 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
         in
         stuttering := stutter;
         Graybox.Stabilize.Online.feed ol ~time:s.Sim.Observer.time ~fault views;
-        feed_monitors ()
+        feed_monitors ();
+        match em with
+        | Some em ->
+          Graybox.Tme_spec.Epoch.feed em ~time:s.Sim.Observer.time views
+        | None -> ()
       in
       Run.Run.add_observer engine on_step;
       (* A stutter with no crash window left is permanent: exit early
@@ -192,7 +235,10 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
        | Some exit_time ->
          for time = exit_time + 1 to steps do
            Graybox.Stabilize.Online.feed ol ~time ~fault:false views;
-           feed_monitors ()
+           feed_monitors ();
+           match em with
+           | Some em -> Graybox.Tme_spec.Epoch.feed em ~time views
+           | None -> ()
          done);
       let live =
         if live_monitors then
@@ -207,7 +253,8 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
         List.rev !entries,
         Graybox.Stabilize.Online.analysis ol,
         Graybox.Stabilize.Online.latency ol,
-        live )
+        live,
+        Option.map Graybox.Tme_spec.Epoch.report em )
     end
   in
   let metrics = Run.Run.metrics engine in
@@ -226,6 +273,7 @@ let run ?(wrapper = H.Off) ?(faults = []) ?(record = true) ?(streaming = false)
     analysis;
     recovery_latency;
     live_spec;
+    epoch_spec;
     sent_total;
     wrapper_sends;
     protocol_sends = sent_total - wrapper_sends;
@@ -260,7 +308,10 @@ let () =
         ~doc:"Lamport's queue algorithm with the paper's three modifications";
       entry
         (module Lamport_unmodified : Graybox.Protocol.S)
-        ~role:Negative_control ~sweep_rank:2
+        ~role:Negative_control ~sweep_rank:2 ~during_partition:Wedge
+          (* its failure mode is deadlock, which is epoch-safe: during a
+             split it wedges rather than dual-entering, unlike ra-mutant
+             whose reply-while-eating fires in any epoch *)
         ~doc:"Lamport's original program: implements Lspec from Init only";
       entry
         (module Lamport_ablation.M1 : Graybox.Protocol.S)
@@ -277,7 +328,16 @@ let () =
       entry
         (module Ra_mutant : Graybox.Protocol.S)
         ~role:Negative_control
-        ~doc:"RA replying while eating: the checker-validation safety mutant" ]
+        ~doc:"RA replying while eating: the checker-validation safety mutant";
+      entry
+        (module Ra_lease.Lease : Graybox.Protocol.S)
+        ~during_partition:Weak_me1
+        ~doc:"RA with membership-leased grants: serves per-group during splits";
+      entry
+        (module Ra_lease.Stale : Graybox.Protocol.S)
+        ~role:Negative_control ~expectation:Observe
+        ~partition_expectation:Partition_observe
+        ~doc:"ra-lease that never un-suspects: post-heal split-brain control" ]
 
 let find_protocol = Graybox.Registry.find_protocol
 

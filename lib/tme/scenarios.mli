@@ -79,6 +79,14 @@ type result = {
       (** ME1/ME2/ME3 verdicts from the online monitors, present only
           on streaming runs with [~live_monitors:true]; equal to
           {!tme_report} of the same scenario recorded *)
+  epoch_spec : Graybox.Tme_spec.Epoch.report option;
+      (** the regime-epoch report ({!Graybox.Tme_spec.Epoch}): present
+          exactly when the lowered plan induces a nontrivial
+          {!Sim.Regime} timeline (an effective split or crash window).
+          Streaming runs feed the monitor online; recorded runs replay
+          the trace through {!Graybox.Tme_spec.Epoch.of_trace} — equal
+          either way (asserted in tests).  [None] on no-partition
+          plans, whose results are byte-identical to pre-epoch code. *)
   sent_total : int;
   wrapper_sends : int;
   protocol_sends : int;  (** [sent_total - wrapper_sends] *)
@@ -127,9 +135,10 @@ val find_protocol : string -> (module Graybox.Protocol.S) option
     {e registration site}: loading it fills {!Graybox.Registry} with
     every implementation — the references ([ra], [ra-gcl], [lamport],
     [central]), the modification ablations ([lamport-m1],
-    [lamport-m12]), and the negative controls ([lamport-unmod] and the
-    kept-reply RA safety mutant) — together with their roles, chaos
-    expectations, and capabilities.  Enumerate and dispatch through
+    [lamport-m12]), the negative controls ([lamport-unmod], the
+    kept-reply RA safety mutant, and the sticky-suspicion
+    [ra-lease-stale]), and the partition-tolerant [ra-lease] —
+    together with their roles, chaos expectations, and capabilities.  Enumerate and dispatch through
     {!Graybox.Registry.all}; there is no separate protocol list here
     to drift from it. *)
 

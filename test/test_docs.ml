@@ -75,7 +75,7 @@ let table_rows ~doc ~header text =
 let test_readme_protocol_table () =
   let rows =
     table_rows ~doc:"README.md"
-      ~header:"| name | role | expect | partition | por | what it is |"
+      ~header:"| name | role | expect | partition | during | por | what it is |"
       (Lazy.force readme)
   in
   let entries = R.all () in
@@ -85,7 +85,7 @@ let test_readme_protocol_table () =
   List.iter2
     (fun (e : R.entry) row ->
       match row with
-      | name :: role :: expect :: partition :: por :: _ ->
+      | name :: role :: expect :: partition :: during :: por :: _ ->
         Alcotest.(check string) "name, in registration order" e.R.name name;
         Alcotest.(check string)
           (e.R.name ^ ": role column")
@@ -97,6 +97,10 @@ let test_readme_protocol_table () =
           (e.R.name ^ ": partition column")
           (R.partition_expectation_label e.R.partition_expectation)
           partition;
+        Alcotest.(check string)
+          (e.R.name ^ ": during column")
+          (R.during_partition_label e.R.during_partition)
+          during;
         Alcotest.(check string)
           (e.R.name ^ ": por column")
           (if e.R.por_safe then "yes" else "no")
@@ -141,7 +145,17 @@ let test_experiments_partition_section () =
        "lossy"; "buffered"; "--partitions" ]
      @ R.default_sweep ()
      @ List.map R.partition_expectation_label
-         [ R.Recovers_after_heal; R.Deadlocks ])
+         [ R.Recovers_after_heal; R.Deadlocks ]
+     (* the during-split story: every non-wedge entry (the ones with
+        something to prove or disprove while the partition is up) must
+        be named, and the gate vocabulary must be present *)
+     @ List.filter_map
+         (fun (e : R.entry) ->
+           if e.R.during_partition <> R.Wedge then Some e.R.name else None)
+         (R.all ())
+     @ [ "(PARTITION-SPEC)"; "regime epoch"; "epoch-safe";
+         R.during_partition_label R.Weak_me1;
+         R.during_partition_label R.Unsafe ])
 
 (* ------------------------------------------------------------------ *)
 (* EXPERIMENTS.md: the LOAD section exists, names the schema, the      *)
@@ -185,6 +199,15 @@ let test_design_move_indexes () =
   check_mentions "README.md" (Lazy.force readme)
     [ "BENCH_load.json"; "p50/p99/p999"; "--scan"; "coordinated omission" ]
 
+let test_design_regime_section () =
+  check_mentions "DESIGN.md" (Lazy.force design)
+    [ "## 8. Regime epochs and weakened specs"; "`Regime.of_plan`";
+      "cross-epoch obligation"; "`during_partition`"; "golden-tested" ];
+  (* the README must surface the during column and its gate reading *)
+  check_mentions "README.md" (Lazy.force readme)
+    [ "during"; R.during_partition_label R.Weak_me1;
+      R.during_partition_label R.Wedge; R.during_partition_label R.Unsafe ]
+
 let test_design_checker_section () =
   check_mentions "DESIGN.md" (Lazy.force design)
     [ "sharded"; "Stdext.Blockfile"; "--mem-budget"; "fingerprint";
@@ -212,5 +235,7 @@ let () =
             test_design_inventory;
           Alcotest.test_case "move-index architecture documented" `Quick
             test_design_move_indexes;
+          Alcotest.test_case "regime-epoch architecture documented" `Quick
+            test_design_regime_section;
           Alcotest.test_case "checker architecture documented" `Quick
             test_design_checker_section ] ) ]

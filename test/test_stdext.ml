@@ -312,6 +312,31 @@ let test_stats_percentiles_ties () =
   Alcotest.(check (list feq)) "small sample tail" [ 5.; 100.; 100. ]
     (Stats.percentiles (vec_of_list small) [ 50.; 99.; 99.9 ])
 
+let test_stats_percentile_supported () =
+  (* the load bench's suppression rule: a pX.Y needs >= 2 samples at or
+     above it.  Integer-exact at the p99.9/2000 boundary, where the
+     float form [2000. *. (1. -. 0.999)] lands just under 2. *)
+  Alcotest.(check bool) "p99.9 at 2000 samples" true
+    (Stats.percentile_supported ~samples:2000 99.9);
+  Alcotest.(check bool) "p99.9 at 1999 samples" false
+    (Stats.percentile_supported ~samples:1999 99.9);
+  Alcotest.(check bool) "p99 at 200 samples" true
+    (Stats.percentile_supported ~samples:200 99.);
+  Alcotest.(check bool) "p99 at 199 samples" false
+    (Stats.percentile_supported ~samples:199 99.);
+  Alcotest.(check bool) "p50 at 4 samples" true
+    (Stats.percentile_supported ~samples:4 50.);
+  Alcotest.(check bool) "p50 at 3 samples" false
+    (Stats.percentile_supported ~samples:3 50.)
+
+let test_stats_suppress_unsupported () =
+  Alcotest.(check (list (option feq))) "mixed support"
+    [ Some 1.; None ]
+    (Stats.suppress_unsupported ~samples:100 [ 50.; 99.9 ] [ 1.; 2. ]);
+  Alcotest.(check (list (option feq))) "nan suppressed regardless"
+    [ None ]
+    (Stats.suppress_unsupported ~samples:100 [ 50. ] [ nan ])
+
 let prop_stats_percentiles_agree =
   (* one sort for many percentiles must agree value-for-value with the
      list-based single-percentile call (chaos campaign reports rely on
@@ -696,6 +721,10 @@ let () =
             test_stats_percentiles_singleton;
           Alcotest.test_case "percentiles ties" `Quick
             test_stats_percentiles_ties;
+          Alcotest.test_case "percentile supported" `Quick
+            test_stats_percentile_supported;
+          Alcotest.test_case "suppress unsupported" `Quick
+            test_stats_suppress_unsupported;
           prop_stats_percentiles_agree ] );
       ( "fenwick",
         [ Alcotest.test_case "basics" `Quick test_fenwick_basics;
