@@ -1391,12 +1391,165 @@ let load_bench () =
   print_endline "wrote BENCH_load.json"
 
 (* ------------------------------------------------------------------ *)
+(* synth: CEGIS wrapper synthesis (BENCH_synth.json)                   *)
+
+let synth_bench () =
+  (* Two measurements per synthesizable protocol:
+
+     1. The CEGIS loop itself — candidates tried vs pruned (the
+        cex-pruning ratio is the point of the counterexample cache:
+        every pruned candidate is an oracle run the examples paid for
+        already), oracle throughput, and wall-clock.  The transcript
+        is jobs-invariant, so the counts are stable numbers; only the
+        timing varies with the machine.
+
+     2. The synthesized term's runtime overhead vs the hand-written
+        refined W at the same δ, under the T4 fault (a dropped-requests
+        window): wrapper sends per 1k steps, seed-averaged.  The
+        synthesized term should tie the hand-written wrapper exactly
+        when synthesis rediscovers it (matches = true). *)
+  let faults at =
+    [ Tme.Scenarios.Drop_requests_window { from_t = at; until_t = at + 60 } ]
+  in
+  let cfg = Synth.config ~n:2 () in
+  let measure (e : Registry.entry) =
+    let t0 = Unix.gettimeofday () in
+    let r = Synth.synthesize e.Registry.proto cfg in
+    let dt = Unix.gettimeofday () -. t0 in
+    let sends wrapper =
+      Stats.mean_int
+        (List.map
+           (fun seed ->
+             (Tme.Scenarios.run e.Registry.proto ~n:4 ~seed ~steps:9000
+                ~wrapper ~faults:(faults 800))
+               .Tme.Scenarios.wrapper_sends)
+           seeds)
+      *. 1000. /. 9000.
+    in
+    let overhead =
+      match r.Synth.synthesized with
+      | None -> None
+      | Some term ->
+        let synth_rate =
+          sends (Tme.Scenarios.wrapped_term ~term ~delta:4 ())
+        in
+        let hand_rate =
+          sends
+            (Tme.Scenarios.wrapped ~variant:Graybox.Wrapper.Refined ~delta:4
+               ())
+        in
+        Some (synth_rate, hand_rate)
+    in
+    (e, r, dt, overhead)
+  in
+  let rows =
+    List.map measure
+      (List.filter
+         (fun (e : Registry.entry) -> e.Registry.synthesizable)
+         (Registry.all ()))
+  in
+  let table =
+    Tabular.create
+      [ "protocol"; "space"; "checked"; "pruned"; "prune ratio";
+        "oracle states"; "states/sec"; "secs"; "term"; "matches W";
+        "sends/1k (synth)"; "sends/1k (hand)" ]
+  in
+  List.iter
+    (fun ((e : Registry.entry), (r : Synth.result), dt, overhead) ->
+      let tried = r.Synth.checked + r.Synth.pruned in
+      Tabular.add_row table
+        [ e.Registry.name;
+          Tabular.cell_int r.Synth.enumerated;
+          Tabular.cell_int r.Synth.checked;
+          Tabular.cell_int r.Synth.pruned;
+          Tabular.cell_float
+            (if tried = 0 then 0.
+             else float_of_int r.Synth.pruned /. float_of_int tried);
+          Tabular.cell_int r.Synth.oracle_states;
+          Tabular.cell_float ~decimals:0
+            (float_of_int r.Synth.oracle_states /. dt);
+          Printf.sprintf "%.2f" dt;
+          (match r.Synth.synthesized with
+           | Some w -> Graybox.Wrapper.to_string w
+           | None -> "-");
+          Tabular.cell_bool
+            (match r.Synth.synthesized with
+             | Some w -> Graybox.Wrapper.equal w Graybox.Wrapper.w_refined
+             | None -> false);
+          (match overhead with
+           | Some (s, _) -> Tabular.cell_float s
+           | None -> "-");
+          (match overhead with
+           | Some (_, h) -> Tabular.cell_float h
+           | None -> "-") ])
+    rows;
+  Tabular.print
+    ~title:
+      "SYNTH: CEGIS wrapper synthesis per synthesizable protocol (n=2 \
+       oracle; prune ratio = counterexample-pruned / tried; sends/1k = \
+       wrapper sends per 1k steps under the T4 fault at delta=4, \
+       synthesized term vs hand-written refined W)"
+    table;
+  let json =
+    Chaos.Jsonx.(
+      Obj
+        [ ("schema", String "graybox-bench-synth/1");
+          ("n", Int cfg.Synth.n);
+          ("rows",
+           List
+             (List.map
+                (fun ((e : Registry.entry), (r : Synth.result), dt, overhead)
+                ->
+                  let tried = r.Synth.checked + r.Synth.pruned in
+                  Obj
+                    [ ("protocol", String e.Registry.name);
+                      ("enumerated", Int r.Synth.enumerated);
+                      ("checked", Int r.Synth.checked);
+                      ("pruned", Int r.Synth.pruned);
+                      ( "prune_ratio",
+                        Float
+                          (if tried = 0 then 0.
+                           else
+                             float_of_int r.Synth.pruned /. float_of_int tried)
+                      );
+                      ("oracle_runs", Int r.Synth.oracle_runs);
+                      ("oracle_states", Int r.Synth.oracle_states);
+                      ( "oracle_states_per_sec",
+                        Float (float_of_int r.Synth.oracle_states /. dt) );
+                      ("secs", Float dt);
+                      ( "synthesized",
+                        match r.Synth.synthesized with
+                        | Some w -> String (Graybox.Wrapper.to_string w)
+                        | None -> Null );
+                      ( "matches_handwritten",
+                        Bool
+                          (match r.Synth.synthesized with
+                           | Some w ->
+                             Graybox.Wrapper.equal w Graybox.Wrapper.w_refined
+                           | None -> false) );
+                      ( "wrapper_sends_per_1k_synth",
+                        match overhead with
+                        | Some (s, _) -> Float s
+                        | None -> Null );
+                      ( "wrapper_sends_per_1k_hand",
+                        match overhead with
+                        | Some (_, h) -> Float h
+                        | None -> Null ) ])
+                rows)) ])
+  in
+  Out_channel.with_open_text "BENCH_synth.json" (fun oc ->
+      output_string oc (Chaos.Jsonx.to_string json);
+      output_char oc '\n');
+  print_endline "wrote BENCH_synth.json"
+
+(* ------------------------------------------------------------------ *)
 
 let all_tables =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("t8", t8); ("t9", t9); ("t10", t10); ("t11", t11);
     ("perf", perf); ("mcheck", mcheck_bench); ("observe", observe_bench);
-    ("partition", partition_bench); ("load", load_bench) ]
+    ("partition", partition_bench); ("load", load_bench);
+    ("synth", synth_bench) ]
 
 let () =
   let usage () =

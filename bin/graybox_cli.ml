@@ -439,35 +439,181 @@ let kstate_cmd =
 (* synth                                                               *)
 
 let synth_cmd =
-  let action () =
-    let open Kernel in
-    let spec =
-      Tsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
-        ~edges:[ (0, 1); (1, 0) ] ~init:[ 0 ] ()
-    in
-    let sys =
-      Actsys.create ~n:3 ~names:[| "g0"; "g1"; "b" |]
-        ~actions:[ ("prog", [ (0, 1); (1, 0) ]); ("idle", [ (2, 2) ]) ]
-        ~init:[ 0 ] ()
-    in
-    (match Synthesis.synthesize sys ~spec with
-     | None -> print_endline "no wrapper exists"
-     | Some w ->
-       List.iter
-         (fun (u, v) ->
-           Printf.printf "correction: %s -> %s
-" (Tsys.name spec u)
-             (Tsys.name spec v))
-         (Actsys.transitions w "correct");
-       Printf.printf "verified: system box wrapper fairly stabilizes: %b
-"
-         (Actsys.is_fairly_stabilizing_to (Actsys.box sys w) spec));
-    `Ok 0
+  let sy_n_arg =
+    Arg.(value & opt int 2
+         & info [ "n" ] ~docv:"N"
+             ~doc:
+               "Ring size the oracle certifies candidates at (keep small: \
+                each check is an exhaustive exploration).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"JOBS"
+             ~doc:
+               "Pool width for fanning candidate checks.  The transcript \
+                and the synthesized term are identical for every value.")
+  in
+  let max_size_arg =
+    Arg.(value & opt int 5
+         & info [ "max-size" ] ~docv:"S"
+             ~doc:"Largest wrapper-term AST size enumerated.")
+  in
+  let max_checks_arg =
+    Arg.(value & opt int 64
+         & info [ "max-checks" ] ~docv:"K" ~doc:"Oracle-call budget.")
+  in
+  let safety_depth_arg =
+    Arg.(value & opt int 8
+         & info [ "safety-depth" ] ~docv:"D"
+             ~doc:"BFS depth of the everywhere-mode safety leg.")
+  in
+  let recovery_depth_arg =
+    Arg.(value & opt int 14
+         & info [ "recovery-depth" ] ~docv:"D"
+             ~doc:"BFS depth of the wedge recovery/progress legs.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~docv:"K"
+             ~doc:"Visited-state bound per oracle run.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:
+               "Write the synthesis transcript as JSON (schema \
+                graybox-synth/1); \"-\" for stdout.  Deterministic: no \
+                timings, identical for every --jobs.")
+  in
+  let action protocol n jobs max_size max_checks safety_depth recovery_depth
+      max_states json =
+    match resolve_entry protocol with
+    | Error e -> `Error (false, e)
+    | Result.Ok entry when not entry.Graybox.Registry.synthesizable ->
+      (* same shape as mcheck's --everywhere/--por gates: the
+         capability lives in the registry, the error names who has it *)
+      `Error
+        ( false,
+          Printf.sprintf
+            "synth: %S is not a synthesis target (synthesizable: %s)"
+            protocol
+            (String.concat ", " (Graybox.Registry.synthesizable_names ())) )
+    | Result.Ok entry ->
+      let cfg =
+        Synth.config ~n ~jobs ~max_size ~max_checks ~safety_depth
+          ~recovery_depth ~max_states ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Synth.synthesize entry.Graybox.Registry.proto cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      let term_size w = Graybox.Wrapper.size w in
+      let matches =
+        match r.Synth.synthesized with
+        | Some w -> Graybox.Wrapper.equal w Graybox.Wrapper.w_refined
+        | None -> false
+      in
+      (match json with
+       | None -> ()
+       | Some path ->
+         let attempt_json (a : Synth.attempt) =
+           Chaos.Jsonx.Obj
+             [ ("index", Chaos.Jsonx.Int a.Synth.index);
+               ( "term",
+                 Chaos.Jsonx.String (Graybox.Wrapper.to_string a.Synth.term) );
+               ("size", Chaos.Jsonx.Int (term_size a.Synth.term));
+               ( "outcome",
+                 Chaos.Jsonx.String (Synth.outcome_label a.Synth.outcome) ) ]
+         in
+         let doc =
+           Chaos.Jsonx.Obj
+             (* --jobs is deliberately not echoed: the document must be
+                byte-identical for every pool width *)
+             [ ("schema", Chaos.Jsonx.String "graybox-synth/1");
+               ("protocol", Chaos.Jsonx.String protocol);
+               ("n", Chaos.Jsonx.Int n);
+               ( "budget",
+                 Chaos.Jsonx.Obj
+                   [ ("max_size", Chaos.Jsonx.Int max_size);
+                     ("max_checks", Chaos.Jsonx.Int max_checks);
+                     ("safety_depth", Chaos.Jsonx.Int safety_depth);
+                     ("recovery_depth", Chaos.Jsonx.Int recovery_depth);
+                     ("max_states", Chaos.Jsonx.Int max_states) ] );
+               ( "synthesized",
+                 match r.Synth.synthesized with
+                 | Some w ->
+                   Chaos.Jsonx.String (Graybox.Wrapper.to_string w)
+                 | None -> Chaos.Jsonx.Null );
+               ( "synthesized_size",
+                 match r.Synth.synthesized with
+                 | Some w -> Chaos.Jsonx.Int (term_size w)
+                 | None -> Chaos.Jsonx.Null );
+               ("matches_handwritten", Chaos.Jsonx.Bool matches);
+               ("enumerated", Chaos.Jsonx.Int r.Synth.enumerated);
+               ("checked", Chaos.Jsonx.Int r.Synth.checked);
+               ("pruned", Chaos.Jsonx.Int r.Synth.pruned);
+               ("oracle_runs", Chaos.Jsonx.Int r.Synth.oracle_runs);
+               ("oracle_states", Chaos.Jsonx.Int r.Synth.oracle_states);
+               ( "attempts",
+                 Chaos.Jsonx.List (List.map attempt_json r.Synth.attempts) )
+             ]
+         in
+         let s = Chaos.Jsonx.to_string doc in
+         if path = "-" then print_endline s
+         else begin
+           let oc = open_out path in
+           output_string oc s;
+           output_char oc '\n';
+           close_out oc;
+           Printf.eprintf "wrote %s\n%!" path
+         end);
+      let t =
+        Stdext.Tabular.create [ "#"; "size"; "outcome"; "candidate" ]
+      in
+      List.iter
+        (fun (a : Synth.attempt) ->
+          Stdext.Tabular.add_row t
+            [ Stdext.Tabular.cell_int a.Synth.index;
+              Stdext.Tabular.cell_int (term_size a.Synth.term);
+              Synth.outcome_label a.Synth.outcome;
+              Graybox.Wrapper.to_string a.Synth.term ])
+        r.Synth.attempts;
+      Stdext.Tabular.print
+        ~title:
+          (Printf.sprintf
+             "CEGIS transcript: %s, n=%d (%d candidates in space, %d \
+              oracle checks, %d pruned, %d oracle runs, %d states, %.2fs)"
+             protocol n r.Synth.enumerated r.Synth.checked r.Synth.pruned
+             r.Synth.oracle_runs r.Synth.oracle_states dt)
+        t;
+      (match r.Synth.synthesized with
+       | Some w ->
+         Printf.printf
+           "synthesized (size %d): %s\n\
+            matches the hand-written refined W: %b\n"
+           (term_size w)
+           (Graybox.Wrapper.to_string w)
+           matches;
+         `Ok 0
+       | None ->
+         print_endline
+           "no candidate certified within the budget (raise --max-size or \
+            --max-checks)";
+         `Ok 1)
+  in
+  let term =
+    Term.(
+      ret
+        (const action $ protocol_arg $ sy_n_arg $ jobs_arg $ max_size_arg
+       $ max_checks_arg $ safety_depth_arg $ recovery_depth_arg
+       $ max_states_arg $ json_arg))
   in
   Cmd.v
     (Cmd.info "synth"
-       ~doc:"Synthesize and verify a wrapper for the demo kernel system")
-    Term.(ret (const action $ const ()))
+       ~doc:
+         "Synthesize a level-2 wrapper by CEGIS: enumerate guard terms in \
+          size order, prune with counterexamples, certify against the \
+          model-checking oracle")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* mcheck                                                              *)
@@ -640,13 +786,18 @@ let protocols_cmd =
             ("everywhere_checkable", Chaos.Jsonx.Bool e.everywhere_checkable);
             ("lspec_monitorable", Chaos.Jsonx.Bool e.lspec_monitorable);
             ("por_safe", Chaos.Jsonx.Bool e.por_safe);
+            ("synthesizable", Chaos.Jsonx.Bool e.synthesizable);
+            ( "wrapper_term",
+              match e.wrapper_term with
+              | Some w -> Chaos.Jsonx.String (Graybox.Wrapper.to_string w)
+              | None -> Chaos.Jsonx.Null );
             ("sweep_rank", Chaos.Jsonx.of_int_option e.sweep_rank);
             ("doc", Chaos.Jsonx.String e.doc) ]
       in
       print_endline
         (Chaos.Jsonx.to_string
            (Chaos.Jsonx.Obj
-              [ ("schema", Chaos.Jsonx.String "graybox-protocols/3");
+              [ ("schema", Chaos.Jsonx.String "graybox-protocols/4");
                 ( "protocols",
                   Chaos.Jsonx.List (List.map entry_json entries) ) ]))
     end
@@ -654,7 +805,7 @@ let protocols_cmd =
       let t =
         Stdext.Tabular.create
           [ "name"; "role"; "expect"; "partition"; "during"; "delta";
-            "everywhere"; "lspec"; "por"; "sweep"; "description" ]
+            "everywhere"; "lspec"; "por"; "synth"; "sweep"; "description" ]
       in
       List.iter
         (fun e ->
@@ -668,6 +819,7 @@ let protocols_cmd =
               Stdext.Tabular.cell_bool e.everywhere_checkable;
               Stdext.Tabular.cell_bool e.lspec_monitorable;
               Stdext.Tabular.cell_bool e.por_safe;
+              Stdext.Tabular.cell_bool e.synthesizable;
               (match e.sweep_rank with
                | Some r -> Stdext.Tabular.cell_int r
                | None -> "-");

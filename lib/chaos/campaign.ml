@@ -230,7 +230,13 @@ let canary_plan cfg =
   let from_t = max 1 (cfg.steps / 10) in
   [ S.Drop_requests_window { from_t; until_t = from_t + 60 } ]
 
-let wrapper_of cfg = S.wrapped ~delta:cfg.delta ()
+(* The wrapper a wrapped cell composes: the hand-written W'(δ) unless
+   the entry registers a synthesized term — then that term under the
+   same δ-timer, so [ra-synth] faces exactly the gates [ra] does. *)
+let wrapper_of cfg (e : Registry.entry) =
+  match e.Registry.wrapper_term with
+  | None -> S.wrapped ~delta:cfg.delta ()
+  | Some term -> S.wrapped_term ~term ~delta:cfg.delta ()
 
 (* One planned cell: everything [run] needs to execute and label it. *)
 type cell_spec = {
@@ -245,7 +251,6 @@ type cell_spec = {
 }
 
 let cells_of_config cfg =
-  let wrapped = wrapper_of cfg in
   let seeded = plans cfg in
   let proto_cells =
     List.concat_map
@@ -254,6 +259,7 @@ let cells_of_config cfg =
         | None -> raise (Unknown_protocol name)
         | Some e ->
           let proto = e.Registry.proto in
+          let wrapped = wrapper_of cfg e in
           let wrapped_cell =
             { sp_label = Printf.sprintf "%s+W'(%d)" name cfg.delta;
               sp_protocol = name;
@@ -288,6 +294,7 @@ let cells_of_config cfg =
           match Registry.find name with
           | None -> raise (Unknown_protocol name)
           | Some e ->
+            let wrapped = wrapper_of cfg e in
             let heal_expect =
               Registry.expectation_of_partition e.Registry.partition_expectation
             in
@@ -372,12 +379,14 @@ let counterexamples_of cfg cells =
            let r =
              List.find (fun r -> Outcome.is_failure r.row_verdict) c.rows
            in
+           let entry = Option.get (Registry.find c.cell_protocol) in
            let wrapper =
-             if c.cell_wrapped then wrapper_of cfg else Graybox.Harness.Off
+             if c.cell_wrapped then wrapper_of cfg entry
+             else Graybox.Harness.Off
            in
            let scenario =
              { Shrink.protocol = c.cell_protocol;
-               proto = Option.get (resolve c.cell_protocol);
+               proto = entry.Registry.proto;
                wrapper;
                n = cfg.n;
                seed = r.row_seed;

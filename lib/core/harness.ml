@@ -22,6 +22,9 @@ type wrapper_mode =
   | Off
   | On of { variant : Wrapper.variant; delta : int }
       (** [delta = 0] is the paper's [W]; [delta > 0] is [W'(δ)]. *)
+  | On_term of { term : Wrapper.t; delta : int }
+      (** an arbitrary DSL term (e.g. a synthesized wrapper) under the
+          same [δ]-timer harness discipline *)
 
 type params = {
   n : int;
@@ -167,6 +170,11 @@ module Make (P : Protocol.S) = struct
              let v = view node in
              let sends = Wrapper.fire variant v ~n:node.params.n in
              let node = { node with timer = delta } in
+             (node, wrap_sends node sends)
+           | On_term { term; delta } ->
+             let v = view node in
+             let sends = Wrapper.eval term v ~n:node.params.n ~timer:node.timer in
+             let node = { node with timer = delta } in
              (node, wrap_sends node sends)) ]
 
     let client_actions v node =
@@ -190,6 +198,13 @@ module Make (P : Protocol.S) = struct
         else
           let sends = Wrapper.fire variant v ~n:node.params.n in
           if sends = [] && delta = 0 then [] else act_wrapper_fire
+      | On_term { term; _ } ->
+        (* the term's own guard (evaluated as if the timer had expired)
+           is the enablement; the harness timer then rate-limits actual
+           firing exactly as for the hand-written W'(δ) *)
+        if Wrapper.eval term v ~n:node.params.n ~timer:0 = [] then []
+        else if node.timer > 0 then act_wrapper_tick
+        else act_wrapper_fire
 
     let actions ~self:_ node =
       let v = view node in
@@ -242,7 +257,7 @@ module Make (P : Protocol.S) = struct
     let timer =
       match node.params.wrapper with
       | Off -> node.timer
-      | On { delta; _ } -> Rng.int rng (delta + 1)
+      | On { delta; _ } | On_term { delta; _ } -> Rng.int rng (delta + 1)
     in
     { node with proto; timer }
 

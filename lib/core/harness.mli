@@ -19,6 +19,12 @@ type wrapper_mode =
   | Off
   | On of { variant : Wrapper.variant; delta : int }
       (** [delta = 0] is the paper's [W]; [delta > 0] is [W'(δ)]. *)
+  | On_term of { term : Wrapper.t; delta : int }
+      (** an arbitrary DSL term (e.g. a synthesized wrapper) under the
+          same [δ]-timer harness discipline: the term's guard
+          (evaluated as if the timer had expired) enables the wrapper
+          action, the timer rate-limits actual firing, and firing
+          resets it to [delta] *)
 
 type params = {
   n : int;

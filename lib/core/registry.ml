@@ -1,4 +1,4 @@
-type role = Reference | Negative_control | Ablation
+type role = Reference | Negative_control | Ablation | Synthesized
 
 type expectation = Expect_recover | Expect_failure | Observe
 
@@ -17,18 +17,23 @@ type entry = {
   everywhere_checkable : bool;
   lspec_monitorable : bool;
   por_safe : bool;
+  synthesizable : bool;
+  wrapper_term : Wrapper.t option;
   sweep_rank : int option;
   doc : string;
 }
 
 let entry ?(role = Reference) ?expectation ?partition_expectation
     ?during_partition ?(delta = 8) ?(everywhere_checkable = true)
-    ?(lspec_monitorable = true) ?por_safe ?sweep_rank ~doc
-    (module P : Protocol.S) =
+    ?(lspec_monitorable = true) ?por_safe ?synthesizable ?wrapper_term
+    ?sweep_rank ~doc (module P : Protocol.S) =
   let expectation =
     match expectation with
     | Some e -> e
-    | None -> (match role with Reference -> Expect_recover | _ -> Expect_failure)
+    | None -> (
+      match role with
+      | Reference | Synthesized -> Expect_recover
+      | Negative_control | Ablation -> Expect_failure)
   in
   let partition_expectation =
     match partition_expectation with
@@ -37,11 +42,12 @@ let entry ?(role = Reference) ?expectation ?partition_expectation
       (* the role defaults mirror the chaos-expectation defaults: a
          wrapped reference must come back after the heal; a negative
          control is expected to get stuck; ablations are measured but
-         not gated *)
+         not gated; synthesized wrappers are certified against wedges,
+         not partitions, so their partition cells are informational *)
       match role with
       | Reference -> Recovers_after_heal
       | Negative_control -> Deadlocks
-      | Ablation -> Partition_observe)
+      | Ablation | Synthesized -> Partition_observe)
   in
   let during_partition =
     match during_partition with
@@ -51,7 +57,7 @@ let entry ?(role = Reference) ?expectation ?partition_expectation
          default a split wedges them; negative controls are expected
          to be caught by the epoch monitors *)
       match role with
-      | Reference | Ablation -> Wedge
+      | Reference | Ablation | Synthesized -> Wedge
       | Negative_control -> Unsafe)
   in
   let por_safe =
@@ -61,8 +67,18 @@ let entry ?(role = Reference) ?expectation ?partition_expectation
        expected verdict is Ok, so trading interleavings for reach is
        safe; controls and ablations exist to be caught, and their
        counterexamples are compared across runs — keep those sweeps
-       exhaustive unless a registration opts in explicitly *)
+       exhaustive unless a registration opts in explicitly.  A
+       synthesized entry's wrapper is box-composed by the checker, and
+       wrapper moves are outside the ample-set argument *)
     | None -> role = Reference
+  in
+  let synthesizable =
+    match synthesizable with
+    | Some b -> b
+    (* synthesis needs the full oracle: perturbation seeds for the
+       safety leg (everywhere_checkable) and spec-level views the
+       monitors understand (lspec_monitorable) *)
+    | None -> role = Reference && everywhere_checkable && lspec_monitorable
   in
   { name = P.name;
     proto = (module P);
@@ -74,6 +90,8 @@ let entry ?(role = Reference) ?expectation ?partition_expectation
     everywhere_checkable;
     lspec_monitorable;
     por_safe;
+    synthesizable;
+    wrapper_term;
     sweep_rank;
     doc }
 
@@ -118,10 +136,14 @@ let everywhere_checkable_names () =
 let por_safe_names () =
   List.filter_map (fun e -> if e.por_safe then Some e.name else None) !table
 
+let synthesizable_names () =
+  List.filter_map (fun e -> if e.synthesizable then Some e.name else None) !table
+
 let role_label = function
   | Reference -> "reference"
   | Negative_control -> "negative-control"
   | Ablation -> "ablation"
+  | Synthesized -> "synthesized"
 
 let expectation_label = function
   | Expect_recover -> "recover"

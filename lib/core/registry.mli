@@ -31,6 +31,11 @@ type role =
       (** a partially-modified variant for the modification-ablation
           experiment: runs correctly from Init but is not gated on
           recovery *)
+  | Synthesized
+      (** a reference implementation registered {e with} a machine-found
+          wrapper term ([wrapper_term]): the campaign and scenarios run
+          it under that term instead of the hand-written [W'(δ)], so
+          the synthesized wrapper faces the same chaos gates *)
 
 type expectation =
   | Expect_recover  (** chaos gate: every wrapped run must recover *)
@@ -102,6 +107,18 @@ type entry = {
           flag is {e policy}: negative controls and ablations exist to
           produce comparable counterexamples, so their sweeps stay
           exhaustive *)
+  synthesizable : bool;
+      (** [graybox-cli synth] accepts this entry as a synthesis
+          target: the CEGIS loop ([Synth]) can enumerate wrapper
+          candidates and certify one against the model-checking oracle
+          ({!Mcheck.Oracle}).  Requires real perturbation seeds
+          ([everywhere_checkable]) and spec-level views
+          ([lspec_monitorable]) *)
+  wrapper_term : Wrapper.t option;
+      (** for [Synthesized] entries: the wrapper-DSL term this entry
+          is run under — scenarios and the campaign use
+          [On_term {term; delta}] instead of the hand-written variant
+          wherever this is [Some] *)
   sweep_rank : int option;
       (** position in the default chaos sweep ([None] = not swept by
           default); {!default_sweep} orders by rank *)
@@ -117,21 +134,27 @@ val entry :
   ?everywhere_checkable:bool ->
   ?lspec_monitorable:bool ->
   ?por_safe:bool ->
+  ?synthesizable:bool ->
+  ?wrapper_term:Wrapper.t ->
   ?sweep_rank:int ->
   doc:string ->
   (module Protocol.S) ->
   entry
 (** Smart constructor.  [name] is taken from the module.  Defaults:
-    [role = Reference]; [expectation] follows the role ([Reference ->
-    Expect_recover], otherwise [Expect_failure]);
+    [role = Reference]; [expectation] follows the role ([Reference |
+    Synthesized -> Expect_recover], otherwise [Expect_failure]);
     [partition_expectation] likewise ([Reference ->
-    Recovers_after_heal], [Negative_control -> Deadlocks], [Ablation
-    -> Partition_observe]); [during_partition] likewise ([Reference |
-    Ablation -> Wedge] — the classical programs block on severed
-    quorums — [Negative_control -> Unsafe]); [delta = 8];
-    [everywhere_checkable = true]; [lspec_monitorable = true];
-    [por_safe] follows the role ([Reference -> true], otherwise
-    [false]); no sweep rank. *)
+    Recovers_after_heal], [Negative_control -> Deadlocks], [Ablation |
+    Synthesized -> Partition_observe] — a synthesized wrapper is
+    certified against wedges, not partitions); [during_partition]
+    likewise ([Reference | Ablation | Synthesized -> Wedge] — the
+    classical programs block on severed quorums — [Negative_control ->
+    Unsafe]); [delta = 8]; [everywhere_checkable = true];
+    [lspec_monitorable = true]; [por_safe] follows the role
+    ([Reference -> true], otherwise [false]); [synthesizable] defaults
+    to [role = Reference && everywhere_checkable &&
+    lspec_monitorable]; [wrapper_term] defaults to [None]; no sweep
+    rank. *)
 
 val register : entry -> unit
 (** Append to the table.  Registration order is the listing order of
@@ -166,8 +189,13 @@ val por_safe_names : unit -> string list
 (** Names of the entries for which [mcheck --por] is allowed; for
     capability error messages. *)
 
+val synthesizable_names : unit -> string list
+(** Names of the entries [graybox-cli synth] accepts; for capability
+    error messages. *)
+
 val role_label : role -> string
-(** ["reference"], ["negative-control"], ["ablation"]. *)
+(** ["reference"], ["negative-control"], ["ablation"],
+    ["synthesized"]. *)
 
 val expectation_label : expectation -> string
 (** ["recover"], ["fail"], ["observe"] — the labels the chaos report

@@ -1,4 +1,5 @@
-(** The graybox stabilization wrapper for TME (paper §4).
+(** The graybox stabilization wrapper for TME (paper §4), as a
+    first-class guard/send language.
 
     The level-2 wrapper reestablishes mutual consistency between
     processes.  Its entire interface to the wrapped system is the
@@ -13,9 +14,112 @@
           (∀k : k ≠ j ∧ j.REQ_k lt REQ_j : send(REQ_j, j, k));
           timer.j := δ v}
 
+    Rather than hard-coding these two, this module defines the small
+    AST they live in — mode predicates, the timer gate, peer
+    timestamp tests, boolean connectives, and a guarded broadcast —
+    together with an evaluator, a printer in the paper's notation, and
+    a size measure.  {!w_refined}, {!w_unrefined} and {!w_timed} are
+    the hand-written wrappers as closed terms; the synthesizer
+    ([Synth]) enumerates the same language in size order and asks the
+    model-checking oracle to certify candidates.  The historical
+    {!variant} enum survives as a thin alias onto the closed terms, so
+    pre-DSL call sites evaluate byte-identically.
+
     No level-1 wrapper is needed: Lspec already captures per-process
     internal consistency, so any everywhere implementation is
     internally consistent in every state (paper §4). *)
+
+(** {2 The guard/send AST} *)
+
+type mode_pred = Is_thinking | Is_hungry | Is_eating
+(** The paper's [t.j] / [h.j] / [e.j]. *)
+
+(** A per-peer timestamp test, evaluated at peer [k] of the view's
+    process [j]. *)
+type peer_test =
+  | Any_peer  (** true — quantification over [k ≠ j] alone *)
+  | Peer_lt_own  (** [j.REQ_k lt REQ_j] — the refined [W_j] test *)
+  | Own_lt_peer  (** [REQ_j lt j.REQ_k] — the [earliest.j] ingredient *)
+
+type guard =
+  | Mode of mode_pred
+  | Timer_zero  (** [timer.j = 0] — the [W'] gate; reads the harness timer *)
+  | Not of guard
+  | And of guard * guard
+  | Or of guard * guard
+  | Exists_peer of peer_test  (** [∃k : k ≠ j : test] *)
+  | Forall_peer of peer_test  (** [∀k : k ≠ j : test] *)
+
+(** What the wrapper sends to each selected peer.  [Send_request] is
+    the only correct choice for TME ([send(REQ_j, j, k)]); the reply
+    and release kinds exist so the synthesizer can propose — and the
+    oracle refute — reply-forging candidates. *)
+type send = Send_request | Send_reply | Send_release
+
+type t = {
+  guard : guard;  (** when the wrapper fires *)
+  target : peer_test;  (** which peers it corrects *)
+  send : send;  (** what it sends them *)
+}
+(** A wrapper term: [guard → (∀k : k ≠ j ∧ target : send)]. *)
+
+(** {2 Evaluation} *)
+
+val guard_holds : guard -> View.t -> timer:int -> peers:Sim.Pid.t list -> bool
+(** [guard_holds g v ~timer ~peers] evaluates [g] over the view;
+    [timer] feeds {!Timer_zero}, [peers] the quantifiers. *)
+
+val term_targets : t -> View.t -> n:int -> timer:int -> Sim.Pid.t list
+(** The peers a term would correct: empty unless the guard holds,
+    otherwise the peers passing [t.target]. *)
+
+val eval : t -> View.t -> n:int -> timer:int -> (Sim.Pid.t * Msg.t) list
+(** [eval t v ~n ~timer] is the term's send list — the wrapper.  Note
+    the type mentions no implementation state. *)
+
+(** {2 The hand-written wrappers as closed terms} *)
+
+val w_unrefined : t
+(** The paper's first, coarser [W_j]: [h.j → (∀k : k ≠ j : send(REQ_j, j, k))]. *)
+
+val w_refined : t
+(** The paper's final [W_j]: targets only [j.REQ_k lt REQ_j] peers. *)
+
+val timed : t -> t
+(** [timed t] conjoins the [timer.j = 0] gate — the [W'(δ)] shape; the
+    [timer.j := δ] reset on firing is the harness's side
+    ({!Harness.wrapper_mode}). *)
+
+val w_timed : t
+(** [timed w_refined] — the paper's [W'_j]. *)
+
+(** {2 Measure, order, printing} *)
+
+val guard_size : guard -> int
+
+val size : t -> int
+(** AST size: guard nodes (quantifiers pay for their test) + 2 for the
+    target/send pair.  {!w_refined} has size 3; the synthesizer's
+    size-ordered enumeration climbs to it. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val mode_pred_to_string : mode_pred -> string
+val peer_test_to_string : peer_test -> string
+val guard_to_string : guard -> string
+val send_to_string : send -> string
+
+val to_string : t -> string
+(** The paper's notation, e.g. [w_refined]:
+    ["h.j -> (forall k : j.REQ_k lt REQ_j : send(REQ_j, j, k))"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 The historical two-variant surface}
+
+    Thin aliases onto {!w_refined} / {!w_unrefined}; every pre-DSL call
+    site evaluates byte-identically through these. *)
 
 type variant =
   | Refined
@@ -25,10 +129,14 @@ type variant =
       (** send to every [k ≠ j] — the paper's first, coarser [W_j];
           kept for the overhead ablation *)
 
+val term_of_variant : variant -> t
+(** [Refined -> w_refined], [Unrefined -> w_unrefined]. *)
+
 val targets : variant -> View.t -> n:int -> Sim.Pid.t list
 (** [targets variant v ~n] lists the processes the wrapper would
     correct, given only the view: all peers for [Unrefined], the
-    [j.REQ_k lt REQ_j] peers for [Refined].  Empty unless [hungry v]. *)
+    [j.REQ_k lt REQ_j] peers for [Refined].  Empty unless [hungry v].
+    Equals [term_targets (term_of_variant variant) v ~n ~timer:0]. *)
 
 val fire : variant -> View.t -> n:int -> (Sim.Pid.t * Msg.t) list
 (** [fire variant v ~n] is the wrapper's send list:

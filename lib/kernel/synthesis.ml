@@ -26,18 +26,33 @@ let synthesize ?(action_name = "correct") ?target a ~spec =
     else None
 
 let is_minimal a ~spec ~wrapper =
-  match Actsys.action_names wrapper with
-  | [ action ] ->
-    let edges = Actsys.transitions wrapper action in
-    edges <> []
-    && List.for_all
-         (fun removed ->
-           let reduced =
-             Actsys.create ~n:(Actsys.n_states wrapper)
-               ~actions:
-                 [ (action, List.filter (fun e -> e <> removed) edges) ]
-               ~init:(Actsys.init_states wrapper) ()
-           in
-           not (Actsys.is_fairly_stabilizing_to (Actsys.box a reduced) spec))
-         edges
-  | _ -> invalid_arg "Synthesis.is_minimal: expected a single-action wrapper"
+  (* Edge-wise, per action: dropping any one correction edge — from
+     whichever action carries it, the others kept intact — must break
+     fair stabilization.  A wrapper with no edges at all corrects
+     nothing and is vacuously non-minimal. *)
+  let actions =
+    List.map
+      (fun name -> (name, Actsys.transitions wrapper name))
+      (Actsys.action_names wrapper)
+  in
+  List.exists (fun (_, edges) -> edges <> []) actions
+  && List.for_all
+       (fun (action, edges) ->
+         List.for_all
+           (fun removed ->
+             let reduced =
+               Actsys.create ~n:(Actsys.n_states wrapper)
+                 ~actions:
+                   (List.map
+                      (fun (name, edges') ->
+                        ( name,
+                          if name = action then
+                            List.filter (fun e -> e <> removed) edges'
+                          else edges' ))
+                      actions)
+                 ~init:(Actsys.init_states wrapper) ()
+             in
+             not
+               (Actsys.is_fairly_stabilizing_to (Actsys.box a reduced) spec))
+           edges)
+       actions

@@ -44,7 +44,11 @@ val synthesize :
 
 val is_minimal : Actsys.t -> spec:Tsys.t -> wrapper:Actsys.t -> bool
 (** [is_minimal a ~spec ~wrapper] checks that removing any single
-    correction edge from [wrapper] breaks fair stabilization — the
-    synthesized wrapper is minimal in this edge-wise sense whenever
-    every corrected state lies in some bad settlement on its own
-    (which {!needs_correction} guarantees). *)
+    correction edge from [wrapper] — from whichever of its actions
+    carries the edge, the others kept intact — breaks fair
+    stabilization; a wrapper with no edges at all is vacuously
+    non-minimal.  The synthesized wrapper is minimal in this
+    edge-wise sense whenever every corrected state lies in some bad
+    settlement on its own (which {!needs_correction} guarantees).
+    Multi-action wrappers (e.g. one action per corrected region) are
+    measured the same way, edge by edge. *)

@@ -79,7 +79,12 @@ type stats = {
 
 type 'v result =
   | Ok of stats
-  | Violation of { trace : string list; witness : 'v; stats : stats }
+  | Violation of {
+      trace : string list;
+      witness : 'v;
+      path : 'v list;
+      stats : stats;
+    }
 
 (* Compact action labels; rendered to strings only when a trace is
    reconstructed, so the hot path never sprintf-allocates. *)
@@ -90,6 +95,7 @@ type label =
   | L_enter of int
   | L_release of int
   | L_deliver of int * int
+  | L_wrap of int
 
 let label_to_string = function
   | L_root -> "init"
@@ -98,6 +104,7 @@ let label_to_string = function
   | L_enter p -> Printf.sprintf "enter(%d)" p
   | L_release p -> Printf.sprintf "release(%d)" p
   | L_deliver (src, dst) -> Printf.sprintf "deliver(%d->%d)" src dst
+  | L_wrap p -> Printf.sprintf "wrap(%d)" p
 
 (* Hot-path label encoding: client and delivery labels fit a packed
    int (kind in bits 12+, operands in two 6-bit fields), so
@@ -108,6 +115,7 @@ let il_request p = (1 lsl 12) lor p
 let il_enter p = (2 lsl 12) lor p
 let il_release p = (3 lsl 12) lor p
 let il_deliver src dst = (4 lsl 12) lor (src lsl 6) lor dst
+let il_wrap p = (5 lsl 12) lor p
 
 let decode_ilabel il =
   let a = (il lsr 6) land 63 and b = il land 63 in
@@ -115,6 +123,7 @@ let decode_ilabel il =
   | 1 -> L_request b
   | 2 -> L_enter b
   | 3 -> L_release b
+  | 5 -> L_wrap b
   | _ -> L_deliver (a, b)
 
 (* Two hashes in one pass over the key: [h1] is an FNV-32 fold pushed
@@ -452,6 +461,12 @@ module Search (P : Graybox.Protocol.S) = struct
      expansion only reads. *)
   type ctx = {
     n : int;
+    wrapper : Graybox.Wrapper.t option;
+        (* box-composed wrapper term: adds a per-process correction
+           action (sends only, no state change), memoized like the
+           client actions.  The checker abstracts the W'(δ) timer to
+           zero — it explores the timer-expired interleavings, which
+           contain every behaviour the rate-limited wrapper has. *)
     proc_id : int StateH.t;
     proc_of : P.state Vec.t;
     view_of : Graybox.View.t Vec.t;  (* cached per interned process *)
@@ -462,6 +477,9 @@ module Search (P : Graybox.Protocol.S) = struct
     m_request : memo Vec.t;
     m_enter : (int * (int * int) list) option option ref Vec.t;
     m_release : memo Vec.t;
+    m_wrap : (int * int) list option ref Vec.t;
+        (* wrapper sends per process id (the successor process state is
+           the process itself) *)
     (* delivery memo: open-addressing map from the packed int of
        [deliver_key] to an index into [d_res]; slots interleave
        (key + 1, index) so a hit costs one probe and zero allocation *)
@@ -471,9 +489,10 @@ module Search (P : Graybox.Protocol.S) = struct
     d_res : (int * (int * int) list) Vec.t;
   }
 
-  let make_ctx ~n =
+  let make_ctx ?wrapper ~n () =
     if n < 1 || n > 64 then invalid_arg "Mcheck: need 1 <= n <= 64";
     { n;
+      wrapper;
       proc_id = StateH.create 1024;
       proc_of = Vec.create ();
       view_of = Vec.create ();
@@ -482,6 +501,7 @@ module Search (P : Graybox.Protocol.S) = struct
       m_request = Vec.create ();
       m_enter = Vec.create ();
       m_release = Vec.create ();
+      m_wrap = Vec.create ();
       d_slots = Array.make (2 * 4096) 0;
       d_mask = 4095;
       d_count = 0;
@@ -497,6 +517,7 @@ module Search (P : Graybox.Protocol.S) = struct
       Vec.push ctx.m_request (ref None);
       Vec.push ctx.m_enter (ref None);
       Vec.push ctx.m_release (ref None);
+      Vec.push ctx.m_wrap (ref None);
       StateH.add ctx.proc_id s id;
       id
 
@@ -706,6 +727,15 @@ module Search (P : Graybox.Protocol.S) = struct
       cell := Some r;
       r
 
+  let compute_wrap ctx w pid cell =
+    match !cell with
+    | Some r -> r
+    | None ->
+      let v = Vec.get ctx.view_of pid in
+      let r = intern_sends ctx (Graybox.Wrapper.eval w v ~n:ctx.n ~timer:0) in
+      cell := Some r;
+      r
+
   let compute_deliver ctx pid ~src mid =
     let dk = deliver_key pid ~src mid in
     let idx = deliver_find ctx dk in
@@ -875,7 +905,34 @@ module Search (P : Graybox.Protocol.S) = struct
             match !cell with
             | Some r -> emit (il_release p) p (-1) p r
             | None -> miss (il_release p)
-        end
+        end;
+        (match ctx.wrapper with
+        | None -> ()
+        | Some w -> (
+          let cell = Vec.get ctx.m_wrap pid in
+          let sends =
+            if rw then Some (compute_wrap ctx w pid cell) else !cell
+          in
+          match sends with
+          | None -> miss (il_wrap p)
+          | Some sends ->
+            (* Throttle: a correction already in flight is not re-sent
+               — without this the wrapper's (state-preserving) action
+               would re-enable forever and pump channels unboundedly.
+               Reads only the parent key, so both sweep modes and every
+               domain take the same decision. *)
+            let fresh =
+              List.filter
+                (fun (dst, mid) ->
+                  let off = st.offs.((p * n) + dst) in
+                  let len = st.kbuf.(off) in
+                  let rec inflight j =
+                    j < len && (st.kbuf.(off + 1 + j) = mid || inflight (j + 1))
+                  in
+                  not (inflight 0))
+                sends
+            in
+            if fresh <> [] then emit (il_wrap p) p (-1) p (pid, fresh)))
       done;
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do
@@ -915,7 +972,7 @@ module Search (P : Graybox.Protocol.S) = struct
     | _ when k <= 0 -> []
     | x :: tl -> x :: take (k - 1) tl
 
-  let everywhere_seeds ~max_seeds ctx =
+  let everywhere_seeds ?(inflight = true) ~max_seeds ctx =
     let n = ctx.n in
     let base = initial ctx in
     let corrupted =
@@ -932,6 +989,8 @@ module Search (P : Graybox.Protocol.S) = struct
     (* [base]'s channels are all empty, so channel [ci]'s length slot
        sits at [n + ci]: insert one message by splitting there. *)
     let inflight =
+      if not inflight then []
+      else
       List.concat_map
         (fun src ->
           List.concat_map
@@ -956,6 +1015,29 @@ module Search (P : Graybox.Protocol.S) = struct
         (List.init n Fun.id)
     in
     (L_root, base) :: take max_seeds (corrupted @ inflight)
+
+  (* The paper's §4 deadlock, as seeds: processes whose requests were
+     lost in flight.  [wedge_seeds ctx] is the all-lost state (every
+     process hungry, channels empty — without a wrapper, no transition
+     is enabled at all) plus each single-loss state.  The recovery leg
+     of the synthesis oracle demands that entry be reachable again
+     from every one of them. *)
+  let wedge_seeds ctx =
+    let n = ctx.n in
+    let base = initial ctx in
+    let hungry p =
+      let s, _lost_sends = P.request_cs (Vec.get ctx.proc_of base.(p)) in
+      intern_proc ctx s
+    in
+    let all = Array.copy base in
+    for p = 0 to n - 1 do
+      all.(p) <- hungry p
+    done;
+    (L_seed "wedge(all)", all)
+    :: List.init n (fun p ->
+           let k = Array.copy base in
+           k.(p) <- hungry p;
+           (L_seed (Printf.sprintf "wedge(%d)" p), k))
 
   (* ---------------- the level-synchronous BFS ---------------- *)
 
@@ -982,11 +1064,15 @@ module Search (P : Graybox.Protocol.S) = struct
      so they must be identical for every domain count. *)
   let chunk_states = 8192
 
-  let run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
-      ~name ~seeds predicate =
+  let run ?wrapper ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget
+      ~spill_dir ~por ~name ~seeds predicate =
     if jobs < 1 then invalid_arg "Mcheck: need jobs >= 1";
     if max_states < 1 then invalid_arg "Mcheck: need max_states >= 1";
-    let ctx = make_ctx ~n in
+    if por && wrapper <> None then
+      invalid_arg
+        "Mcheck: --por is not sound under a composed wrapper (ample sets \
+         ignore wrapper moves)";
+    let ctx = make_ctx ?wrapper ~n () in
     let table = Table.create ~shards ~mem_budget ~spill_dir in
     let nshards = table.Table.nshards in
     let seed_labels : label Vec.t = Vec.create () in
@@ -1349,21 +1435,35 @@ module Search (P : Graybox.Protocol.S) = struct
         | None -> Ok stats
         | Some (_, r, witness) ->
           (* Parent-pointer walk: the only place a trace is
-             materialized.  Only packed index words are read, so a
-             spilled run rebuilds its trace without touching disk. *)
-          let rec build acc r =
+             materialized.  Only packed index words are read for the
+             labels; the states along the path are re-read (possibly
+             from spill) here, inside the protected section, while the
+             table is still alive. *)
+          let rec build acc refs r =
+            let refs = r :: refs in
             let p = Table.parent_packed table r in
             let pr = (p lsr 16) - 1 in
             if pr < 0 then
-              match Vec.get seed_labels (p land 0xFFFF) with
-              | L_root -> acc
-              | l -> label_to_string l :: acc
+              ( (match Vec.get seed_labels (p land 0xFFFF) with
+                | L_root -> acc
+                | l -> label_to_string l :: acc),
+                refs )
             else
               build
                 (label_to_string (decode_ilabel (p land 0xFFFF)) :: acc)
-                pr
+                refs pr
           in
-          Violation { trace = build [] r; witness; stats })
+          let trace, refs = build [] [] r in
+          let path =
+            List.map
+              (fun r ->
+                let klen = Table.key_len table r in
+                ensure_kbuf st klen;
+                Table.read table st.readers r st.kbuf;
+                Array.init ctx.n (fun p -> Vec.get ctx.view_of st.kbuf.(p)))
+              refs
+          in
+          Violation { trace; witness; path; stats })
 
   (* Materialized successor list, for replay: (label string, key). *)
   let successor_list ctx k =
@@ -1389,23 +1489,23 @@ end
 
 let default_spill_dir () = Filename.get_temp_dir_name ()
 
-let explore (module P : Graybox.Protocol.S) ~n ~jobs ~shards ~max_depth
-    ~max_states ~mem_budget ~spill_dir ~por ~name predicate =
+let explore ?wrapper (module P : Graybox.Protocol.S) ~n ~jobs ~shards
+    ~max_depth ~max_states ~mem_budget ~spill_dir ~por ~name predicate =
   let module S = Search (P) in
-  S.run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
-    ~name
+  S.run ?wrapper ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir
+    ~por ~name
     ~seeds:(fun ctx -> [ (L_root, S.initial ctx) ])
     predicate
 
-let check_invariant proto ~n ?(jobs = 1) ?shards ?(max_depth = 30)
+let check_invariant ?wrapper proto ~n ?(jobs = 1) ?shards ?(max_depth = 30)
     ?(max_states = 200_000) ?(mem_budget = max_int) ?spill_dir ?(por = false)
     ~name p =
   let shards = match shards with Some s -> s | None -> min jobs 64 in
   let spill_dir =
     match spill_dir with Some d -> d | None -> default_spill_dir ()
   in
-  explore proto ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir
-    ~por ~name p
+  explore ?wrapper proto ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget
+    ~spill_dir ~por ~name p
 
 let me1 views =
   Array.fold_left
@@ -1413,32 +1513,33 @@ let me1 views =
     0 views
   <= 1
 
-let check_me1 proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
-    ?spill_dir ?por () =
-  check_invariant proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
-    ?spill_dir ?por ~name:"ME1" me1
+let check_me1 ?wrapper proto ~n ?jobs ?shards ?max_depth ?max_states
+    ?mem_budget ?spill_dir ?por () =
+  check_invariant ?wrapper proto ~n ?jobs ?shards ?max_depth ?max_states
+    ?mem_budget ?spill_dir ?por ~name:"ME1" me1
 
-let check_everywhere (module P : Graybox.Protocol.S) ~n ?(jobs = 1) ?shards
-    ?(max_depth = 30) ?(max_states = 200_000) ?(mem_budget = max_int)
-    ?spill_dir ?(por = false) ?(max_seeds = 256) ~name p =
+let check_everywhere ?wrapper ?inflight (module P : Graybox.Protocol.S) ~n
+    ?(jobs = 1) ?shards ?(max_depth = 30) ?(max_states = 200_000)
+    ?(mem_budget = max_int) ?spill_dir ?(por = false) ?(max_seeds = 256) ~name
+    p =
   let shards = match shards with Some s -> s | None -> min jobs 64 in
   let spill_dir =
     match spill_dir with Some d -> d | None -> default_spill_dir ()
   in
   let module S = Search (P) in
-  S.run ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir ~por
-    ~name
-    ~seeds:(S.everywhere_seeds ~max_seeds)
+  S.run ?wrapper ~n ~jobs ~shards ~max_depth ~max_states ~mem_budget ~spill_dir
+    ~por ~name
+    ~seeds:(S.everywhere_seeds ?inflight ~max_seeds)
     p
 
-let check_me1_everywhere proto ~n ?jobs ?shards ?max_depth ?max_states
-    ?mem_budget ?spill_dir ?por ?max_seeds () =
-  check_everywhere proto ~n ?jobs ?shards ?max_depth ?max_states ?mem_budget
-    ?spill_dir ?por ?max_seeds ~name:"ME1" me1
+let check_me1_everywhere ?wrapper ?inflight proto ~n ?jobs ?shards ?max_depth
+    ?max_states ?mem_budget ?spill_dir ?por ?max_seeds () =
+  check_everywhere ?wrapper ?inflight proto ~n ?jobs ?shards ?max_depth
+    ?max_states ?mem_budget ?spill_dir ?por ?max_seeds ~name:"ME1" me1
 
-let replay (module P : Graybox.Protocol.S) ~n trace =
+let replay ?wrapper (module P : Graybox.Protocol.S) ~n trace =
   let module S = Search (P) in
-  let ctx = S.make_ctx ~n in
+  let ctx = S.make_ctx ?wrapper ~n () in
   let rec go k = function
     | [] -> Some (S.views ctx k)
     | l :: tl -> (
@@ -1449,3 +1550,131 @@ let replay (module P : Graybox.Protocol.S) ~n trace =
       | None -> None)
   in
   go (S.initial ctx) trace
+
+(* ------------------------------------------------------------------ *)
+(* The synthesis oracle                                                *)
+
+module Oracle = struct
+  type obligation = Safety | Recovery of int | Progress
+
+  type cex = {
+    obligation : obligation;
+    seed : string;
+    trace : string list;
+    path : Graybox.View.t array list;
+    fired : (int * Graybox.View.t) list;
+    stats : stats list;
+  }
+
+  type verdict = Safe of stats list | Cex of cex
+
+  let obligation_label = function
+    | Safety -> "safety"
+    | Recovery p -> Printf.sprintf "recovery(%d)" p
+    | Progress -> "progress"
+
+  (* The last [length path - 1] labels of [trace] are actions (the
+     rest is the seed tag); action [j] maps [path.(j)] to
+     [path.(j+1)], so a wrap(p) there fired from p's view in
+     [path.(j)]. *)
+  let firings ~trace ~path =
+    let n_actions = List.length path - 1 in
+    let actions =
+      let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+      drop (List.length trace - n_actions) trace
+    in
+    List.concat
+      (List.mapi
+         (fun j l ->
+           match Scanf.sscanf_opt l "wrap(%d)" (fun p -> p) with
+           | Some p -> [ (p, (List.nth path j : Graybox.View.t array).(p)) ]
+           | None -> [])
+         actions)
+
+  let seed_of ~trace ~path =
+    if List.length trace = List.length path then List.hd trace else "init"
+
+  let check (module P : Graybox.Protocol.S) ~n ?(jobs = 1) ?shards
+      ?(safety_depth = 8) ?(recovery_depth = 14) ?(max_states = 200_000)
+      ?(mem_budget = max_int) ?spill_dir ?(max_seeds = 256) wrapper =
+    let shards = match shards with Some s -> s | None -> min jobs 64 in
+    let spill_dir =
+      match spill_dir with Some d -> d | None -> default_spill_dir ()
+    in
+    let module S = Search (P) in
+    (* Safety leg: everywhere-mode ME1 of the wrapped system over the
+       state-corruption closure.  In-flight-message seeds are excluded
+       on purpose: a forged reply delivered in one step defeats any
+       view-reading wrapper at this abstraction (wrappers correct
+       state, not channels) — message faults are covered statistically
+       by the chaos campaign's wrapped-recover gates. *)
+    let safety =
+      S.run ~wrapper ~n ~jobs ~shards ~max_depth:safety_depth ~max_states
+        ~mem_budget ~spill_dir ~por:false ~name:"ME1"
+        ~seeds:(S.everywhere_seeds ~inflight:false ~max_seeds)
+        me1
+    in
+    match safety with
+    | Violation { trace; path; stats; _ } ->
+      Cex
+        { obligation = Safety;
+          seed = seed_of ~trace ~path;
+          trace;
+          path;
+          fired = firings ~trace ~path;
+          stats = [ stats ] }
+    | Ok s ->
+      (* Recovery legs: a plain reachability check suffices — the
+         all-lost wedge has no enabled transition at all without a
+         wrapper, so any path back to the CS goes through the
+         candidate.  Two obligation shapes keep the search shallow:
+         from each singleton wedge(p), process p itself must re-enter
+         (a few steps: the candidate resends, idle peers reply); from
+         wedge(all), it is enough that {e some} process re-enters —
+         the deadlock is broken, and once requests are known the
+         protocol's own priority order drains the queue.  (Demanding
+         that the {e lowest}-priority process eats from wedge(all)
+         would push the frontier through every full CS rotation —
+         exponentially deep for no extra discrimination: the guard
+         language cannot name process ids, so candidates are
+         pid-symmetric.) *)
+      let wedge_views seed_idx =
+        let ctx = S.make_ctx ~wrapper ~n () in
+        let label, key = List.nth (S.wedge_seeds ctx) seed_idx in
+        let tag = match label with L_seed s -> s | _ -> "init" in
+        (tag, S.views ctx key)
+      in
+      let legs =
+        (0, Progress)
+        :: List.init n (fun p -> (p + 1, Recovery p))
+      in
+      let rec sweep acc = function
+        | [] -> Safe (List.rev acc)
+        | (seed_idx, obligation) :: rest -> (
+          let stuck views =
+            match obligation with
+            | Recovery p -> not (Graybox.View.eating views.(p))
+            | Progress | Safety ->
+              not (Array.exists Graybox.View.eating views)
+          in
+          let r =
+            S.run ~wrapper ~n ~jobs ~shards ~max_depth:recovery_depth
+              ~max_states ~mem_budget ~spill_dir ~por:false
+              ~name:(obligation_label obligation)
+              ~seeds:(fun ctx -> [ List.nth (S.wedge_seeds ctx) seed_idx ])
+              stuck
+          in
+          match r with
+          | Violation { stats; _ } -> sweep (stats :: acc) rest
+          | Ok s_run ->
+            let tag, views = wedge_views seed_idx in
+            Cex
+              { obligation;
+                seed = tag;
+                trace = [];
+                path = [ views ];
+                fired = [];
+                stats = List.rev (s_run :: acc) })
+      in
+      sweep [ s ] legs
+end

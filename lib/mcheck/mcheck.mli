@@ -73,12 +73,23 @@ type stats = {
 type 'v result =
   | Ok of stats
       (** no reachable violation within the bounds *)
-  | Violation of { trace : string list; witness : 'v; stats : stats }
+  | Violation of {
+      trace : string list;
+      witness : 'v;
+      path : 'v list;
+      stats : stats;
+    }
       (** [trace] is the action-label path from the initial state; in
           everywhere mode its first element names the seeding
-          perturbation (["corrupt(p#i)"] or ["inflight(src->dst,m)"]) *)
+          perturbation (["corrupt(p#i)"] or ["inflight(src->dst,m)"]).
+          [path] is the state sequence the trace traverses — seed
+          state first, violating state last, one entry per action
+          label plus one — as data for counterexample-guided callers
+          ({!Oracle}, [Synth]); like [trace] it is identical for every
+          [jobs] and [shards] value. *)
 
 val check_me1 :
+  ?wrapper:Graybox.Wrapper.t ->
   (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
   ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
   ?por:bool -> unit -> Graybox.View.t array result
@@ -94,9 +105,23 @@ val check_me1 :
     key arenas spill to temp blockfiles under [spill_dir] (default the
     system temp dir; files are removed on exit).  [por] (default
     false) enables the quiet-receiver partial-order reduction; only
-    set it for protocols the registry marks [por_safe]. *)
+    set it for protocols the registry marks [por_safe].
+
+    [wrapper] (all four checks) box-composes a {!Graybox.Wrapper} DSL
+    term with the protocol: every process gains a correction action
+    that, when the term's guard holds of its view, sends the term's
+    messages to the term's targets (state unchanged).  The checker
+    abstracts the [W'(δ)] timer to zero — it explores the
+    timer-expired interleavings, which contain every behaviour of the
+    rate-limited wrapper — and never re-sends a correction that is
+    already in flight on the same channel (the state space would
+    otherwise be unbounded in the channel dimension).  [wrapper] and
+    [por] are mutually exclusive: the ample-set argument ignores
+    wrapper moves.
+    @raise Invalid_argument when both are supplied. *)
 
 val check_invariant :
+  ?wrapper:Graybox.Wrapper.t ->
   (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
   ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
   ?por:bool -> name:string -> (Graybox.View.t array -> bool) ->
@@ -112,17 +137,20 @@ val check_invariant :
     invisible. *)
 
 val check_me1_everywhere :
+  ?wrapper:Graybox.Wrapper.t -> ?inflight:bool ->
   (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
   ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
   ?por:bool -> ?max_seeds:int -> unit -> Graybox.View.t array result
 (** Like {!check_me1}, but the frontier is seeded with perturbed
     states — every {!Graybox.Protocol.S.perturb} corruption of every
-    process, plus single arbitrary in-flight messages on every channel
-    — capped at [max_seeds] (default 256) seeds beyond the initial
-    state.  This is the paper's everywhere-exploration: a protocol
-    that merely implements the spec from Init generally fails it. *)
+    process, plus (unless [~inflight:false]) single arbitrary
+    in-flight messages on every channel — capped at [max_seeds]
+    (default 256) seeds beyond the initial state.  This is the paper's
+    everywhere-exploration: a protocol that merely implements the spec
+    from Init generally fails it. *)
 
 val check_everywhere :
+  ?wrapper:Graybox.Wrapper.t -> ?inflight:bool ->
   (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
   ?max_depth:int -> ?max_states:int -> ?mem_budget:int -> ?spill_dir:string ->
   ?por:bool -> ?max_seeds:int -> name:string ->
@@ -130,6 +158,7 @@ val check_everywhere :
 (** Everywhere-mode {!check_invariant}. *)
 
 val replay :
+  ?wrapper:Graybox.Wrapper.t ->
   (module Graybox.Protocol.S) -> n:int -> string list ->
   Graybox.View.t array option
 (** [replay proto ~n trace] re-executes an init-mode counterexample
@@ -137,4 +166,68 @@ val replay :
     returns the views it ends in, or [None] if some label does not
     name an enabled transition — the independent check that a reported
     trace really is an execution.  Everywhere-mode traces start from a
-    perturbed seed and cannot be replayed from Init. *)
+    perturbed seed and cannot be replayed from Init.  [wrapper] makes
+    the composed wrapper's [wrap(p)] labels replayable. *)
+
+(** The model-checking oracle behind wrapper synthesis ([Synth]): one
+    reusable answer to "is this candidate term a wrapper for P?",
+    returned as data.  {!check} runs two legs:
+
+    - {e safety}: everywhere-mode ME1 of the wrapped system over the
+      state-corruption seed closure (in-flight-message seeds are
+      excluded — a forged reply delivered in one step defeats any
+      view-reading wrapper at this abstraction; message faults remain
+      covered by the chaos campaign's statistical gates);
+    - {e recovery}: from every §4 wedge seed (requests lost in flight;
+      the all-lost wedge has {e no} enabled transition without a
+      wrapper), the system must reach the CS again — from each
+      singleton wedge(p), process [p] itself; from the all-lost wedge,
+      {e some} process (enough to break the deadlock: candidates are
+      pid-symmetric, and demanding the lowest-priority process would
+      push the bounded search through every full CS rotation).
+
+    Verdicts, counterexample traces and paths are identical for every
+    [jobs] and [shards] value, so a synthesis transcript built on this
+    oracle is deterministic by construction. *)
+module Oracle : sig
+  type obligation =
+    | Safety  (** the candidate let ME1 break *)
+    | Recovery of int
+        (** process [p] could not reach the CS from its wedge(p) seed *)
+    | Progress
+        (** no process could reach the CS from the all-lost wedge *)
+
+  type cex = {
+    obligation : obligation;
+    seed : string;  (** seeding perturbation (or wedge) label *)
+    trace : string list;  (** action labels; empty for recovery *)
+    path : Graybox.View.t array list;
+        (** states along the trace (for recovery: the wedge state the
+            candidate failed to leave) *)
+    fired : (int * Graybox.View.t) list;
+        (** the candidate's firings along the trace — (process, its
+            view at the firing) — the states the counterexample blames
+            on the candidate *)
+    stats : stats list;
+        (** exploration stats of every run up to and including the
+            refuting one, so callers can account oracle work on
+            refuted candidates too *)
+  }
+
+  type verdict =
+    | Safe of stats list  (** both legs passed; one stats per run *)
+    | Cex of cex
+
+  val obligation_label : obligation -> string
+  (** ["safety"], ["recovery(p)"], ["progress"]. *)
+
+  val check :
+    (module Graybox.Protocol.S) -> n:int -> ?jobs:int -> ?shards:int ->
+    ?safety_depth:int -> ?recovery_depth:int -> ?max_states:int ->
+    ?mem_budget:int -> ?spill_dir:string -> ?max_seeds:int ->
+    Graybox.Wrapper.t -> verdict
+  (** [check proto ~n candidate] certifies or refutes one candidate.
+      Defaults: [safety_depth = 8], [recovery_depth = 14],
+      [max_states = 200_000].  [jobs]/[shards]/[mem_budget] tune the
+      underlying explorations without changing any verdict. *)
+end

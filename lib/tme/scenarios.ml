@@ -337,9 +337,15 @@ let () =
         (module Ra_lease.Stale : Graybox.Protocol.S)
         ~role:Negative_control ~expectation:Observe
         ~partition_expectation:Partition_observe
-        ~doc:"ra-lease that never un-suspects: post-heal split-brain control" ]
+        ~doc:"ra-lease that never un-suspects: post-heal split-brain control";
+      entry
+        (module Ra_synth : Graybox.Protocol.S)
+        ~role:Synthesized ~wrapper_term:Ra_synth.wrapper_term
+        ~doc:"RA under the CEGIS-synthesized wrapper term (see Synth)" ]
 
 let find_protocol = Graybox.Registry.find_protocol
 
 let wrapped ?(variant = Graybox.Wrapper.Refined) ~delta () =
   H.On { variant; delta }
+
+let wrapped_term ~term ~delta () = H.On_term { term; delta }

@@ -137,7 +137,8 @@ val find_protocol : string -> (module Graybox.Protocol.S) option
     [central]), the modification ablations ([lamport-m1],
     [lamport-m12]), the negative controls ([lamport-unmod], the
     kept-reply RA safety mutant, and the sticky-suspicion
-    [ra-lease-stale]), and the partition-tolerant [ra-lease] —
+    [ra-lease-stale]), the partition-tolerant [ra-lease], and the
+    synthesized-wrapper [ra-synth] —
     together with their roles, chaos expectations, and capabilities.  Enumerate and dispatch through
     {!Graybox.Registry.all}; there is no separate protocol list here
     to drift from it. *)
@@ -145,3 +146,9 @@ val find_protocol : string -> (module Graybox.Protocol.S) option
 val wrapped : ?variant:Graybox.Wrapper.variant -> delta:int -> unit ->
   Graybox.Harness.wrapper_mode
 (** Convenience constructor for [On {variant; delta}]. *)
+
+val wrapped_term : term:Graybox.Wrapper.t -> delta:int -> unit ->
+  Graybox.Harness.wrapper_mode
+(** Convenience constructor for [On_term {term; delta}] — an arbitrary
+    wrapper-DSL term (a registry entry's [wrapper_term], a synthesized
+    candidate) under the same [δ]-timer discipline. *)

@@ -75,7 +75,9 @@ let table_rows ~doc ~header text =
 let test_readme_protocol_table () =
   let rows =
     table_rows ~doc:"README.md"
-      ~header:"| name | role | expect | partition | during | por | what it is |"
+      ~header:
+        "| name | role | expect | partition | during | por | synth | what \
+         it is |"
       (Lazy.force readme)
   in
   let entries = R.all () in
@@ -85,7 +87,7 @@ let test_readme_protocol_table () =
   List.iter2
     (fun (e : R.entry) row ->
       match row with
-      | name :: role :: expect :: partition :: during :: por :: _ ->
+      | name :: role :: expect :: partition :: during :: por :: synth :: _ ->
         Alcotest.(check string) "name, in registration order" e.R.name name;
         Alcotest.(check string)
           (e.R.name ^ ": role column")
@@ -104,7 +106,11 @@ let test_readme_protocol_table () =
         Alcotest.(check string)
           (e.R.name ^ ": por column")
           (if e.R.por_safe then "yes" else "no")
-          por
+          por;
+        Alcotest.(check string)
+          (e.R.name ^ ": synth column")
+          (if e.R.synthesizable then "yes" else "no")
+          synth
       | _ -> Alcotest.fail (e.R.name ^ ": row has too few columns"))
     entries rows
 
@@ -208,6 +214,28 @@ let test_design_regime_section () =
     [ "during"; R.during_partition_label R.Weak_me1;
       R.during_partition_label R.Wedge; R.during_partition_label R.Unsafe ]
 
+(* ------------------------------------------------------------------ *)
+(* EXPERIMENTS.md: the SYNTH section exists, names the schema, the     *)
+(* synthesized term, and every synthesis target                        *)
+
+let test_experiments_synth_section () =
+  let text = Lazy.force experiments in
+  check_mentions "EXPERIMENTS.md" text
+    ([ "## Wrapper synthesis (SYNTH, `BENCH_synth.json`)";
+       "graybox-bench-synth/1"; "graybox-synth/1"; "CEGIS"; "ra-synth";
+       Graybox.Wrapper.to_string Graybox.Wrapper.w_refined ]
+     @ R.synthesizable_names ())
+
+let test_design_synth_section () =
+  check_mentions "DESIGN.md" (Lazy.force design)
+    [ "## 9. Guard DSL and CEGIS wrapper synthesis"; "`Mcheck.Oracle`";
+      "Timer_zero"; "pid-symmetric"; "blame"; "`ra-synth`";
+      "graybox-synth/1"; "BENCH_synth.json" ];
+  (* the README must surface the synthesis entry points *)
+  check_mentions "README.md" (Lazy.force readme)
+    [ "graybox-cli synth"; "BENCH_synth.json"; "ra-synth";
+      R.role_label R.Synthesized ]
+
 let test_design_checker_section () =
   check_mentions "DESIGN.md" (Lazy.force design)
     [ "sharded"; "Stdext.Blockfile"; "--mem-budget"; "fingerprint";
@@ -229,7 +257,9 @@ let () =
           Alcotest.test_case "load section present and named" `Quick
             test_experiments_load_section;
           Alcotest.test_case "mcheck section present and named" `Quick
-            test_experiments_mcheck_section ] );
+            test_experiments_mcheck_section;
+          Alcotest.test_case "synth section present and named" `Quick
+            test_experiments_synth_section ] );
       ( "design",
         [ Alcotest.test_case "inventory covers the partition model" `Quick
             test_design_inventory;
@@ -238,4 +268,6 @@ let () =
           Alcotest.test_case "regime-epoch architecture documented" `Quick
             test_design_regime_section;
           Alcotest.test_case "checker architecture documented" `Quick
-            test_design_checker_section ] ) ]
+            test_design_checker_section;
+          Alcotest.test_case "synthesis architecture documented" `Quick
+            test_design_synth_section ] ) ]

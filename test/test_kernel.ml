@@ -564,6 +564,33 @@ let test_synthesis_respects_target () =
       (Actsys.transitions w "correct")
   | None -> Alcotest.fail "expected a wrapper"
 
+let test_is_minimal_multi_action () =
+  (* regression: is_minimal used to invalid_arg on wrappers with more
+     than one action; minimality is edge-wise, per action, with the
+     other actions kept intact *)
+  let b2 = 3 in
+  let sys =
+    Actsys.create ~n:4
+      ~actions:
+        [ ("prog", [ (g0, g1); (g1, g0) ]); ("idle", [ (b, b); (b2, b2) ]) ]
+      ~init:[ g0 ] ()
+  in
+  let spec = Tsys.create ~n:4 ~edges:[ (g0, g1); (g1, g0) ] ~init:[ g0 ] () in
+  let wrapper actions = Actsys.create ~n:4 ~actions ~init:[ g0 ] () in
+  let split = wrapper [ ("fix-b", [ (b, g0) ]); ("fix-b2", [ (b2, g0) ]) ] in
+  Alcotest.(check bool) "two-action wrapper stabilizes" true
+    (Actsys.is_fairly_stabilizing_to (Actsys.box sys split) spec);
+  Alcotest.(check bool) "two-action wrapper is minimal" true
+    (Synthesis.is_minimal sys ~spec ~wrapper:split);
+  let padded =
+    wrapper [ ("fix-b", [ (b, g0); (b, g1) ]); ("fix-b2", [ (b2, g0) ]) ]
+  in
+  Alcotest.(check bool) "redundant edge caught in its own action" false
+    (Synthesis.is_minimal sys ~spec ~wrapper:padded);
+  let edgeless = wrapper [ ("fix-b", []); ("fix-b2", []) ] in
+  Alcotest.(check bool) "edgeless wrapper corrects nothing" false
+    (Synthesis.is_minimal sys ~spec ~wrapper:edgeless)
+
 (* Random closed systems: legitimate core (a cycle over the first
    [k] states) plus arbitrary junk actions among the remaining states
    and junk->core escape edges; synthesis must always succeed and
@@ -769,6 +796,8 @@ let () =
           Alcotest.test_case "deadlock case" `Quick test_synthesis_deadlock_case;
           Alcotest.test_case "no target" `Quick test_synthesis_no_target;
           Alcotest.test_case "explicit target" `Quick test_synthesis_respects_target;
+          Alcotest.test_case "multi-action minimality" `Quick
+            test_is_minimal_multi_action;
           prop_synthesis_always_works;
           prop_synthesis_empty_iff_stabilizing ] );
       ( "product",

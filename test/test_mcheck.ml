@@ -22,7 +22,7 @@ let check_safe ?(n = 2) name proto ~max_depth () =
 let test_mutant_caught () =
   match Mcheck.check_me1 mutant ~n:2 ~max_depth:20 () with
   | Mcheck.Ok _ -> Alcotest.fail "the mutant must violate ME1"
-  | Mcheck.Violation { trace; witness; stats } ->
+  | Mcheck.Violation { trace; witness; stats; _ } ->
     Alcotest.(check bool) "short counterexample" true (List.length trace <= 20);
     Alcotest.(check bool) "found quickly" true (stats.Mcheck.explored < 200_000);
     let eaters =
@@ -76,8 +76,8 @@ let test_parallel_equals_serial () =
      on a workload that actually finds a counterexample *)
   let run jobs = Mcheck.check_me1 mutant ~n:2 ~jobs ~max_depth:20 () in
   match (run 1, run 3) with
-  | ( Mcheck.Violation { trace = t1; witness = w1; stats = s1 },
-      Mcheck.Violation { trace = t3; witness = w3; stats = s3 } ) ->
+  | ( Mcheck.Violation { trace = t1; witness = w1; stats = s1; _ },
+      Mcheck.Violation { trace = t3; witness = w3; stats = s3; _ } ) ->
     Alcotest.(check (list string)) "same trace" t1 t3;
     Alcotest.(check bool) "same stats" true (s1 = s3);
     Alcotest.(check bool) "same witness" true (w1 = w3)
@@ -185,10 +185,11 @@ let test_max_states_hard_bound () =
 
 let scrub_mem = function
   | Mcheck.Ok s -> Mcheck.Ok { s with Mcheck.peak_mem_words = 0; spill_bytes = 0 }
-  | Mcheck.Violation { trace; witness; stats = s } ->
+  | Mcheck.Violation { trace; witness; path; stats = s } ->
     Mcheck.Violation
       { trace;
         witness;
+        path;
         stats = { s with Mcheck.peak_mem_words = 0; spill_bytes = 0 } }
 
 let check_differential name run () =
